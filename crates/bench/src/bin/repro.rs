@@ -1,0 +1,42 @@
+//! Experiment driver: `repro <experiment>` regenerates one paper table or
+//! figure; `repro all` runs everything; `repro list` enumerates;
+//! `repro simulate ...` prices an arbitrary user configuration.
+
+use megatron_bench::{experiments, simulate_cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = experiments::all();
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            println!("usage: repro <experiment>|all|list|simulate\n\navailable experiments:");
+            for e in &registry {
+                println!("  {:<12} {}", e.name, e.paper_ref);
+            }
+            println!("\n{}", simulate_cli::USAGE);
+        }
+        Some("simulate") => match simulate_cli::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        Some("all") => {
+            for e in &registry {
+                println!("=== {} — {} ===", e.name, e.paper_ref);
+                println!("{}", (e.run)());
+            }
+        }
+        Some(name) => match registry.iter().find(|e| e.name == name) {
+            Some(e) => {
+                println!("=== {} — {} ===", e.name, e.paper_ref);
+                println!("{}", (e.run)());
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; try `repro list`");
+                std::process::exit(1);
+            }
+        },
+    }
+}

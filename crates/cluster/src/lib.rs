@@ -1,0 +1,37 @@
+//! GPU cluster hardware substrate.
+//!
+//! The paper ran on the Selene supercomputer: DGX A100 nodes (8 × A100-80GB
+//! connected by NVLink/NVSwitch, 8 × 200 Gb/s HDR InfiniBand HCAs per node)
+//! in a three-level fat-tree. We reproduce that machine as a parameterized
+//! model:
+//!
+//! - [`GpuSpec`] answers "how long does this kernel take on one GPU?" with a
+//!   roofline model (compute-bound vs memory-bound) plus per-kernel launch
+//!   overhead and a dimension-granularity efficiency factor. This is the
+//!   substitution for real CUDA kernels: the paper's throughput phenomena
+//!   (microbatch-size sensitivity, growing %-of-peak with model size,
+//!   operator-fusion wins) are all functions of arithmetic intensity and
+//!   kernel granularity, which the roofline captures.
+//! - [`NodeSpec`] and [`ClusterSpec`] describe the interconnect: NVLink
+//!   bandwidth/latency within a node, InfiniBand rails across nodes, and the
+//!   placement of GPUs onto nodes.
+
+mod gpu;
+mod topology;
+
+pub use gpu::{GpuSpec, KernelCost};
+pub use topology::{ClusterSpec, LinkClass, NodeSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let a100 = GpuSpec::a100_80gb();
+        assert!(a100.peak_matmul_flops > a100.mem_bandwidth);
+        let v100 = GpuSpec::v100_32gb();
+        assert!(v100.peak_matmul_flops < a100.peak_matmul_flops);
+        assert!(v100.mem_capacity < a100.mem_capacity);
+    }
+}

@@ -1,0 +1,33 @@
+//! End-to-end PTD-P training-iteration simulation — the paper's primary
+//! contribution, composed from the substrate crates.
+//!
+//! A [`TrainingRun`] pairs a GPT model with a cluster, a
+//! [`ParallelConfig`](megatron_parallel::ParallelConfig), and
+//! [`TrainingOptions`] (schedule, scatter/gather, fusion, recomputation).
+//! [`TrainingRun::simulate`] then:
+//!
+//! 1. prices every pipeline stage's forward/backward work from the op lists
+//!    (`megatron-model`) on the roofline GPU model (`megatron-cluster`),
+//!    including tensor-parallel all-reduces over the *actual* rank placement
+//!    (`megatron-parallel` + `megatron-net` cost models) — so a tensor group
+//!    spilling out of a node automatically pays InfiniBand prices;
+//! 2. builds the pipeline schedule (`megatron-schedule`) and lowers it to a
+//!    task DAG: compute tasks per (device, microbatch, chunk) and
+//!    inter-stage transfers on per-device network ports (forward and
+//!    backward traffic contend on the same port, as on real HCAs), with the
+//!    §4.1 scatter/gather optimization selectable;
+//! 3. appends the data-parallel gradient all-reduce and optimizer step;
+//! 4. runs the discrete-event simulator and distills an
+//!    [`IterationReport`]: iteration time, achieved FLOP/s per GPU, percent
+//!    of peak, aggregate FLOP/s, bubble fraction, communication volumes,
+//!    and per-GPU memory.
+
+mod checkpoint;
+mod costs;
+mod report;
+mod simulate;
+
+pub use checkpoint::{CheckpointIo, FilesystemSpec};
+pub use costs::StageCost;
+pub use report::{CommVolumes, IterationReport, TimeBreakdown};
+pub use simulate::{RunError, TrainingOptions, TrainingRun};

@@ -1,0 +1,81 @@
+//! Iteration reports: the metrics the paper's tables and figures present.
+
+use serde::Serialize;
+
+/// Communication volumes per iteration (per-GPU and aggregate).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CommVolumes {
+    /// Pipeline point-to-point bytes crossing each stage boundary per GPU
+    /// per iteration (both directions).
+    pub pipeline_p2p_bytes_per_gpu: f64,
+    /// Tensor-parallel all-reduce bytes per GPU per iteration.
+    pub tensor_ar_bytes_per_gpu: f64,
+    /// Data-parallel gradient all-reduce bytes per GPU per iteration.
+    pub data_parallel_bytes_per_gpu: f64,
+    /// Aggregate pipeline bytes crossing the cluster bisection per
+    /// iteration (all data-parallel replicas).
+    pub pipeline_bisection_bytes: f64,
+    /// Aggregate data-parallel bytes crossing the bisection per iteration.
+    pub data_parallel_bisection_bytes: f64,
+}
+
+/// Where the iteration time went (per-device averages).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct TimeBreakdown {
+    /// Mean compute busy time per pipeline device (includes tensor-parallel
+    /// all-reduces, which are folded into stage costs).
+    pub compute: f64,
+    /// Mean pipeline network-port busy time per device.
+    pub pipeline_comm: f64,
+    /// Data-parallel all-reduce time.
+    pub data_parallel: f64,
+    /// Optimizer step time.
+    pub optimizer: f64,
+}
+
+/// Everything the harness needs to regenerate the paper's reported numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct IterationReport {
+    /// End-to-end time of one training iteration, seconds.
+    pub iteration_time: f64,
+    /// Achieved teraFLOP/s per GPU (paper's headline metric; FLOPs counted
+    /// per Eq. 3's convention — recomputation included when enabled).
+    pub tflops_per_gpu: f64,
+    /// Percentage of the device's theoretical peak.
+    pub pct_of_peak: f64,
+    /// Aggregate petaFLOP/s over all GPUs.
+    pub aggregate_pflops: f64,
+    /// Sequences processed per second (Figure 17's metric).
+    pub sequences_per_second: f64,
+    /// Analytical bubble fraction `(p−1)/(v·m)`.
+    pub analytical_bubble_fraction: f64,
+    /// Measured compute idleness: `1 − busy/makespan` averaged over pipeline
+    /// devices (includes communication exposure, so ≥ the analytical value).
+    pub measured_idle_fraction: f64,
+    /// Communication volumes.
+    pub comm: CommVolumes,
+    /// Time breakdown.
+    pub breakdown: TimeBreakdown,
+    /// Peak per-GPU memory, bytes.
+    pub memory_bytes_per_gpu: u64,
+    /// GPUs in the run.
+    pub n_gpus: u64,
+}
+
+impl IterationReport {
+    /// Effective bisection bandwidth of pipeline point-to-point traffic
+    /// (§5.9's 892 GB/s metric): bisection-crossing bytes / iteration time.
+    pub fn pipeline_bisection_bandwidth(&self) -> f64 {
+        self.comm.pipeline_bisection_bytes / self.iteration_time
+    }
+
+    /// Effective bisection bandwidth of data-parallel all-reduce traffic
+    /// (§5.9's 13 TB/s metric): the rate *while* the gradient all-reduce is
+    /// in flight, which is how the paper's counters report it.
+    pub fn data_parallel_bisection_bandwidth(&self) -> f64 {
+        if self.breakdown.data_parallel <= 0.0 {
+            return 0.0;
+        }
+        self.comm.data_parallel_bisection_bytes / self.breakdown.data_parallel
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic training-data substrate.
+//!
+//! The paper trains on a proprietary corpus we obviously don't have; its
+//! throughput results are content-independent (only tensor shapes matter),
+//! but the *correctness* story benefits from data with learnable structure.
+//! This crate provides:
+//!
+//! - [`MarkovCorpus`]: a seeded first-order Markov token source with a
+//!   known entropy floor, so a real training run can demonstrably learn
+//!   (loss approaches the source's conditional entropy, and cannot beat it);
+//! - [`pack_documents`]: GPT-style document packing into fixed-length
+//!   training sequences with next-token targets;
+//! - [`ShardedLoader`]: the §2.1 data-parallel contract — each replica sees
+//!   a disjoint, deterministic shard of every global batch, and the union
+//!   of shards is exactly the batch.
+
+mod corpus;
+mod loader;
+
+pub use corpus::MarkovCorpus;
+pub use loader::{pack_documents, Batch, ShardedLoader};

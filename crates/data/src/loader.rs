@@ -1,0 +1,187 @@
+//! Document packing and the data-parallel sharded loader (§2.1: "the input
+//! dataset is sharded").
+
+use crate::MarkovCorpus;
+
+/// One global training batch: `tokens` and next-token `targets`, both
+/// `batch · seq` long, grouped by sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Input token ids.
+    pub tokens: Vec<usize>,
+    /// Next-token targets (shifted by one; document-final targets wrap to
+    /// the next document, as GPT packing does).
+    pub targets: Vec<usize>,
+    /// Samples in the batch.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+/// Pack a stream of documents into `count` training sequences of length
+/// `seq` (GPT-style: documents are concatenated and sliced; the target of
+/// position i is the token at position i+1 of the concatenated stream).
+pub fn pack_documents(
+    corpus: &mut MarkovCorpus,
+    doc_len: usize,
+    count: usize,
+    seq: usize,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(doc_len >= 2 && seq >= 1);
+    let needed = count * seq + 1;
+    let mut stream = Vec::with_capacity(needed + doc_len);
+    while stream.len() < needed {
+        stream.extend(corpus.document(doc_len));
+    }
+    (0..count)
+        .map(|i| {
+            let lo = i * seq;
+            (
+                stream[lo..lo + seq].to_vec(),
+                stream[lo + 1..lo + seq + 1].to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic, sharded batch source: every data-parallel replica draws
+/// its disjoint slice of the same global batch sequence.
+pub struct ShardedLoader {
+    sequences: Vec<(Vec<usize>, Vec<usize>)>,
+    batch: usize,
+    seq: usize,
+    cursor: usize,
+}
+
+impl ShardedLoader {
+    /// Build a loader over pre-packed `sequences` with global batch size
+    /// `batch`.
+    pub fn new(sequences: Vec<(Vec<usize>, Vec<usize>)>, batch: usize) -> Self {
+        assert!(!sequences.is_empty());
+        let seq = sequences[0].0.len();
+        assert!(sequences.iter().all(|(t, g)| t.len() == seq && g.len() == seq));
+        assert!(
+            sequences.len() >= batch,
+            "need at least one full batch of sequences"
+        );
+        ShardedLoader {
+            sequences,
+            batch,
+            seq,
+            cursor: 0,
+        }
+    }
+
+    /// Convenience: synthesize everything from a corpus.
+    pub fn from_corpus(
+        corpus: &mut MarkovCorpus,
+        batch: usize,
+        seq: usize,
+        iterations: usize,
+    ) -> Self {
+        let sequences = pack_documents(corpus, seq * 2, batch * iterations, seq);
+        ShardedLoader::new(sequences, batch)
+    }
+
+    /// Number of full global batches available.
+    pub fn batches_available(&self) -> usize {
+        self.sequences.len() / self.batch
+    }
+
+    /// The next GLOBAL batch (advances the cursor). Returns `None` when the
+    /// sequences are exhausted.
+    pub fn next_global(&mut self) -> Option<Batch> {
+        if self.cursor + self.batch > self.sequences.len() {
+            return None;
+        }
+        let mut tokens = Vec::with_capacity(self.batch * self.seq);
+        let mut targets = Vec::with_capacity(self.batch * self.seq);
+        for (t, g) in &self.sequences[self.cursor..self.cursor + self.batch] {
+            tokens.extend_from_slice(t);
+            targets.extend_from_slice(g);
+        }
+        self.cursor += self.batch;
+        Some(Batch {
+            tokens,
+            targets,
+            batch: self.batch,
+            seq: self.seq,
+        })
+    }
+
+    /// Replica `replica` of `replicas`' shard of a global batch (§2.1):
+    /// contiguous sample range, disjoint across replicas, union = batch.
+    pub fn shard(batch: &Batch, replica: usize, replicas: usize) -> Batch {
+        assert!(replica < replicas && batch.batch.is_multiple_of(replicas));
+        let per = batch.batch / replicas;
+        let lo = replica * per * batch.seq;
+        let hi = lo + per * batch.seq;
+        Batch {
+            tokens: batch.tokens[lo..hi].to_vec(),
+            targets: batch.targets[lo..hi].to_vec(),
+            batch: per,
+            seq: batch.seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_preserves_next_token_relationship() {
+        let mut c = MarkovCorpus::new(32, 3, 4);
+        let seqs = pack_documents(&mut c, 10, 6, 8);
+        assert_eq!(seqs.len(), 6);
+        for (t, g) in &seqs {
+            assert_eq!(t.len(), 8);
+            // target[i] == token[i+1] within a sequence.
+            for i in 0..7 {
+                assert_eq!(g[i], t[i + 1]);
+            }
+        }
+        // Consecutive sequences continue the stream: target of the last
+        // position equals the first token of the next sequence.
+        for w in seqs.windows(2) {
+            assert_eq!(w[0].1[7], w[1].0[0]);
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_batch() {
+        let mut c = MarkovCorpus::new(16, 2, 2);
+        let mut loader = ShardedLoader::from_corpus(&mut c, 8, 4, 3);
+        let global = loader.next_global().unwrap();
+        let mut reassembled_tokens = Vec::new();
+        for r in 0..4 {
+            let shard = ShardedLoader::shard(&global, r, 4);
+            assert_eq!(shard.batch, 2);
+            reassembled_tokens.extend(shard.tokens);
+        }
+        assert_eq!(reassembled_tokens, global.tokens);
+    }
+
+    #[test]
+    fn loader_is_deterministic_and_finite() {
+        let mk = || {
+            let mut c = MarkovCorpus::new(16, 2, 7);
+            ShardedLoader::from_corpus(&mut c, 4, 8, 2)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        assert_eq!(a.batches_available(), 2);
+        for _ in 0..2 {
+            assert_eq!(a.next_global(), b.next_global());
+        }
+        assert!(a.next_global().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one full batch")]
+    fn rejects_short_data() {
+        let mut c = MarkovCorpus::new(16, 2, 7);
+        let seqs = pack_documents(&mut c, 8, 2, 4);
+        ShardedLoader::new(seqs, 4);
+    }
+}

@@ -1,0 +1,319 @@
+//! Shared-memory collectives over thread groups.
+//!
+//! A [`Group`] is the moral equivalent of an NCCL communicator: a fixed set
+//! of ranks that issue the *same sequence* of collective calls (SPMD). Each
+//! collective uses a publish-barrier-combine-barrier protocol on a shared
+//! board. Reductions always iterate contributions in rank order, so every
+//! member computes a bit-identical result — the property the equivalence
+//! tests lean on.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Shared state of one communicator group.
+pub struct Group {
+    size: usize,
+    board: Vec<Mutex<Vec<f32>>>,
+    barrier: Barrier,
+}
+
+impl Group {
+    /// Create a group of `size` ranks; hand one [`GroupMember`] per rank to
+    /// its thread via [`Group::member`].
+    pub fn new(size: usize) -> Arc<Group> {
+        assert!(size > 0);
+        Arc::new(Group {
+            size,
+            board: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            barrier: Barrier::new(size),
+        })
+    }
+
+    /// The member handle for `rank`.
+    pub fn member(self: &Arc<Group>, rank: usize) -> GroupMember {
+        assert!(rank < self.size);
+        GroupMember {
+            group: Arc::clone(self),
+            rank,
+        }
+    }
+
+    /// Ranks in the group.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// One rank's handle to a [`Group`]. Every collective must be called by all
+/// ranks of the group, in the same order.
+pub struct GroupMember {
+    group: Arc<Group>,
+    rank: usize,
+}
+
+impl GroupMember {
+    /// This member's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.group.size
+    }
+
+    /// In-place sum all-reduce. Deterministic: contributions are summed in
+    /// rank order on every member.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        if self.group.size == 1 {
+            return;
+        }
+        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
+        self.group.barrier.wait();
+        for (i, b) in buf.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for r in 0..self.group.size {
+                acc += self.group.board[r].lock().unwrap()[i];
+            }
+            *b = acc;
+        }
+        self.group.barrier.wait();
+    }
+
+    /// In-place element-wise max all-reduce.
+    pub fn all_reduce_max(&self, buf: &mut [f32]) {
+        if self.group.size == 1 {
+            return;
+        }
+        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
+        self.group.barrier.wait();
+        for (i, b) in buf.iter_mut().enumerate() {
+            let mut acc = f32::NEG_INFINITY;
+            for r in 0..self.group.size {
+                acc = acc.max(self.group.board[r].lock().unwrap()[i]);
+            }
+            *b = acc;
+        }
+        self.group.barrier.wait();
+    }
+
+    /// In-place mean all-reduce (deterministic, rank-ordered).
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
+        self.all_reduce_sum(buf);
+        let k = 1.0 / self.group.size as f32;
+        for b in buf {
+            *b *= k;
+        }
+    }
+
+    /// All-gather: every rank contributes `part`; returns the rank-ordered
+    /// concatenation.
+    pub fn all_gather(&self, part: &[f32]) -> Vec<f32> {
+        if self.group.size == 1 {
+            return part.to_vec();
+        }
+        *self.group.board[self.rank].lock().unwrap() = part.to_vec();
+        self.group.barrier.wait();
+        let mut out = Vec::with_capacity(part.len() * self.group.size);
+        for r in 0..self.group.size {
+            out.extend_from_slice(&self.group.board[r].lock().unwrap());
+        }
+        self.group.barrier.wait();
+        out
+    }
+
+    /// Broadcast `buf` from `root` to every rank, in place.
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        if self.group.size == 1 {
+            return;
+        }
+        if self.rank == root {
+            *self.group.board[root].lock().unwrap() = buf.to_vec();
+        }
+        self.group.barrier.wait();
+        if self.rank != root {
+            buf.copy_from_slice(&self.group.board[root].lock().unwrap());
+        }
+        self.group.barrier.wait();
+    }
+
+    /// Reduce-scatter: sum contributions, return this rank's `1/size` shard
+    /// (buffer length must divide evenly).
+    pub fn reduce_scatter_sum(&self, buf: &[f32]) -> Vec<f32> {
+        assert!(buf.len().is_multiple_of(self.group.size), "uneven reduce-scatter");
+        let chunk = buf.len() / self.group.size;
+        if self.group.size == 1 {
+            return buf.to_vec();
+        }
+        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
+        self.group.barrier.wait();
+        let lo = self.rank * chunk;
+        let mut out = vec![0.0f32; chunk];
+        for r in 0..self.group.size {
+            let other = self.group.board[r].lock().unwrap();
+            for (o, v) in out.iter_mut().zip(&other[lo..lo + chunk]) {
+                *o += v;
+            }
+        }
+        self.group.barrier.wait();
+        out
+    }
+
+    /// Pure synchronization barrier.
+    pub fn barrier(&self) {
+        self.group.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group<T: Send>(size: usize, f: impl Fn(GroupMember) -> T + Sync) -> Vec<T> {
+        let group = Group::new(size);
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|r| {
+                    let m = group.member(r);
+                    s.spawn(|| f(m))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn all_reduce_sums_and_is_identical() {
+        let results = run_group(4, |m| {
+            let mut buf = vec![m.rank() as f32, 1.0];
+            m.all_reduce_sum(&mut buf);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean() {
+        let results = run_group(4, |m| {
+            let mut buf = vec![(m.rank() * 2) as f32];
+            m.all_reduce_mean(&mut buf);
+            buf[0]
+        });
+        assert!(results.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn all_reduce_max_takes_elementwise_max() {
+        let results = run_group(3, |m| {
+            let mut buf = vec![m.rank() as f32, -(m.rank() as f32)];
+            m.all_reduce_max(&mut buf);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![2.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let results = run_group(3, |m| m.all_gather(&[m.rank() as f32 * 10.0]));
+        for r in &results {
+            assert_eq!(r, &vec![0.0, 10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = run_group(3, |m| {
+            let mut buf = if m.rank() == 1 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            m.broadcast(&mut buf, 1);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_shards() {
+        let results = run_group(2, |m| {
+            // rank r contributes [r, r, r, r].
+            let buf = vec![m.rank() as f32; 4];
+            (m.rank(), m.reduce_scatter_sum(&buf))
+        });
+        for (rank, shard) in results {
+            assert_eq!(shard, vec![1.0, 1.0], "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let results = run_group(1, |m| {
+            let mut buf = vec![3.0];
+            m.all_reduce_sum(&mut buf);
+            m.all_reduce_mean(&mut buf);
+            let g = m.all_gather(&buf);
+            (buf[0], g)
+        });
+        assert_eq!(results[0], (3.0, vec![3.0]));
+    }
+
+    #[test]
+    fn two_overlapping_group_families_stay_independent() {
+        // 4 threads arranged as two row-groups {0,1},{2,3} and two
+        // column-groups {0,2},{1,3} (the tensor/data group pattern):
+        // interleaved collectives on both families must not interfere.
+        use std::sync::Arc;
+        let rows = [Group::new(2), Group::new(2)];
+        let cols = [Group::new(2), Group::new(2)];
+        let results = thread::scope(|s| {
+            let handles: Vec<_> = (0..4usize)
+                .map(|id| {
+                    let (r, c) = (id / 2, id % 2);
+                    let rm = Arc::clone(&rows[r]).member(c);
+                    let cm = Arc::clone(&cols[c]).member(r);
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for round in 0..4 {
+                            let mut buf = vec![(id + round) as f32];
+                            rm.all_reduce_sum(&mut buf); // sums over the row
+                            let mut buf2 = vec![buf[0]];
+                            cm.all_reduce_sum(&mut buf2); // then over the column
+                            out.push(buf2[0]);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Row sums: r0 = (0+r)+(1+r), r1 = (2+r)+(3+r); column sum = total.
+        for res in &results {
+            for (round, v) in res.iter().enumerate() {
+                let want = (1 + 2 + 3 + 4 * round) as f32;
+                assert_eq!(*v, want, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let results = run_group(3, |m| {
+            let mut out = Vec::new();
+            for round in 0..5 {
+                let mut buf = vec![(m.rank() + round) as f32];
+                m.all_reduce_sum(&mut buf);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for r in &results {
+            assert_eq!(r, &vec![3.0, 6.0, 9.0, 12.0, 15.0]);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Thread-per-GPU distributed training runtime.
+//!
+//! Every "GPU" is an OS thread; collectives are real algorithms over shared
+//! memory (deterministic rank-ordered reductions, so every member of a
+//! group computes bit-identical results); pipeline stages exchange
+//! activations and gradients over channels. On top of that substrate this
+//! crate implements the paper's three parallelism axes *for real*:
+//!
+//! - **Tensor model parallelism** (§2.3): column-parallel QKV/fc1 and
+//!   row-parallel proj/fc2 with the conjugate `f`/`g` operators — two
+//!   all-reduces forward, two backward per layer ([`block`]).
+//! - **Pipeline model parallelism** (§2.2): the GPipe, 1F1B, and
+//!   interleaved 1F1B schedules from `megatron-schedule`, executed with
+//!   strict optimizer semantics (flush + synchronized step).
+//! - **Data parallelism** (§2.1): batch sharding with averaged gradient
+//!   all-reduce.
+//!
+//! The headline property, proven in this crate's tests and the workspace
+//! integration tests: for any (p, t, d) and schedule, PTD-P training
+//! computes the *same* losses and the *same* final weights as serial
+//! single-process training (up to f32 reduction rounding).
+
+pub mod assemble;
+pub mod block;
+pub mod comm;
+pub mod shard;
+pub mod trainer;
+pub mod two_bw;
+pub mod vocab;
+
+pub use comm::{Group, GroupMember};
+pub use trainer::{PtdpSpec, PtdpTrainer, TrainLog};

@@ -1,0 +1,538 @@
+//! PipeDream-2BW: pipeline parallelism *without* flushes (the relaxed
+//! weight-update semantics the paper's §2.2 explicitly defers to future
+//! work, and §6 discusses as related work).
+//!
+//! Instead of draining the pipeline at every batch boundary, microbatches
+//! stream continuously. Each stage double-buffers its weights: a microbatch
+//! runs forward *and* backward against the weight version that was current
+//! when it entered the stage, gradients accumulate per batch, and after a
+//! stage has seen all `m` backward passes of batch `k` it generates version
+//! `k+1` locally — no global synchronization, weight staleness bounded by
+//! one batch (`W(t+1) = W(t) − ν·∇f(W(t−1))`).
+//!
+//! Implemented for pure pipeline parallelism (`t = d = 1`), the setting the
+//! PipeDream-2BW paper analyzes. The tests verify: bounded staleness,
+//! convergence on a memorization task, agreement with synchronous training
+//! at `p = 1` (where 2BW degenerates to ordinary training), and the absence
+//! of pipeline flushes (in-flight microbatches from adjacent batches
+//! coexist).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use megatron_tensor::gpt::GptModel;
+use megatron_tensor::layers::cross_entropy;
+use megatron_tensor::{Adam, Matrix};
+
+use crate::comm::Group;
+use crate::trainer::{build_thread_model, PtdpSpec, ThreadModel};
+
+/// Configuration for a 2BW run.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoBwSpec {
+    /// Pipeline depth `p`.
+    pub pipeline: usize,
+    /// Microbatch size `b` (samples).
+    pub microbatch: usize,
+    /// Microbatches per batch `m` (one weight version per batch).
+    pub microbatches_per_batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+/// Outcome of a 2BW run.
+pub struct TwoBwLog {
+    /// Mean loss per batch (computed at the last stage).
+    pub losses: Vec<f32>,
+    /// Maximum observed weight staleness in batches (2BW guarantees ≤ 1).
+    pub max_staleness: usize,
+    /// Maximum number of *distinct batches* simultaneously in flight on any
+    /// stage (> 1 proves no flush separates batches).
+    pub max_concurrent_batches: usize,
+}
+
+/// One stage's double-buffered state.
+struct StageState {
+    /// Two weight versions; slot `k % 2` holds version `k`.
+    versions: [ThreadModel; 2],
+    /// Version id stored in each slot (`usize::MAX` = empty).
+    version_ids: [usize; 2],
+    adam: Adam,
+}
+
+impl StageState {
+    /// Latest available version id.
+    fn latest(&self) -> usize {
+        self.version_ids
+            .iter()
+            .copied()
+            .filter(|&v| v != usize::MAX)
+            .max()
+            .expect("at least version 0 exists")
+    }
+}
+
+/// Train with the 2BW no-flush schedule; `data` supplies one (tokens,
+/// targets) pair per *batch* (each `m·b·seq` long).
+pub fn train_2bw(master: &GptModel, spec: TwoBwSpec, data: &[(Vec<usize>, Vec<usize>)]) -> TwoBwLog {
+    let cfg = master.cfg;
+    let p = spec.pipeline;
+    let m = spec.microbatches_per_batch;
+    let b = spec.microbatch;
+    let seq = cfg.seq;
+    assert!(cfg.layers.is_multiple_of(p), "layers must divide into p stages");
+    for (toks, tgts) in data {
+        assert_eq!(toks.len(), m * b * seq, "each batch must hold m·b·seq tokens");
+        assert_eq!(tgts.len(), m * b * seq);
+    }
+    let n_batches = data.len();
+    let total_mbs = n_batches * m;
+
+    // Channels between adjacent stages.
+    let mut fwd_tx: Vec<Option<Sender<Matrix>>> = (0..p).map(|_| None).collect();
+    let mut fwd_rx: Vec<Option<Receiver<Matrix>>> = (0..p).map(|_| None).collect();
+    let mut bwd_tx: Vec<Option<Sender<Matrix>>> = (0..p).map(|_| None).collect();
+    let mut bwd_rx: Vec<Option<Receiver<Matrix>>> = (0..p).map(|_| None).collect();
+    for s in 0..p.saturating_sub(1) {
+        let (ftx, frx) = unbounded();
+        fwd_tx[s] = Some(ftx);
+        fwd_rx[s + 1] = Some(frx);
+        let (btx, brx) = unbounded();
+        bwd_tx[s + 1] = Some(btx);
+        bwd_rx[s] = Some(brx);
+    }
+
+    let losses = Arc::new(Mutex::new(vec![0.0f32; n_batches]));
+    let max_staleness = Arc::new(AtomicUsize::new(0));
+    let max_concurrent = Arc::new(AtomicUsize::new(0));
+    // A trivial (size-1) tensor group satisfies the block API.
+    let solo_groups: Vec<_> = (0..p).map(|_| Group::new(1)).collect();
+
+    // Base spec used to carve the master into stage shards (t = d = 1).
+    let base = PtdpSpec::new(p, 1, 1);
+
+    std::thread::scope(|scope| {
+        for pi in 0..p {
+            let fwd_in = fwd_rx[pi].take();
+            let fwd_out = fwd_tx[pi].take();
+            let bwd_in = bwd_rx[pi].take();
+            let bwd_out = bwd_tx[pi].take();
+            let losses = Arc::clone(&losses);
+            let max_staleness = Arc::clone(&max_staleness);
+            let max_concurrent = Arc::clone(&max_concurrent);
+            let tg = solo_groups[pi].member(0);
+            scope.spawn(move || {
+                let layers_per_stage = cfg.layers / p;
+                let last = pi == p - 1;
+                let mut state = StageState {
+                    versions: [
+                        build_thread_model(master, &base, pi, 0),
+                        build_thread_model(master, &base, pi, 0),
+                    ],
+                    version_ids: [0, usize::MAX],
+                    adam: Adam::new(spec.lr),
+                };
+
+                // Per-microbatch stash: (version slot, input, ...) plus
+                // per-batch gradient-completion counters.
+                struct Stash {
+                    slot: usize,
+                    input: Matrix,
+                }
+                let mut stash: HashMap<usize, Stash> = HashMap::new();
+                let mut done_backwards: HashMap<usize, usize> = HashMap::new();
+                let mut batch_loss = vec![0.0f32; n_batches];
+
+                // 1F1B without cooldown between batches: warm-up once, then
+                // strict alternation over the whole stream.
+                let warmup = (p - 1 - pi).min(total_mbs);
+                let mut next_f = 0usize;
+                let mut next_b = 0usize;
+
+                let mb_tokens = |mb: usize| {
+                    let (toks, _) = &data[mb / m];
+                    let lo = (mb % m) * b * seq;
+                    &toks[lo..lo + b * seq]
+                };
+                let mb_targets = |mb: usize| {
+                    let (_, tgts) = &data[mb / m];
+                    let lo = (mb % m) * b * seq;
+                    &tgts[lo..lo + b * seq]
+                };
+
+                let do_forward = |mb: usize,
+                                      state: &mut StageState,
+                                      stash: &mut HashMap<usize, Stash>,
+                                      batch_loss: &mut Vec<f32>| {
+                    let batch = mb / m;
+                    // 2BW: use the latest locally available version; record
+                    // staleness relative to the ideal W(batch−1).
+                    let version = state.latest();
+                    let ideal = batch.saturating_sub(1);
+                    max_staleness.fetch_max(ideal.saturating_sub(version), Ordering::Relaxed);
+                    let slot = version % 2;
+
+                    // Track distinct in-flight batches (flushlessness).
+                    let mut batches: Vec<usize> =
+                        stash.keys().map(|&k| k / m).collect();
+                    batches.push(batch);
+                    batches.sort_unstable();
+                    batches.dedup();
+                    max_concurrent.fetch_max(batches.len(), Ordering::Relaxed);
+
+                    let input = if pi == 0 {
+                        state.versions[slot]
+                            .embed
+                            .as_ref()
+                            .expect("stage 0 embed")
+                            .forward(mb_tokens(mb), seq, &tg)
+                    } else {
+                        fwd_in.as_ref().unwrap().recv().expect("fwd recv")
+                    };
+                    let mut x = input.clone();
+                    let mut caches = Vec::with_capacity(layers_per_stage);
+                    for blk in &state.versions[slot].chunks[0] {
+                        let (nx, c) = blk.forward(&x, b, seq, &tg);
+                        x = nx;
+                        caches.push(c);
+                    }
+                    if last {
+                        let head = state.versions[slot].head.as_ref().expect("head");
+                        let (loss, _) = head_loss(head, &x, mb_targets(mb), &tg);
+                        batch_loss[batch] += loss / m as f32;
+                    } else {
+                        fwd_out.as_ref().unwrap().send(x).expect("fwd send");
+                    }
+                    // Recompute-style stash: keep the input; rebuild caches
+                    // at backward time against the SAME version.
+                    drop(caches);
+                    stash.insert(mb, Stash { slot, input });
+                };
+
+                let do_backward = |mb: usize,
+                                       state: &mut StageState,
+                                       stash: &mut HashMap<usize, Stash>,
+                                       done_backwards: &mut HashMap<usize, usize>,
+                                       batch_loss: &Vec<f32>| {
+                    let batch = mb / m;
+                    let Stash { slot, input } = stash.remove(&mb).expect("fwd before bwd");
+                    // Rebuild activations against the stashed version.
+                    let mut x = input;
+                    let mut caches = Vec::with_capacity(layers_per_stage);
+                    {
+                        let model = &state.versions[slot];
+                        for blk in &model.chunks[0] {
+                            let (nx, c) = blk.forward(&x, b, seq, &tg);
+                            x = nx;
+                            caches.push(c);
+                        }
+                    }
+                    let mut dx = if last {
+                        let head = state.versions[slot].head.as_ref().expect("head");
+                        let (_, dlast) = head_loss(head, &x, mb_targets(mb), &tg);
+                        let head_mut = state.versions[slot].head.as_mut().expect("head");
+                        head_backward_2bw(head_mut, dlast, &tg)
+                    } else {
+                        bwd_in.as_ref().unwrap().recv().expect("bwd recv")
+                    };
+                    {
+                        let model = &mut state.versions[slot];
+                        for (blk, c) in model.chunks[0].iter_mut().zip(&caches).rev() {
+                            dx = blk.backward(c, &dx, b, seq, &tg);
+                        }
+                        if pi == 0 {
+                            model
+                                .embed
+                                .as_mut()
+                                .expect("embed")
+                                .backward(mb_tokens(mb), seq, &dx);
+                        }
+                    }
+                    if pi > 0 {
+                        bwd_out.as_ref().unwrap().send(dx).expect("bwd send");
+                    }
+
+                    let done = done_backwards.entry(batch).or_insert(0);
+                    *done += 1;
+                    if *done == m {
+                        // Generate version batch+1 from the version the
+                        // gradients were computed on (1-stale update).
+                        let inv_m = 1.0 / m as f32;
+                        let new_slot = (batch + 1) % 2;
+                        let old_slot = slot;
+                        // new params start from the freshest version's
+                        // params (which is `old_slot`'s: versions advance
+                        // one batch at a time).
+                        if new_slot != old_slot {
+                            let snapshot = snapshot_params(&mut state.versions[old_slot]);
+                            restore_params(&mut state.versions[new_slot], &snapshot);
+                        }
+                        {
+                            let model = &mut state.versions[old_slot];
+                            model.visit_grads(&mut |g| {
+                                for v in g.iter_mut() {
+                                    *v *= inv_m;
+                                }
+                            });
+                        }
+                        // Apply Adam to the new slot using old slot's grads.
+                        let grads = snapshot_grads(&mut state.versions[old_slot]);
+                        apply_update(&mut state.versions[new_slot], &grads, &mut state.adam);
+                        state.versions[old_slot].visit_grads(&mut |g| g.fill(0.0));
+                        state.versions[new_slot].visit_grads(&mut |g| g.fill(0.0));
+                        state.version_ids[new_slot] = batch + 1;
+                        if last {
+                            losses.lock().unwrap()[batch] = batch_loss[batch];
+                        }
+                    }
+                };
+
+                for _ in 0..warmup {
+                    do_forward(next_f, &mut state, &mut stash, &mut batch_loss);
+                    next_f += 1;
+                }
+                while next_b < total_mbs {
+                    if next_f < total_mbs {
+                        do_forward(next_f, &mut state, &mut stash, &mut batch_loss);
+                        next_f += 1;
+                    }
+                    do_backward(
+                        next_b,
+                        &mut state,
+                        &mut stash,
+                        &mut done_backwards,
+                        &batch_loss,
+                    );
+                    next_b += 1;
+                }
+            });
+        }
+    });
+
+    TwoBwLog {
+        losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
+        max_staleness: max_staleness.load(Ordering::Relaxed),
+        max_concurrent_batches: max_concurrent.load(Ordering::Relaxed),
+    }
+}
+
+fn head_loss(
+    head: &crate::trainer::HeadShard,
+    x: &Matrix,
+    targets: &[usize],
+    tg: &crate::comm::GroupMember,
+) -> (f32, (megatron_tensor::layers::LayerNormCache, Matrix, Matrix)) {
+    let _ = tg;
+    match head {
+        crate::trainer::HeadShard::Replicated(ln, lm) => {
+            let (hf, ln_cache) = ln.forward(x);
+            let logits = lm.forward(&hf);
+            let (loss, dlogits) = cross_entropy(&logits, targets);
+            (loss, (ln_cache, hf, dlogits))
+        }
+        crate::trainer::HeadShard::VocabParallel(..) => {
+            unreachable!("2BW runs with t = 1 (replicated head)")
+        }
+    }
+}
+
+fn head_backward_2bw(
+    head: &mut crate::trainer::HeadShard,
+    cache: (megatron_tensor::layers::LayerNormCache, Matrix, Matrix),
+    _tg: &crate::comm::GroupMember,
+) -> Matrix {
+    let (ln_cache, hf, dlogits) = cache;
+    match head {
+        crate::trainer::HeadShard::Replicated(ln, lm) => {
+            let dhf = lm.backward(&hf, &dlogits);
+            ln.backward(&ln_cache, &dhf)
+        }
+        crate::trainer::HeadShard::VocabParallel(..) => unreachable!(),
+    }
+}
+
+fn snapshot_params(model: &mut ThreadModel) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| out.extend_from_slice(p));
+    out
+}
+
+fn restore_params(model: &mut ThreadModel, snapshot: &[f32]) {
+    let mut off = 0;
+    model.visit_params(&mut |p| {
+        p.copy_from_slice(&snapshot[off..off + p.len()]);
+        off += p.len();
+    });
+    assert_eq!(off, snapshot.len());
+}
+
+fn snapshot_grads(model: &mut ThreadModel) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit_grads(&mut |g| out.extend_from_slice(g));
+    out
+}
+
+fn apply_update(model: &mut ThreadModel, grads: &[f32], adam: &mut Adam) {
+    // Borrow all params mutably, pair with the gradient snapshot.
+    let mut off = 0;
+    let mut grads_owned = grads.to_vec();
+    let mut pairs: Vec<(*mut [f32], (usize, usize))> = Vec::new();
+    model.visit_params(&mut |p| {
+        pairs.push((p as *mut [f32], (off, off + p.len())));
+        off += p.len();
+    });
+    assert_eq!(off, grads.len());
+    let mut step_pairs: Vec<(&mut [f32], &mut [f32])> = pairs
+        .into_iter()
+        .map(|(p, (lo, hi))| {
+            // SAFETY: visit_params yields disjoint borrows; grads slices are
+            // disjoint ranges of one buffer.
+            let params = unsafe { &mut *p };
+            let g = unsafe {
+                std::slice::from_raw_parts_mut(grads_owned.as_mut_ptr().add(lo), hi - lo)
+            };
+            (params, g)
+        })
+        .collect();
+    adam.step(&mut step_pairs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megatron_tensor::gpt::TinyGptConfig;
+    use rand::SeedableRng;
+
+    fn cfg() -> TinyGptConfig {
+        TinyGptConfig {
+            vocab: 16,
+            seq: 6,
+            hidden: 8,
+            heads: 2,
+            layers: 4,
+        }
+    }
+
+    fn memorization_data(
+        c: TinyGptConfig,
+        m: usize,
+        b: usize,
+        batches: usize,
+    ) -> Vec<(Vec<usize>, Vec<usize>)> {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(111);
+        let toks: Vec<usize> = (0..m * b * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
+        let tgts: Vec<usize> = (0..m * b * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
+        (0..batches).map(|_| (toks.clone(), tgts.clone())).collect()
+    }
+
+    #[test]
+    fn staleness_is_bounded_by_one() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let master = GptModel::new(c, &mut rng);
+        let spec = TwoBwSpec {
+            pipeline: 2,
+            microbatch: 1,
+            microbatches_per_batch: 4,
+            lr: 0.01,
+        };
+        let data = memorization_data(c, 4, 1, 6);
+        let log = train_2bw(&master, spec, &data);
+        assert!(
+            log.max_staleness <= 1,
+            "2BW guarantees 1-stale updates, saw {}",
+            log.max_staleness
+        );
+    }
+
+    #[test]
+    fn batches_overlap_without_flush() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let master = GptModel::new(c, &mut rng);
+        let spec = TwoBwSpec {
+            pipeline: 4,
+            microbatch: 1,
+            microbatches_per_batch: 2, // m < p forces cross-batch overlap
+            lr: 0.01,
+        };
+        let data = memorization_data(c, 2, 1, 8);
+        let log = train_2bw(&master, spec, &data);
+        assert!(
+            log.max_concurrent_batches >= 2,
+            "no-flush schedule must interleave adjacent batches, saw {}",
+            log.max_concurrent_batches
+        );
+    }
+
+    #[test]
+    fn converges_on_memorization() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let master = GptModel::new(c, &mut rng);
+        let spec = TwoBwSpec {
+            pipeline: 2,
+            microbatch: 1,
+            microbatches_per_batch: 4,
+            lr: 0.02,
+        };
+        let data = memorization_data(c, 4, 1, 25);
+        let log = train_2bw(&master, spec, &data);
+        let first = log.losses[0];
+        let last = *log.losses.last().unwrap();
+        assert!(
+            last < first * 0.6,
+            "2BW should still converge: {first} -> {last} ({:?})",
+            log.losses
+        );
+    }
+
+    #[test]
+    fn single_stage_matches_synchronous_training() {
+        // p = 1: no staleness, 2BW degenerates to ordinary training.
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let master = GptModel::new(c, &mut rng);
+        let (m, b) = (2usize, 2usize);
+        let data = memorization_data(c, m, b, 5);
+        let spec = TwoBwSpec {
+            pipeline: 1,
+            microbatch: b,
+            microbatches_per_batch: m,
+            lr: 0.01,
+        };
+        let log = train_2bw(&master, spec, &data);
+
+        // Synchronous reference with the same microbatching.
+        let mut sync = master.clone();
+        let mut adam = Adam::new(0.01);
+        let mut sync_losses = Vec::new();
+        for (toks, tgts) in &data {
+            sync.zero_grads();
+            let mut loss = 0.0;
+            for mb in 0..m {
+                let lo = mb * b * c.seq;
+                loss += sync.loss_and_grad(
+                    &toks[lo..lo + b * c.seq],
+                    &tgts[lo..lo + b * c.seq],
+                    b,
+                ) / m as f32;
+            }
+            sync.visit(&mut |_, g| {
+                for v in g.iter_mut() {
+                    *v /= m as f32;
+                }
+            });
+            let mut pairs = sync.param_grad_pairs();
+            adam.step(&mut pairs);
+            sync_losses.push(loss);
+        }
+        for (i, (a, b2)) in log.losses.iter().zip(&sync_losses).enumerate() {
+            assert!((a - b2).abs() < 1e-4, "batch {i}: 2bw {a} vs sync {b2}");
+        }
+        assert_eq!(log.max_staleness, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Transformer (GPT) model descriptions.
+//!
+//! Everything the rest of the system needs to know about a model, derived
+//! from the five architectural knobs the paper uses (§5): number of layers
+//! `l`, hidden size `h`, attention heads `a`, sequence length `s`, and
+//! vocabulary size `V`.
+//!
+//! - [`GptConfig`]: the configuration plus exact and closed-form (paper
+//!   Eq. 2) parameter counts and FLOP counts (paper Eq. 3 and the appendix
+//!   breakdown).
+//! - [`zoo`]: every named model in the paper's evaluation (Table 1 rows,
+//!   GPT-3 175B, the 530B/162B/91B/5.9B/145B microbenchmark models).
+//! - [`ops`]: per-layer operation lists (GEMMs, element-wise kernels,
+//!   tensor-parallel all-reduces) for a given microbatch size and
+//!   tensor-parallel degree — the input to the compute-time model.
+//! - [`memory`]: weight/gradient/optimizer-state and activation memory
+//!   accounting, including the §3.5 activation-recomputation model.
+
+mod config;
+pub mod memory;
+pub mod ops;
+pub mod zoo;
+
+pub use config::GptConfig;
+
+/// Bytes per element in mixed-precision training (fp16 activations/weights).
+pub const BYTES_FP16: u64 = 2;
+/// Bytes per element for fp32 master state.
+pub const BYTES_FP32: u64 = 4;

@@ -1,0 +1,299 @@
+//! The paper's configuration heuristics (§3 Takeaways #1–#3).
+//!
+//! The paper deliberately does not search the full strategy space (unlike
+//! FlexFlow/PipeDream/DAPPLE); it offers heuristics "that we found work well
+//! in practice". This module encodes them:
+//!
+//! - **Takeaway #1**: tensor parallelism up to the node size `g`, pipeline
+//!   parallelism beyond that.
+//! - **Takeaway #2**: total model-parallel size `M = t·p` just large enough
+//!   for the model state + activations to fit; data parallelism scales out
+//!   the rest.
+//! - **Takeaway #3**: microbatch size chosen per problem by balancing
+//!   arithmetic intensity against pipeline-bubble growth (Eq. 1).
+
+use megatron_cluster::ClusterSpec;
+use megatron_model::ops::{self, OpListParams};
+use megatron_model::GptConfig;
+
+use crate::analysis;
+use crate::ParallelConfig;
+
+/// Fraction of device memory the heuristic treats as usable for model state
+/// and stashed activations. The rest is the practical overhead a real run
+/// pays: CUDA context, NCCL communication buffers, cuBLAS workspaces,
+/// allocator fragmentation, and the transient peak of the recomputation
+/// forward pass. 0.62 × 80 GB ≈ 50 GB reproduces every (t, p) choice in the
+/// paper's Table 1.
+pub const USABLE_MEMORY_FRACTION: f64 = 0.62;
+
+/// Per-device, per-microbatch forward and backward times (all layers a
+/// device owns), including tensor-parallel all-reduces and the
+/// recomputation forward pass if enabled. This is the `t_f(b)` / `t_b(b)`
+/// pair Eq. 1 consumes.
+pub fn stage_times(
+    model: &GptConfig,
+    cluster: &ClusterSpec,
+    p: u64,
+    t: u64,
+    b: u64,
+    fused: bool,
+    recompute: bool,
+) -> (f64, f64) {
+    let params = OpListParams {
+        microbatch: b,
+        tensor_parallel: t,
+        fused,
+    };
+    let layers_per_device = (model.num_layers as f64) / (p as f64);
+    let gpu = &cluster.gpu;
+
+    let (fwd_cost, fwd_ar) = ops::price_local(&ops::layer_forward(model, params), gpu);
+    let (bwd_cost, bwd_ar) = ops::price_local(&ops::layer_backward(model, params), gpu);
+    let ar = |bytes: u64| intra_node_all_reduce_time(cluster, t, bytes as f64);
+
+    let mut t_f = fwd_cost.seconds + ar(fwd_ar);
+    let mut t_b = bwd_cost.seconds + ar(bwd_ar);
+    if recompute {
+        t_b += t_f;
+    }
+    t_f *= layers_per_device;
+    t_b *= layers_per_device;
+    (t_f, t_b)
+}
+
+/// Ring all-reduce time over `t` ranks inside one node (NVLink):
+/// `2(t−1)·(λ + bytes/(t·β))`. Matches `megatron_net::analytical` for
+/// intra-node groups; duplicated here so the configuration layer stays free
+/// of the event-simulation stack.
+fn intra_node_all_reduce_time(cluster: &ClusterSpec, t: u64, bytes: f64) -> f64 {
+    if t <= 1 {
+        return 0.0;
+    }
+    let steps = 2.0 * (t as f64 - 1.0);
+    steps * (cluster.node.nvlink_latency + bytes / (t as f64 * cluster.node.nvlink_bandwidth))
+}
+
+/// Why no configuration could be suggested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoValidConfig {
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for NoValidConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no valid PTD-P configuration: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NoValidConfig {}
+
+/// Suggest `(p, t, d, b)` for `model` on `cluster` at global batch `batch`,
+/// following the takeaways. Interleaving (`chunks`) is left at 1; callers
+/// wanting the §2.2.2 schedule can raise it afterwards (subject to
+/// divisibility).
+pub fn suggest_config(
+    model: &GptConfig,
+    cluster: &ClusterSpec,
+    batch: u64,
+) -> Result<ParallelConfig, NoValidConfig> {
+    let n = cluster.total_gpus() as u64;
+    let g = cluster.node.gpus_per_node as u64;
+    let capacity = (cluster.gpu.mem_capacity as f64 * USABLE_MEMORY_FRACTION) as u64;
+
+    // Candidate tensor sizes: powers of two up to the node size that divide
+    // the attention heads (Takeaway #1 keeps t inside a node).
+    let t_candidates: Vec<u64> = (0..)
+        .map(|i| 1u64 << i)
+        .take_while(|&t| t <= g)
+        .filter(|&t| model.num_heads.is_multiple_of(t) && (4 * model.hidden_size).is_multiple_of(t))
+        .collect();
+
+    // Enumerate (t, p) by increasing model-parallel size, larger t first
+    // (Takeaway #1), and take the first that fits in memory with b = 1
+    // (Takeaway #2).
+    let mut candidates: Vec<(u64, u64)> = Vec::new();
+    for &t in &t_candidates {
+        for p in 1..=(n / t) {
+            if !model.num_layers.is_multiple_of(p) || (t * p > n) || !n.is_multiple_of(t * p) {
+                continue;
+            }
+            let d = n / (t * p);
+            if !batch.is_multiple_of(d) {
+                continue;
+            }
+            candidates.push((t, p));
+        }
+    }
+    candidates.sort_by_key(|&(t, p)| (t * p, std::cmp::Reverse(t)));
+
+    let chosen = candidates
+        .iter()
+        .find(|&&(t, p)| {
+            let d = n / (t * p);
+            let c = ParallelConfig::new(p, t, d, 1, batch);
+            c.validate_for_model(model, n, capacity, true).is_ok()
+        })
+        .copied()
+        .ok_or_else(|| NoValidConfig {
+            reason: format!(
+                "model {} does not fit on {n} GPUs at any (t ≤ {g}, p ≤ {n}) combination",
+                model.name
+            ),
+        })?;
+
+    let (t, p) = chosen;
+    let d = n / (t * p);
+
+    // Takeaway #3: pick b minimizing Eq. 1 among microbatch sizes that keep
+    // the batch divisible and the memory within capacity.
+    let b_prime = batch / d;
+    let mut best: Option<(u64, f64)> = None;
+    for b in [1u64, 2, 4, 8, 16] {
+        if !b_prime.is_multiple_of(b) {
+            continue;
+        }
+        let c = ParallelConfig::new(p, t, d, b, batch);
+        if c.validate_for_model(model, n, capacity, true).is_err() {
+            continue;
+        }
+        let (tf, tb) = stage_times(model, cluster, p, t, b, true, true);
+        let time = analysis::eq1_batch_time(b_prime, b, p, |_| tf, |_| tb);
+        if best.is_none_or(|(_, t0)| time < t0) {
+            best = Some((b, time));
+        }
+    }
+    let (b, _) = best.ok_or_else(|| NoValidConfig {
+        reason: "no microbatch size fits".to_string(),
+    })?;
+
+    Ok(ParallelConfig::new(p, t, d, b, batch))
+}
+
+/// Exhaustively enumerate all valid configurations (for the ablation that
+/// checks the heuristic against brute force). Returns configs with b = 1;
+/// microbatch refinement is orthogonal.
+pub fn enumerate_configs(model: &GptConfig, cluster: &ClusterSpec, batch: u64) -> Vec<ParallelConfig> {
+    let n = cluster.total_gpus() as u64;
+    let capacity = cluster.gpu.mem_capacity;
+    let mut out = Vec::new();
+    for t in 1..=n {
+        if !n.is_multiple_of(t) {
+            continue;
+        }
+        for p in 1..=(n / t) {
+            if !(n / t).is_multiple_of(p) {
+                continue;
+            }
+            let d = n / (t * p);
+            let c = ParallelConfig::new(p, t, d, 1, batch);
+            if c.validate_for_model(model, n, capacity, true).is_ok() {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megatron_model::zoo;
+
+    #[test]
+    fn small_model_gets_pure_data_parallelism() {
+        // Table 1 row 1: 1.7B on 32 GPUs → (t, p) = (1, 1).
+        let cluster = ClusterSpec::selene(32);
+        let row = &zoo::table1()[0];
+        let c = suggest_config(&row.config, &cluster, row.batch_size).unwrap();
+        assert_eq!((c.tensor, c.pipeline), (1, 1));
+        assert_eq!(c.data, 32);
+    }
+
+    #[test]
+    fn medium_models_grow_tensor_parallelism_first() {
+        // Table 1 rows 2–4 use t ∈ {2, 4, 8} with p = 1.
+        for (i, want_t) in [(1usize, 2u64), (2, 4), (3, 8)] {
+            let row = &zoo::table1()[i];
+            let cluster = ClusterSpec::selene(row.n_gpus as usize);
+            let c = suggest_config(&row.config, &cluster, row.batch_size).unwrap();
+            assert_eq!(c.pipeline, 1, "{}", row.config.name);
+            assert_eq!(c.tensor, want_t, "{}", row.config.name);
+        }
+    }
+
+    #[test]
+    fn large_models_add_pipeline_parallelism() {
+        // Table 1 row 7 (145.6B, 1536 GPUs): paper used (t, p) = (8, 8).
+        let row = &zoo::table1()[6];
+        let cluster = ClusterSpec::selene(row.n_gpus as usize);
+        let c = suggest_config(&row.config, &cluster, row.batch_size).unwrap();
+        assert_eq!(c.tensor, 8);
+        assert!(c.pipeline >= 4, "expect deep pipeline, got p={}", c.pipeline);
+        c.validate_for_model(
+            &row.config,
+            row.n_gpus,
+            cluster.gpu.mem_capacity,
+            true,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn trillion_parameter_model_on_3072_gpus() {
+        let row = &zoo::table1()[9];
+        let cluster = ClusterSpec::selene(3072);
+        let c = suggest_config(&row.config, &cluster, row.batch_size).unwrap();
+        assert_eq!(c.tensor, 8, "Takeaway #1: t = node size");
+        assert!(c.pipeline >= 32, "needs deep pipeline, got {}", c.pipeline);
+        assert_eq!(c.n_gpus(), 3072);
+    }
+
+    #[test]
+    fn impossible_model_is_rejected() {
+        // A trillion-parameter model on 8 GPUs cannot fit.
+        let cluster = ClusterSpec::selene(8);
+        assert!(suggest_config(&zoo::gpt_1t(), &cluster, 8).is_err());
+    }
+
+    #[test]
+    fn stage_times_scale_with_microbatch() {
+        let cluster = ClusterSpec::selene(64);
+        let model = zoo::gpt_5p9b();
+        let (f1, b1) = stage_times(&model, &cluster, 2, 2, 1, true, true);
+        let (f4, b4) = stage_times(&model, &cluster, 2, 2, 4, true, true);
+        // 4× the samples in less than 4× the time (better utilization).
+        assert!(f4 < 4.0 * f1 && f4 > f1);
+        assert!(b4 < 4.0 * b1 && b4 > b1);
+    }
+
+    #[test]
+    fn backward_slower_than_forward() {
+        let cluster = ClusterSpec::selene(64);
+        let model = zoo::gpt_5p9b();
+        let (f, b) = stage_times(&model, &cluster, 2, 2, 2, true, false);
+        assert!(b > 1.5 * f && b < 3.0 * f, "t_b/t_f = {}", b / f);
+    }
+
+    #[test]
+    fn recompute_adds_a_forward_to_backward() {
+        let cluster = ClusterSpec::selene(64);
+        let model = zoo::gpt_5p9b();
+        let (f, b_no) = stage_times(&model, &cluster, 2, 2, 2, true, false);
+        let (_, b_yes) = stage_times(&model, &cluster, 2, 2, 2, true, true);
+        assert!((b_yes - b_no - f).abs() / f < 1e-9);
+    }
+
+    #[test]
+    fn enumerate_includes_heuristic_choice() {
+        let cluster = ClusterSpec::selene(64);
+        let model = zoo::gpt_5p9b();
+        let all = enumerate_configs(&model, &cluster, 128);
+        let pick = suggest_config(&model, &cluster, 128).unwrap();
+        assert!(all
+            .iter()
+            .any(|c| (c.pipeline, c.tensor, c.data) == (pick.pipeline, pick.tensor, pick.data)));
+        assert!(all.len() > 5, "5.9B model should admit many configs");
+    }
+}

@@ -1,0 +1,207 @@
+//! Rank ↔ coordinate mapping and process-group enumeration.
+//!
+//! Megatron's placement order puts tensor-parallel ranks innermost
+//! (contiguous global ranks → same node when `t ≤` GPUs per node), then
+//! data-parallel, then pipeline-parallel outermost:
+//!
+//! `rank = pipeline · (t·d) + data · t + tensor`
+//!
+//! With this layout on 8-GPU nodes and `t = 8`:
+//! - a tensor group is exactly one node (all-reduce over NVLink — Takeaway #1);
+//! - a data group strides by `t`, so each hop lands on the same local GPU
+//!   index of another node and rides that GPU's own InfiniBand HCA;
+//! - consecutive pipeline stages occupy different nodes (point-to-point over
+//!   InfiniBand, the cheap kind of cross-node traffic).
+
+use serde::{Deserialize, Serialize};
+
+/// Logical coordinate of a GPU in the PTD-P grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Pipeline stage index, `0..p`.
+    pub pipeline: u64,
+    /// Data-parallel replica index, `0..d`.
+    pub data: u64,
+    /// Tensor-parallel rank, `0..t`.
+    pub tensor: u64,
+}
+
+/// Bijective map between global ranks and [`Coord`]s for a `(p, t, d)` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankMapper {
+    /// Pipeline-parallel size.
+    pub p: u64,
+    /// Tensor-parallel size.
+    pub t: u64,
+    /// Data-parallel size.
+    pub d: u64,
+}
+
+impl RankMapper {
+    /// Build a mapper; panics on zero sizes.
+    pub fn new(p: u64, t: u64, d: u64) -> Self {
+        assert!(p > 0 && t > 0 && d > 0, "sizes must be positive");
+        RankMapper { p, t, d }
+    }
+
+    /// Total ranks `n = p·t·d`.
+    pub fn n(&self) -> u64 {
+        self.p * self.t * self.d
+    }
+
+    /// Global rank of a coordinate.
+    pub fn rank(&self, c: Coord) -> u64 {
+        debug_assert!(c.pipeline < self.p && c.data < self.d && c.tensor < self.t);
+        c.pipeline * (self.t * self.d) + c.data * self.t + c.tensor
+    }
+
+    /// Coordinate of a global rank.
+    pub fn coord(&self, rank: u64) -> Coord {
+        debug_assert!(rank < self.n());
+        let per_stage = self.t * self.d;
+        Coord {
+            pipeline: rank / per_stage,
+            data: (rank % per_stage) / self.t,
+            tensor: rank % self.t,
+        }
+    }
+
+    /// The `t` ranks of one tensor-parallel group (fixed pipeline stage and
+    /// data replica), in tensor-rank order.
+    pub fn tensor_group(&self, pipeline: u64, data: u64) -> Vec<usize> {
+        (0..self.t)
+            .map(|tensor| {
+                self.rank(Coord {
+                    pipeline,
+                    data,
+                    tensor,
+                }) as usize
+            })
+            .collect()
+    }
+
+    /// The `p` ranks of one pipeline group (fixed data replica and tensor
+    /// rank), in stage order.
+    pub fn pipeline_group(&self, data: u64, tensor: u64) -> Vec<usize> {
+        (0..self.p)
+            .map(|pipeline| {
+                self.rank(Coord {
+                    pipeline,
+                    data,
+                    tensor,
+                }) as usize
+            })
+            .collect()
+    }
+
+    /// The `d` ranks of one data-parallel group (fixed pipeline stage and
+    /// tensor rank), in replica order.
+    pub fn data_group(&self, pipeline: u64, tensor: u64) -> Vec<usize> {
+        (0..self.d)
+            .map(|data| {
+                self.rank(Coord {
+                    pipeline,
+                    data,
+                    tensor,
+                }) as usize
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bijective() {
+        let m = RankMapper::new(4, 8, 3);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..m.n() {
+            let c = m.coord(r);
+            assert_eq!(m.rank(c), r);
+            assert!(seen.insert((c.pipeline, c.data, c.tensor)));
+        }
+        assert_eq!(seen.len() as u64, m.n());
+    }
+
+    #[test]
+    fn tensor_groups_are_contiguous() {
+        let m = RankMapper::new(2, 8, 2);
+        assert_eq!(m.tensor_group(0, 0), (0..8).collect::<Vec<_>>());
+        assert_eq!(m.tensor_group(0, 1), (8..16).collect::<Vec<_>>());
+        assert_eq!(m.tensor_group(1, 0), (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tensor_group_fits_one_node_when_t_is_8() {
+        // Takeaway #1 placement: every tensor group within one 8-GPU node.
+        let m = RankMapper::new(4, 8, 4);
+        for p in 0..4 {
+            for d in 0..4 {
+                let g = m.tensor_group(p, d);
+                let node = g[0] / 8;
+                assert!(g.iter().all(|&r| r / 8 == node), "group {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_group_strides_by_t() {
+        let m = RankMapper::new(2, 8, 4);
+        assert_eq!(m.data_group(0, 3), vec![3, 11, 19, 27]);
+    }
+
+    #[test]
+    fn data_group_same_local_gpu_index() {
+        // Each data-parallel ring hop uses the same local GPU slot (its own
+        // HCA) on a different node.
+        let m = RankMapper::new(2, 8, 4);
+        for t in 0..8 {
+            let g = m.data_group(1, t);
+            let local = g[0] % 8;
+            assert!(g.iter().all(|&r| r % 8 == local));
+            let mut nodes: Vec<usize> = g.iter().map(|&r| r / 8).collect();
+            nodes.dedup();
+            assert_eq!(nodes.len(), g.len(), "all replicas on distinct nodes");
+        }
+    }
+
+    #[test]
+    fn pipeline_group_strides_by_td() {
+        let m = RankMapper::new(4, 8, 2);
+        assert_eq!(m.pipeline_group(1, 2), vec![10, 26, 42, 58]);
+    }
+
+    #[test]
+    fn groups_partition_all_ranks() {
+        let m = RankMapper::new(3, 4, 5);
+        let mut count = vec![0u32; m.n() as usize];
+        for p in 0..m.p {
+            for d in 0..m.d {
+                for r in m.tensor_group(p, d) {
+                    count[r] += 1;
+                }
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "tensor groups partition");
+        let mut count = vec![0u32; m.n() as usize];
+        for d in 0..m.d {
+            for t in 0..m.t {
+                for r in m.pipeline_group(d, t) {
+                    count[r] += 1;
+                }
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "pipeline groups partition");
+        let mut count = vec![0u32; m.n() as usize];
+        for p in 0..m.p {
+            for t in 0..m.t {
+                for r in m.data_group(p, t) {
+                    count[r] += 1;
+                }
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "data groups partition");
+    }
+}

@@ -1,0 +1,270 @@
+//! Schedule generators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Pass, PipeOp, PipelineSchedule};
+
+/// Which pipeline schedule to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// All forwards then all backwards (Figure 3).
+    GPipe,
+    /// PipeDream-Flush one-forward-one-backward (Figure 4, top).
+    OneFOneB,
+    /// Interleaved 1F1B with `chunks` model chunks per device (Figure 4,
+    /// bottom). Requires `m` to be a multiple of `p` when `chunks > 1`.
+    Interleaved {
+        /// Model chunks per device, `v ≥ 1`.
+        chunks: usize,
+    },
+}
+
+impl ScheduleKind {
+    /// Model chunks per device for this schedule.
+    pub fn chunks(self) -> usize {
+        match self {
+            ScheduleKind::Interleaved { chunks } => chunks,
+            _ => 1,
+        }
+    }
+
+    /// Build the schedule for `p` devices and `m` microbatches.
+    ///
+    /// # Panics
+    /// If `p == 0`, `m == 0`, `chunks == 0`, or (interleaved with v > 1)
+    /// `m % p != 0` — the §2.2.2 divisibility requirement.
+    pub fn build(self, p: usize, m: usize) -> PipelineSchedule {
+        assert!(p > 0 && m > 0, "need p > 0 and m > 0");
+        let ops = match self {
+            ScheduleKind::GPipe => gpipe(p, m),
+            ScheduleKind::OneFOneB => one_f_one_b(p, m),
+            ScheduleKind::Interleaved { chunks } => {
+                assert!(chunks > 0, "need at least one chunk");
+                if chunks == 1 {
+                    one_f_one_b(p, m)
+                } else {
+                    assert!(
+                        m.is_multiple_of(p),
+                        "interleaved schedule requires m ({m}) to be a multiple of p ({p})"
+                    );
+                    interleaved(p, m, chunks)
+                }
+            }
+        };
+        PipelineSchedule {
+            devices: p,
+            microbatches: m,
+            chunks: self.chunks(),
+            ops,
+        }
+    }
+}
+
+fn fwd(microbatch: usize, chunk: usize) -> PipeOp {
+    PipeOp {
+        microbatch,
+        chunk,
+        pass: Pass::Forward,
+    }
+}
+
+fn bwd(microbatch: usize, chunk: usize) -> PipeOp {
+    PipeOp {
+        microbatch,
+        chunk,
+        pass: Pass::Backward,
+    }
+}
+
+/// GPipe: every device runs all m forwards, then all m backwards (backwards
+/// in reverse microbatch order — LIFO activation stash).
+fn gpipe(p: usize, m: usize) -> Vec<Vec<PipeOp>> {
+    (0..p)
+        .map(|_| {
+            let mut prog = Vec::with_capacity(2 * m);
+            prog.extend((0..m).map(|i| fwd(i, 0)));
+            prog.extend((0..m).rev().map(|i| bwd(i, 0)));
+            prog
+        })
+        .collect()
+}
+
+/// PipeDream-Flush: device `r` warms up with `min(m, p−1−r)` forwards, then
+/// alternates forward/backward, then drains remaining backwards.
+fn one_f_one_b(p: usize, m: usize) -> Vec<Vec<PipeOp>> {
+    (0..p)
+        .map(|r| {
+            let warmup = (p - 1 - r).min(m);
+            let mut prog = Vec::with_capacity(2 * m);
+            let mut next_f = 0;
+            let mut next_b = 0;
+            for _ in 0..warmup {
+                prog.push(fwd(next_f, 0));
+                next_f += 1;
+            }
+            while next_b < m {
+                if next_f < m {
+                    prog.push(fwd(next_f, 0));
+                    next_f += 1;
+                }
+                prog.push(bwd(next_b, 0));
+                next_b += 1;
+            }
+            prog
+        })
+        .collect()
+}
+
+/// Interleaved 1F1B (Megatron's schedule): the *virtual* microbatch sequence
+/// walks chunks in groups of `p` microbatches; warm-up length per device is
+/// `2(p−1−r) + (v−1)·p`, after which the device alternates one virtual
+/// forward with one virtual backward.
+fn interleaved(p: usize, m: usize, v: usize) -> Vec<Vec<PipeOp>> {
+    let total = m * v;
+    // Virtual forward sequence index -> (microbatch, chunk).
+    let fwd_slot = |k: usize| -> (usize, usize) {
+        let in_group = k % (p * v);
+        let chunk = in_group / p;
+        let mb = (k / (p * v)) * p + (k % p);
+        (mb, chunk)
+    };
+    // Virtual backward sequence walks chunks in reverse.
+    let bwd_slot = |k: usize| -> (usize, usize) {
+        let in_group = k % (p * v);
+        let chunk = v - 1 - in_group / p;
+        let mb = (k / (p * v)) * p + (k % p);
+        (mb, chunk)
+    };
+    (0..p)
+        .map(|r| {
+            let warmup = if m == p {
+                total
+            } else {
+                (2 * (p - 1 - r) + (v - 1) * p).min(total)
+            };
+            let mut prog = Vec::with_capacity(2 * total);
+            let mut kf = 0;
+            let mut kb = 0;
+            for _ in 0..warmup {
+                let (mb, c) = fwd_slot(kf);
+                prog.push(fwd(mb, c));
+                kf += 1;
+            }
+            while kb < total {
+                if kf < total {
+                    let (mb, c) = fwd_slot(kf);
+                    prog.push(fwd(mb, c));
+                    kf += 1;
+                }
+                let (mb, c) = bwd_slot(kb);
+                prog.push(bwd(mb, c));
+                kb += 1;
+            }
+            prog
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpipe_program_shape() {
+        let s = ScheduleKind::GPipe.build(4, 8);
+        for prog in &s.ops {
+            assert_eq!(prog.len(), 16);
+            assert!(prog[..8].iter().all(|o| o.pass == Pass::Forward));
+            assert!(prog[8..].iter().all(|o| o.pass == Pass::Backward));
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_warmup_depths() {
+        let p = 4;
+        let s = ScheduleKind::OneFOneB.build(p, 8);
+        for (r, prog) in s.ops.iter().enumerate() {
+            let warmup = prog.iter().take_while(|o| o.pass == Pass::Forward).count();
+            // Device r starts its first backward after p−r forwards... the
+            // program interleaves one more forward before the first backward
+            // (the steady-state F), so leading forwards = warmup + 1 when
+            // warmup < m.
+            assert_eq!(warmup, (p - 1 - r) + 1, "device {r}");
+        }
+    }
+
+    #[test]
+    fn last_stage_alternates_strictly() {
+        let s = ScheduleKind::OneFOneB.build(4, 6);
+        let prog = &s.ops[3];
+        for (i, op) in prog.iter().enumerate() {
+            let want = if i % 2 == 0 { Pass::Forward } else { Pass::Backward };
+            assert_eq!(op.pass, want, "op {i}");
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_with_m_less_than_p() {
+        // m < p: warm-up capped at m, schedule must still be complete.
+        let s = ScheduleKind::OneFOneB.build(8, 2);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn interleaved_covers_all_chunks() {
+        let s = ScheduleKind::Interleaved { chunks: 2 }.build(4, 8);
+        for prog in &s.ops {
+            assert_eq!(prog.len(), 2 * 8 * 2);
+            for c in 0..2 {
+                for mb in 0..8 {
+                    assert!(prog.iter().any(|o| o.microbatch == mb
+                        && o.chunk == c
+                        && o.pass == Pass::Forward));
+                    assert!(prog.iter().any(|o| o.microbatch == mb
+                        && o.chunk == c
+                        && o.pass == Pass::Backward));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_warmup_walks_chunks_in_groups_of_p() {
+        let (p, v) = (4, 2);
+        let s = ScheduleKind::Interleaved { chunks: v }.build(p, 8);
+        // Device 0's first p forwards are chunk 0, microbatches 0..p; the
+        // next p are chunk 1, microbatches 0..p.
+        let prog = &s.ops[0];
+        for (i, op) in prog.iter().take(p).enumerate() {
+            assert_eq!(*op, fwd(i, 0));
+        }
+        for (i, op) in prog.iter().skip(p).take(p).enumerate() {
+            assert_eq!(*op, fwd(i, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of p")]
+    fn interleaved_rejects_indivisible_m() {
+        ScheduleKind::Interleaved { chunks: 2 }.build(4, 6);
+    }
+
+    #[test]
+    fn interleaved_with_one_chunk_is_1f1b() {
+        let a = ScheduleKind::Interleaved { chunks: 1 }.build(4, 8);
+        let b = ScheduleKind::OneFOneB.build(4, 8);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn single_device_degenerate() {
+        for kind in [
+            ScheduleKind::GPipe,
+            ScheduleKind::OneFOneB,
+            ScheduleKind::Interleaved { chunks: 2 },
+        ] {
+            let s = kind.build(1, 4);
+            s.validate().unwrap();
+        }
+    }
+}

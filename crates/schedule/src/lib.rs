@@ -1,0 +1,138 @@
+//! Pipeline-parallel schedules (§2.2 of the paper).
+//!
+//! A schedule is the per-device *program order* of forward and backward
+//! passes over microbatches (and, with interleaving, model chunks). Three
+//! schedules are implemented:
+//!
+//! - **GPipe** (§2.2.1, Figure 3): all forwards, then all backwards. Bubble
+//!   fraction `(p−1)/m`, but stashes activations for all `m` microbatches.
+//! - **1F1B / PipeDream-Flush** (§2.2.1, Figure 4 top): a warm-up phase of
+//!   depth-dependent forwards, then strict one-forward-one-backward. Same
+//!   bubble, but at most `p` microbatches in flight.
+//! - **Interleaved 1F1B** (§2.2.2, Figure 4 bottom): each device owns `v`
+//!   model chunks (stage `chunk·p + device`), shrinking the bubble to
+//!   `(p−1)/(v·m)` at the cost of `v×` more pipeline communication.
+//!
+//! [`PipelineSchedule::replay`] executes a schedule against per-op forward /
+//! backward durations (zero-cost communication) and reports makespan, bubble
+//! fraction, and peak in-flight microbatch counts — the quantities §2.2's
+//! analytical models predict, which the tests check exactly.
+
+mod generate;
+mod replay;
+
+pub use generate::ScheduleKind;
+pub use replay::{render_replay, Replay, ReplayError, ReplaySpan};
+
+use serde::{Deserialize, Serialize};
+
+/// Forward or backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pass {
+    /// Forward pass of a microbatch through one stage.
+    Forward,
+    /// Backward pass of a microbatch through one stage.
+    Backward,
+}
+
+/// One entry in a device's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PipeOp {
+    /// Microbatch index, `0..m`.
+    pub microbatch: usize,
+    /// Model-chunk index on this device, `0..v` (0 when not interleaved).
+    pub chunk: usize,
+    /// Direction.
+    pub pass: Pass,
+}
+
+/// A complete pipeline schedule: per-device program order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineSchedule {
+    /// Pipeline-parallel size `p` (number of devices).
+    pub devices: usize,
+    /// Microbatches per batch per pipeline, `m`.
+    pub microbatches: usize,
+    /// Model chunks per device, `v` (1 = non-interleaved).
+    pub chunks: usize,
+    /// `ops[d]` is device `d`'s program, in execution order.
+    pub ops: Vec<Vec<PipeOp>>,
+}
+
+impl PipelineSchedule {
+    /// Total number of (global) pipeline stages, `p·v`.
+    pub fn total_stages(&self) -> usize {
+        self.devices * self.chunks
+    }
+
+    /// Global stage index computed by (`device`, `chunk`): `chunk·p + device`
+    /// — the §2.2.2 round-robin chunk assignment (device 1 gets layers
+    /// 1,2,9,10 in the paper's example).
+    pub fn stage_of(&self, device: usize, chunk: usize) -> usize {
+        debug_assert!(device < self.devices && chunk < self.chunks);
+        chunk * self.devices + device
+    }
+
+    /// Inverse of [`PipelineSchedule::stage_of`]: (device, chunk) of a stage.
+    pub fn device_chunk_of(&self, stage: usize) -> (usize, usize) {
+        debug_assert!(stage < self.total_stages());
+        (stage % self.devices, stage / self.devices)
+    }
+
+    /// Analytical bubble-time fraction (§2.2.1–§2.2.2):
+    /// `(p−1)/m` non-interleaved, `(1/v)·(p−1)/m` interleaved.
+    pub fn analytical_bubble_fraction(&self) -> f64 {
+        (self.devices as f64 - 1.0) / (self.chunks as f64 * self.microbatches as f64)
+    }
+
+    /// Check structural invariants: every device program contains exactly
+    /// one forward and one backward per (microbatch, chunk), and the
+    /// cross-stage dependency graph is executable (no deadlock). Returns the
+    /// replay (with unit durations) on success.
+    pub fn validate(&self) -> Result<Replay, ReplayError> {
+        for (d, prog) in self.ops.iter().enumerate() {
+            let expect = 2 * self.microbatches * self.chunks;
+            if prog.len() != expect {
+                return Err(ReplayError::WrongOpCount {
+                    device: d,
+                    got: prog.len(),
+                    want: expect,
+                });
+            }
+            let mut seen = std::collections::HashSet::with_capacity(expect);
+            for op in prog {
+                if op.microbatch >= self.microbatches || op.chunk >= self.chunks {
+                    return Err(ReplayError::OpOutOfRange { device: d, op: *op });
+                }
+                if !seen.insert(*op) {
+                    return Err(ReplayError::DuplicateOp { device: d, op: *op });
+                }
+            }
+        }
+        self.replay(1.0, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_mapping_roundtrip() {
+        let s = ScheduleKind::Interleaved { chunks: 3 }.build(4, 8);
+        for stage in 0..s.total_stages() {
+            let (d, c) = s.device_chunk_of(stage);
+            assert_eq!(s.stage_of(d, c), stage);
+        }
+    }
+
+    #[test]
+    fn paper_example_chunk_assignment() {
+        // §2.2.2: with 4 devices and v=2, device 1 (0-indexed: 0) has layers
+        // 1,2 and 9,10 → stages 0 and 4.
+        let s = ScheduleKind::Interleaved { chunks: 2 }.build(4, 8);
+        assert_eq!(s.stage_of(0, 0), 0);
+        assert_eq!(s.stage_of(0, 1), 4);
+        assert_eq!(s.stage_of(3, 1), 7);
+    }
+}

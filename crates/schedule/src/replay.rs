@@ -1,0 +1,412 @@
+//! Event-driven replay of a schedule with idealized (zero-communication)
+//! timing — the setting of the paper's §2.2 bubble analysis.
+
+use std::collections::HashMap;
+
+use crate::{Pass, PipeOp, PipelineSchedule};
+
+/// Errors found while validating or replaying a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// A device program has the wrong number of ops.
+    WrongOpCount {
+        /// Offending device.
+        device: usize,
+        /// Ops found.
+        got: usize,
+        /// Ops expected (`2·m·v`).
+        want: usize,
+    },
+    /// An op references a microbatch or chunk out of range.
+    OpOutOfRange {
+        /// Offending device.
+        device: usize,
+        /// The op.
+        op: PipeOp,
+    },
+    /// The same (microbatch, chunk, pass) appears twice on one device.
+    DuplicateOp {
+        /// Offending device.
+        device: usize,
+        /// The op.
+        op: PipeOp,
+    },
+    /// Cross-stage dependencies can never be satisfied (deadlock).
+    Deadlock {
+        /// Ops executed before progress stopped.
+        executed: usize,
+        /// Total ops.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::WrongOpCount { device, got, want } => {
+                write!(f, "device {device}: {got} ops, expected {want}")
+            }
+            ReplayError::OpOutOfRange { device, op } => {
+                write!(f, "device {device}: op out of range {op:?}")
+            }
+            ReplayError::DuplicateOp { device, op } => {
+                write!(f, "device {device}: duplicate op {op:?}")
+            }
+            ReplayError::Deadlock { executed, total } => {
+                write!(f, "schedule deadlocked after {executed}/{total} ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One executed op with its time span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplaySpan {
+    /// Device that executed the op.
+    pub device: usize,
+    /// The op.
+    pub op: PipeOp,
+    /// Start time (in `t_f` units of the caller).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Result of replaying a schedule.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Executed spans in completion order.
+    pub spans: Vec<ReplaySpan>,
+    /// Completion time of the last op.
+    pub makespan: f64,
+    /// Ideal per-device busy time `m·(t_f + t_b)` (§2.2.1's `t_id`).
+    pub ideal_time: f64,
+    /// Measured bubble fraction `(makespan − t_id) / t_id`.
+    pub bubble_fraction: f64,
+    /// Per-device peak number of microbatch-chunks whose forward has run
+    /// but whose backward has not (the activation-stash bound).
+    pub peak_in_flight: Vec<usize>,
+}
+
+impl PipelineSchedule {
+    /// Execute the schedule with per-(full-)microbatch forward time `t_f`
+    /// and backward time `t_b`, zero communication cost. With interleaving,
+    /// each chunk op costs `t_f/v` (resp. `t_b/v`) — §2.2.2.
+    ///
+    /// Dependencies enforced:
+    /// - program order within a device;
+    /// - `F(mb, stage)` after `F(mb, stage−1)`;
+    /// - `B(mb, stage)` after `B(mb, stage+1)` and `F(mb, stage)`.
+    pub fn replay(&self, t_f: f64, t_b: f64) -> Result<Replay, ReplayError> {
+        let p = self.devices;
+        let v = self.chunks;
+        let last_stage = self.total_stages() - 1;
+        let dur_f = t_f / v as f64;
+        let dur_b = t_b / v as f64;
+
+        // Completion times of executed (pass, mb, stage).
+        let mut done: HashMap<(Pass, usize, usize), f64> = HashMap::new();
+        // Devices whose head op waits for a specific key.
+        let mut waiting: HashMap<(Pass, usize, usize), Vec<usize>> = HashMap::new();
+        let mut pc = vec![0usize; p];
+        let mut dev_time = vec![0f64; p];
+        let mut in_flight = vec![0isize; p];
+        let mut peak = vec![0usize; p];
+        let mut spans = Vec::with_capacity(self.ops.iter().map(Vec::len).sum());
+        let mut stack: Vec<usize> = (0..p).rev().collect();
+        let mut executed = 0usize;
+        let total: usize = self.ops.iter().map(Vec::len).sum();
+
+        while let Some(d) = stack.pop() {
+            // Run device d's program as far as dependencies allow.
+            while pc[d] < self.ops[d].len() {
+                let op = self.ops[d][pc[d]];
+                let stage = self.stage_of(d, op.chunk);
+                // Cross-stage dependency key (if any).
+                let dep = match op.pass {
+                    Pass::Forward if stage > 0 => {
+                        Some((Pass::Forward, op.microbatch, stage - 1))
+                    }
+                    Pass::Backward if stage < last_stage => {
+                        Some((Pass::Backward, op.microbatch, stage + 1))
+                    }
+                    _ => None,
+                };
+                let mut ready_at = dev_time[d];
+                if let Some(key) = dep {
+                    match done.get(&key) {
+                        Some(&t) => ready_at = ready_at.max(t),
+                        None => {
+                            waiting.entry(key).or_default().push(d);
+                            break;
+                        }
+                    }
+                }
+                if op.pass == Pass::Backward {
+                    // Same-device forward must be in the past; guaranteed by
+                    // program-order validation, but check defensively.
+                    let fkey = (Pass::Forward, op.microbatch, stage);
+                    match done.get(&fkey) {
+                        Some(&t) => ready_at = ready_at.max(t),
+                        None => {
+                            waiting.entry(fkey).or_default().push(d);
+                            break;
+                        }
+                    }
+                }
+                let dur = if op.pass == Pass::Forward { dur_f } else { dur_b };
+                let start = ready_at;
+                let end = start + dur;
+                dev_time[d] = end;
+                pc[d] += 1;
+                executed += 1;
+                match op.pass {
+                    Pass::Forward => {
+                        in_flight[d] += 1;
+                        peak[d] = peak[d].max(in_flight[d] as usize);
+                    }
+                    Pass::Backward => in_flight[d] -= 1,
+                }
+                spans.push(ReplaySpan {
+                    device: d,
+                    op,
+                    start,
+                    end,
+                });
+                let key = (op.pass, op.microbatch, stage);
+                done.insert(key, end);
+                if let Some(mut ws) = waiting.remove(&key) {
+                    stack.append(&mut ws);
+                }
+            }
+        }
+
+        if executed != total {
+            return Err(ReplayError::Deadlock { executed, total });
+        }
+
+        let makespan = spans.iter().fold(0f64, |acc, s| acc.max(s.end));
+        let ideal_time = self.microbatches as f64 * (t_f + t_b);
+        let bubble_fraction = (makespan - ideal_time) / ideal_time;
+        Ok(Replay {
+            spans,
+            makespan,
+            ideal_time,
+            bubble_fraction,
+            peak_in_flight: peak,
+        })
+    }
+}
+
+/// Render a replay as an ASCII Gantt chart (one row per device, digits =
+/// microbatch id mod 10, uppercase row = forward, lowercase = backward
+/// is not distinguishable in one char, so forwards use digits and backwards
+/// use letters `a`–`j` for microbatch mod 10).
+pub fn render_replay(replay: &Replay, devices: usize, width: usize) -> String {
+    if replay.makespan <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let mut rows = vec![vec!['.'; width]; devices];
+    let scale = width as f64 / replay.makespan;
+    for s in &replay.spans {
+        let c0 = ((s.start * scale) as usize).min(width - 1);
+        let c1 = ((s.end * scale).ceil() as usize).clamp(c0 + 1, width);
+        let digit = (s.op.microbatch % 10) as u8;
+        let ch = match s.op.pass {
+            Pass::Forward => (b'0' + digit) as char,
+            Pass::Backward => (b'a' + digit) as char,
+        };
+        for cell in rows[s.device].iter_mut().take(c1).skip(c0) {
+            *cell = ch;
+        }
+    }
+    let mut out = String::new();
+    for (d, row) in rows.iter().enumerate() {
+        out.push_str(&format!("dev {d:>2} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleKind;
+
+    #[test]
+    fn gpipe_bubble_matches_analytical() {
+        // §2.2.1: bubble fraction = (p−1)/m exactly, for any t_f, t_b.
+        for (p, m) in [(2usize, 4usize), (4, 8), (4, 16), (8, 8)] {
+            let s = ScheduleKind::GPipe.build(p, m);
+            let r = s.replay(1.0, 2.0).unwrap();
+            let want = s.analytical_bubble_fraction();
+            assert!(
+                (r.bubble_fraction - want).abs() < 1e-9,
+                "(p,m)=({p},{m}): got {} want {want}",
+                r.bubble_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_bubble_matches_analytical() {
+        // "The time spent in the bubble is the same for this new schedule."
+        for (p, m) in [(2usize, 4usize), (4, 8), (4, 16), (8, 64)] {
+            let s = ScheduleKind::OneFOneB.build(p, m);
+            let r = s.replay(1.0, 2.0).unwrap();
+            let want = s.analytical_bubble_fraction();
+            assert!(
+                (r.bubble_fraction - want).abs() < 1e-9,
+                "(p,m)=({p},{m}): got {} want {want}",
+                r.bubble_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn interleaving_divides_bubble_by_v() {
+        // §2.2.2: bubble = (1/v)·(p−1)/m.
+        let (p, m) = (4usize, 8usize);
+        for v in [2usize, 4] {
+            let s = ScheduleKind::Interleaved { chunks: v }.build(p, m);
+            let r = s.replay(1.0, 2.0).unwrap();
+            let want = (p as f64 - 1.0) / (v as f64 * m as f64);
+            assert!(
+                (r.bubble_fraction - want).abs() < 1e-9,
+                "v={v}: got {} want {want}",
+                r.bubble_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn gpipe_stashes_all_m_but_1f1b_at_most_p() {
+        // §2.2.1: "activations ... for p or fewer microbatches (compared to
+        // m microbatches for the GPipe schedule)".
+        let (p, m) = (4usize, 16usize);
+        let g = ScheduleKind::GPipe.build(p, m).replay(1.0, 2.0).unwrap();
+        assert_eq!(g.peak_in_flight.iter().max(), Some(&m));
+        let f = ScheduleKind::OneFOneB.build(p, m).replay(1.0, 2.0).unwrap();
+        assert!(f.peak_in_flight.iter().all(|&x| x <= p));
+        // First device stashes exactly p.
+        assert_eq!(f.peak_in_flight[0], p);
+    }
+
+    #[test]
+    fn interleaved_in_flight_comparable_to_1f1b() {
+        // §2.2.2: interleaved keeps memory footprint "comparable";
+        // virtual-microbatch stash is ≤ p·v chunk activations = p full ones
+        // plus the (v−1)·p/... warm-up extension, bounded by 2p chunks here.
+        let (p, m, v) = (4usize, 16usize, 2usize);
+        let s = ScheduleKind::Interleaved { chunks: v }.build(p, m);
+        let r = s.replay(1.0, 2.0).unwrap();
+        // peak counts chunk-sized activations; p·v chunk stashes == p full
+        // microbatches. Allow the warm-up extension of (v−1)·p.
+        let bound = p * v + (v - 1) * p;
+        assert!(
+            r.peak_in_flight.iter().all(|&x| x <= bound),
+            "peaks {:?} exceed bound {bound}",
+            r.peak_in_flight
+        );
+    }
+
+    #[test]
+    fn makespan_formula_1f1b() {
+        // makespan = (p−1)·t_f + m·(t_f+t_b) + (p−1)·t_b.
+        let (p, m) = (4usize, 8usize);
+        let (tf, tb) = (1.0, 2.0);
+        let r = ScheduleKind::OneFOneB.build(p, m).replay(tf, tb).unwrap();
+        let want = (p as f64 - 1.0) * (tf + tb) + m as f64 * (tf + tb);
+        assert!((r.makespan - want).abs() < 1e-9, "got {}", r.makespan);
+    }
+
+    #[test]
+    fn single_stage_has_no_bubble() {
+        for kind in [ScheduleKind::GPipe, ScheduleKind::OneFOneB] {
+            let r = kind.build(1, 8).replay(1.0, 2.0).unwrap();
+            assert!(r.bubble_fraction.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bubble_independent_of_fwd_bwd_ratio() {
+        // Figure 3 caption: "The efficiency of the pipeline schedule does
+        // not depend on this factor" (t_b/t_f).
+        let s = ScheduleKind::OneFOneB.build(4, 8);
+        let r1 = s.replay(1.0, 1.0).unwrap();
+        let r2 = s.replay(1.0, 3.0).unwrap();
+        assert!((r1.bubble_fraction - r2.bubble_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interleaved_flush_happens_sooner() {
+        // Figure 4: same batch, the interleaved flush completes earlier.
+        let (p, m) = (4usize, 8usize);
+        let base = ScheduleKind::OneFOneB.build(p, m).replay(1.0, 2.0).unwrap();
+        let int = ScheduleKind::Interleaved { chunks: 2 }
+            .build(p, m)
+            .replay(1.0, 2.0)
+            .unwrap();
+        assert!(int.makespan < base.makespan);
+    }
+
+    #[test]
+    fn render_replay_shows_all_devices() {
+        let s = ScheduleKind::OneFOneB.build(4, 8);
+        let r = s.replay(1.0, 2.0).unwrap();
+        let text = render_replay(&r, 4, 60);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('0') && text.contains('a'));
+    }
+
+    #[test]
+    fn validate_catches_duplicate() {
+        let mut s = ScheduleKind::OneFOneB.build(2, 2);
+        s.ops[0][1] = s.ops[0][0];
+        assert!(matches!(
+            s.validate(),
+            Err(ReplayError::DuplicateOp { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_missing_op() {
+        let mut s = ScheduleKind::OneFOneB.build(2, 2);
+        s.ops[0].pop();
+        assert!(matches!(
+            s.validate(),
+            Err(ReplayError::WrongOpCount { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_deadlock() {
+        // Swap F and B of the same microbatch on the last device: B before
+        // its own F is a same-device deadlock.
+        let mut s = ScheduleKind::GPipe.build(2, 2);
+        let prog = &mut s.ops[1];
+        prog.reverse(); // backwards (rev order) first, then forwards
+        assert!(matches!(s.validate(), Err(ReplayError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn all_generated_schedules_validate() {
+        for p in [1usize, 2, 4, 8] {
+            for m in [1usize, 2, 4, 8, 16] {
+                ScheduleKind::GPipe.build(p, m).validate().unwrap();
+                ScheduleKind::OneFOneB.build(p, m).validate().unwrap();
+                if m % p == 0 {
+                    for v in [2usize, 4] {
+                        ScheduleKind::Interleaved { chunks: v }
+                            .build(p, m)
+                            .validate()
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+}

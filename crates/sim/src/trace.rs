@@ -1,0 +1,105 @@
+//! Trace export and ASCII visualization of simulation results.
+
+use crate::engine::{SimResult, TaskSpan};
+use crate::time_to_secs;
+
+/// Serialize spans in the Chrome `about:tracing` / Perfetto JSON array
+/// format. `names` maps each task `kind` code to a display name; unknown
+/// kinds render as `kind-N`.
+pub fn chrome_trace_json(result: &SimResult, names: &dyn Fn(u32) -> String) -> String {
+    let mut events = Vec::with_capacity(result.spans.len());
+    for s in &result.spans {
+        events.push(serde_json::json!({
+            "name": names(s.kind),
+            "cat": "sim",
+            "ph": "X",
+            "ts": s.start as f64 / 1e3, // chrome trace wants microseconds
+            "dur": (s.end - s.start) as f64 / 1e3,
+            "pid": 0,
+            "tid": s.resource.index(),
+        }));
+    }
+    serde_json::to_string(&events).expect("trace serialization cannot fail")
+}
+
+/// Render an ASCII Gantt chart of the run: one row per resource, `width`
+/// character columns spanning the makespan. `glyph` maps a span to the
+/// character drawn for it (e.g. microbatch digit for pipeline schedules);
+/// idle time renders as `.`.
+pub fn render_gantt(
+    result: &SimResult,
+    width: usize,
+    glyph: &dyn Fn(&TaskSpan) -> char,
+) -> String {
+    let n_res = result.resources.len();
+    if result.makespan == 0 || n_res == 0 || width == 0 {
+        return String::new();
+    }
+    let mut rows = vec![vec!['.'; width]; n_res];
+    let scale = width as f64 / result.makespan as f64;
+    for s in &result.spans {
+        let c0 = ((s.start as f64 * scale) as usize).min(width - 1);
+        let c1 = (((s.end as f64 * scale).ceil() as usize).max(c0 + 1)).min(width);
+        let ch = glyph(s);
+        let row = &mut rows[s.resource.index()];
+        for cell in row.iter_mut().take(c1).skip(c0) {
+            *cell = ch;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let name = &result.resources[i].name;
+        out.push_str(&format!("{name:>12} |"));
+        out.extend(row.iter());
+        out.push('|');
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>12}  makespan = {:.3} ms\n",
+        "",
+        time_to_secs(result.makespan) * 1e3
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagSim;
+
+    fn two_task_result() -> SimResult {
+        let mut sim = DagSim::new();
+        let a = sim.add_resource("gpu0");
+        let b = sim.add_resource("gpu1");
+        let t = sim.add_task(a, 100, &[], 1);
+        sim.add_task(b, 50, &[t], 2);
+        sim.run().unwrap()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_all_spans() {
+        let r = two_task_result();
+        let s = chrome_trace_json(&r, &|k| format!("k{k}"));
+        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(v[0]["name"], "k1");
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_resource() {
+        let r = two_task_result();
+        let g = render_gantt(&r, 30, &|s| char::from_digit(s.kind, 10).unwrap());
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // 2 resources + footer
+        assert!(lines[0].contains('1'));
+        assert!(lines[1].contains('2'));
+        // gpu1 idle for first 2/3 of the chart.
+        assert!(lines[1].contains('.'));
+    }
+
+    #[test]
+    fn gantt_empty_result_is_empty() {
+        let r = DagSim::new().run().unwrap();
+        assert_eq!(render_gantt(&r, 30, &|_| 'x'), "");
+    }
+}

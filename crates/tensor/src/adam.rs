@@ -1,0 +1,127 @@
+//! Adam optimizer (the paper's models all train with mixed-precision Adam;
+//! here everything is f32).
+
+/// Adam with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Standard hyperparameters except the caller-chosen learning rate.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Apply one Adam step over the concatenation of (param, grad) pairs.
+    /// The total parameter count must be identical across calls (state is
+    /// positional). Gradients are left untouched; zero them via
+    /// [`Adam::zero_grads`] or the owner's visitor.
+    pub fn step(&mut self, pairs: &mut [(&mut [f32], &mut [f32])]) {
+        let total: usize = pairs.iter().map(|(p, _)| p.len()).sum();
+        if self.m.is_empty() {
+            self.m = vec![0.0; total];
+            self.v = vec![0.0; total];
+        }
+        assert_eq!(self.m.len(), total, "parameter count changed mid-training");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let mut off = 0;
+        for (params, grads) in pairs.iter_mut() {
+            assert_eq!(params.len(), grads.len());
+            for i in 0..params.len() {
+                let g = grads[i];
+                let m = &mut self.m[off + i];
+                let v = &mut self.v[off + i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            off += params.len();
+        }
+    }
+
+    /// Zero every gradient buffer.
+    pub fn zero_grads(pairs: &mut [(&mut [f32], &mut [f32])]) {
+        for (_, grads) in pairs.iter_mut() {
+            grads.fill(0.0);
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = Σ (x−3)²; Adam should walk x toward 3.
+        let mut x = vec![0.0f32; 4];
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let mut g: Vec<f32> = x.iter().map(|&v| 2.0 * (v - 3.0)).collect();
+            adam.step(&mut [(&mut x, &mut g)]);
+        }
+        for v in &x {
+            assert!((v - 3.0).abs() < 0.05, "got {v}");
+        }
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the first update magnitude ≈ lr·sign(g).
+        let mut x = vec![0.0f32];
+        let mut g = vec![5.0f32];
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut [(&mut x, &mut g)]);
+        assert!((x[0] + 0.01).abs() < 1e-4, "got {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn rejects_changing_shapes() {
+        let mut adam = Adam::new(0.01);
+        let mut a = vec![0.0f32; 2];
+        let mut ga = vec![0.0f32; 2];
+        adam.step(&mut [(&mut a, &mut ga)]);
+        let mut b = vec![0.0f32; 3];
+        let mut gb = vec![0.0f32; 3];
+        adam.step(&mut [(&mut b, &mut gb)]);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut p = vec![1.0f32; 3];
+        let mut g = vec![2.0f32; 3];
+        Adam::zero_grads(&mut [(&mut p, &mut g)]);
+        assert_eq!(g, vec![0.0; 3]);
+        assert_eq!(p, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Model checkpoint save/load (§5.10's practical concern, exercised for
+//! real at tiny scale): a simple versioned binary format holding the
+//! architecture and every parameter in canonical visit order.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use rand::SeedableRng;
+
+use crate::gpt::{GptModel, TinyGptConfig};
+
+const MAGIC: &[u8; 8] = b"MGTRNCK1";
+
+/// Serialize the model (architecture + parameters) to a writer.
+pub fn save(model: &mut GptModel, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    for v in [
+        model.cfg.vocab,
+        model.cfg.seq,
+        model.cfg.hidden,
+        model.cfg.heads,
+        model.cfg.layers,
+    ] {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    let mut params: Vec<f32> = Vec::new();
+    model.visit(&mut |p, _| params.extend_from_slice(p));
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in params {
+        w.write_all(&p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a model previously written by [`save`].
+pub fn load(r: &mut impl Read) -> io::Result<GptModel> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a megatron-ptdp-rs checkpoint",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut next_u64 = |r: &mut dyn Read| -> io::Result<u64> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let cfg = TinyGptConfig {
+        vocab: next_u64(r)? as usize,
+        seq: next_u64(r)? as usize,
+        hidden: next_u64(r)? as usize,
+        heads: next_u64(r)? as usize,
+        layers: next_u64(r)? as usize,
+    };
+    let count = next_u64(r)? as usize;
+    let mut params = vec![0f32; count];
+    let mut f32buf = [0u8; 4];
+    for p in &mut params {
+        r.read_exact(&mut f32buf)?;
+        *p = f32::from_le_bytes(f32buf);
+    }
+    // Rebuild structure (weights are about to be overwritten).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = GptModel::new(cfg, &mut rng);
+    let mut off = 0usize;
+    let mut short = false;
+    model.visit(&mut |p, _| {
+        if off + p.len() <= params.len() {
+            p.copy_from_slice(&params[off..off + p.len()]);
+        } else {
+            short = true;
+        }
+        off += p.len();
+    });
+    if short || off != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint has {count} params, model needs {off}"),
+        ));
+    }
+    Ok(model)
+}
+
+/// Save to a file path.
+pub fn save_file(model: &mut GptModel, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save(model, &mut f)
+}
+
+/// Load from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> io::Result<GptModel> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::cross_entropy;
+
+    fn model() -> GptModel {
+        let cfg = TinyGptConfig {
+            vocab: 11,
+            seq: 4,
+            hidden: 8,
+            heads: 2,
+            layers: 2,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        GptModel::new(cfg, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut m = model();
+        let mut buf = Vec::new();
+        save(&mut m, &mut buf).unwrap();
+        let restored = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(restored.cfg, m.cfg);
+        // Identical forward results.
+        let tokens = [1usize, 2, 3, 4];
+        let (a, _) = m.forward(&tokens, 1);
+        let (b, _) = restored.forward(&tokens, 1);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let (la, _) = cross_entropy(&a, &[2, 3, 4, 5]);
+        let (lb, _) = cross_entropy(&b, &[2, 3, 4, 5]);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load(&mut &b"not a checkpoint"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let mut m = model();
+        let mut buf = Vec::new();
+        save(&mut m, &mut buf).unwrap();
+        buf.truncate(buf.len() - 13);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("megatron_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.ckpt");
+        let mut m = model();
+        save_file(&mut m, &path).unwrap();
+        let restored = load_file(&path).unwrap();
+        assert_eq!(restored.cfg, m.cfg);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,127 @@
+//! Matrix multiplication: a rayon-parallel blocked implementation plus a
+//! naive reference used to validate it.
+
+use rayon::prelude::*;
+
+use crate::Matrix;
+
+/// `C = A · B` (`m×k` times `k×n`), parallelized over row blocks.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = a.row(i);
+        // k-inner loop ordered for sequential access of B's rows.
+        for (kk, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    });
+    Matrix::from_vec(m, n, out)
+}
+
+/// `C = Aᵀ · B` (`k×m`ᵀ times `k×n`) without materializing the transpose.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "outer dimensions must agree");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    // Parallelize over output rows (columns of A).
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        for kk in 0..k {
+            let av = a.get(kk, i);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    });
+    Matrix::from_vec(m, n, out)
+}
+
+/// `C = A · Bᵀ` (`m×k` times `n×k`ᵀ) without materializing the transpose.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "inner dimensions must agree");
+    let (m, _k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let arow = a.row(i);
+        for (j, o) in row.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    });
+    Matrix::from_vec(m, n, out)
+}
+
+/// Textbook triple loop, for validation.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        (0..a.cols()).map(|kk| a.get(i, kk) * b.get(kk, j)).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rand_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::randn(r, c, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_matrix(7, 13, 1);
+        let b = rand_matrix(13, 5, 2);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = rand_matrix(9, 4, 3);
+        let b = rand_matrix(9, 6, 4);
+        let fast = matmul_tn(&a, &b);
+        let slow = matmul_naive(&a.transpose(), &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = rand_matrix(5, 8, 5);
+        let b = rand_matrix(11, 8, 6);
+        let fast = matmul_nt(&a, &b);
+        let slow = matmul_naive(&a, &b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_matrix(6, 6, 7);
+        let eye = Matrix::from_fn(6, 6, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+}

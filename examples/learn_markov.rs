@@ -1,0 +1,70 @@
+//! Train a tiny GPT on a synthetic Markov corpus under PTD-P and watch the
+//! loss approach the source's entropy floor — evidence that the distributed
+//! runtime performs *real* learning, not just matching arithmetic.
+//!
+//! Run with: `cargo run --release --example learn_markov`
+
+use megatron_repro::data::{MarkovCorpus, ShardedLoader};
+use megatron_repro::dist::{PtdpSpec, PtdpTrainer};
+use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = TinyGptConfig {
+        vocab: 32,
+        seq: 16,
+        hidden: 32,
+        heads: 4,
+        layers: 2,
+    };
+    // A corpus where each token has only 2 likely successors: entropy floor
+    // far below the ln(32) ≈ 3.47 of random guessing.
+    let mut corpus = MarkovCorpus::new(cfg.vocab, 2, 1234);
+    let floor = corpus.conditional_entropy() as f32;
+    println!(
+        "Markov corpus: V={}, branching 2, conditional entropy {:.3} nats (ln V = {:.3})",
+        cfg.vocab,
+        floor,
+        (cfg.vocab as f32).ln()
+    );
+
+    let batch = 16;
+    let iterations = 120;
+    let mut loader = ShardedLoader::from_corpus(&mut corpus, batch, cfg.seq, iterations);
+    let data: Vec<(Vec<usize>, Vec<usize>)> = std::iter::from_fn(|| {
+        loader.next_global().map(|b| (b.tokens, b.targets))
+    })
+    .collect();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let master = GptModel::new(cfg, &mut rng);
+    let mut spec = PtdpSpec::new(2, 2, 2); // 8 threads
+    spec.microbatch = 2;
+    spec.lr = 0.01;
+
+    println!(
+        "training on {} iterations of batch {batch} with (p,t,d) = (2,2,2)...\n",
+        data.len()
+    );
+    let log = PtdpTrainer::new(master, spec).train(&data);
+
+    println!("iter   loss    (floor {floor:.3})");
+    for (i, l) in log.losses.iter().enumerate() {
+        if i % 20 == 0 || i + 1 == log.losses.len() {
+            let bar = "#".repeat((l * 12.0) as usize);
+            println!("{i:>4}   {l:.3}   {bar}");
+        }
+    }
+    let first = log.losses[0];
+    let last = *log.losses.last().unwrap();
+    println!(
+        "\nloss {first:.3} -> {last:.3}; gap to entropy floor: {:.3} nats",
+        last - floor
+    );
+    assert!(last < first * 0.75, "model should learn the Markov structure");
+    assert!(
+        last > floor - 0.05,
+        "no model can beat the source entropy ({floor:.3}); got {last:.3}"
+    );
+    println!("learned the transition structure without beating the entropy floor ✓");
+}

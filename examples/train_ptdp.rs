@@ -1,0 +1,99 @@
+//! Real PTD-P training on CPU threads: train a tiny GPT with
+//! pipeline + tensor + data parallelism (8 threads) and verify against
+//! serial single-thread training on the same data.
+//!
+//! This exercises the actual algorithms of the paper — column/row-parallel
+//! GEMMs with the f/g conjugate operators, the interleaved 1F1B schedule,
+//! gradient averaging — not the performance simulator.
+//!
+//! Run with: `cargo run --release --example train_ptdp`
+
+use megatron_repro::dist::{PtdpSpec, PtdpTrainer};
+use megatron_repro::schedule::ScheduleKind;
+use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
+use megatron_repro::tensor::Adam;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let cfg = TinyGptConfig {
+        vocab: 64,
+        seq: 16,
+        hidden: 32,
+        heads: 4,
+        layers: 4,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let master = GptModel::new(cfg, &mut rng);
+
+    // Memorization task: one fixed batch, repeated — loss must collapse.
+    let batch = 8;
+    let iterations = 30;
+    let tokens: Vec<usize> = (0..batch * cfg.seq)
+        .map(|_| rng.gen_range(0..cfg.vocab))
+        .collect();
+    let targets: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| if i % cfg.seq == 0 { t } else { tokens[i - 1] })
+        .collect();
+    let data: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..iterations).map(|_| (tokens.clone(), targets.clone())).collect();
+
+    // Serial reference.
+    let mut serial = master.clone();
+    let mut adam = Adam::new(0.02);
+    let mut serial_losses = Vec::new();
+    for (tokens, targets) in &data {
+        serial.zero_grads();
+        serial_losses.push(serial.loss_and_grad(tokens, targets, batch));
+        let mut pairs = serial.param_grad_pairs();
+        adam.step(&mut pairs);
+    }
+
+    // PTD-P: p=2 pipeline stages (interleaved, v=2), t=2 tensor ranks,
+    // d=2 data replicas → 8 threads, microbatches of 2 samples.
+    let spec = PtdpSpec {
+        chunks: 2,
+        microbatch: 2,
+        schedule: ScheduleKind::Interleaved { chunks: 2 },
+        lr: 0.02,
+        ..PtdpSpec::new(2, 2, 2)
+    };
+    println!(
+        "training {} params over {} threads (p={}, t={}, d={}, v={}, interleaved 1F1B)",
+        {
+            let mut m = master.clone();
+            m.param_count()
+        },
+        spec.world(),
+        spec.pipeline,
+        spec.tensor,
+        spec.data,
+        spec.chunks
+    );
+    let log = PtdpTrainer::new(master, spec).train(&data);
+
+    println!("\niter   PTD-P loss   serial loss   |diff|");
+    for (i, (p, s)) in log.losses.iter().zip(&serial_losses).enumerate() {
+        if i % 5 == 0 || i == iterations - 1 {
+            println!("{i:>4}   {p:>9.4}   {s:>10.4}   {:.2e}", (p - s).abs());
+        }
+    }
+    let max_diff = log
+        .losses
+        .iter()
+        .zip(&serial_losses)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("\nmax loss deviation from serial training: {max_diff:.2e}");
+    println!(
+        "loss fell {:.3} -> {:.3} (memorizing the copy task)",
+        log.losses[0],
+        log.losses[iterations - 1]
+    );
+    // Per-step f32 rounding differences compound through Adam over 30
+    // steps; the trajectories stay close but not bit-equal.
+    assert!(max_diff < 0.2, "PTD-P must track serial training");
+    assert!(log.losses[iterations - 1] < log.losses[0] * 0.5);
+    println!("PTD-P training matches serial training and the loss collapses ✓");
+}

@@ -1,0 +1,39 @@
+//! Facade crate re-exporting the whole Megatron PTD-P reproduction workspace.
+//!
+//! This workspace reproduces "Efficient Large-Scale Language Model Training
+//! on GPU Clusters Using Megatron-LM" (Narayanan et al., SC '21). See
+//! `README.md` for an overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The sub-crates (each re-exported here as a module):
+//!
+//! - [`sim`]: deterministic discrete-event simulation kernel.
+//! - [`cluster`]: GPU/node/cluster hardware substrate with a roofline
+//!   compute-time model.
+//! - [`net`]: network topology and collective algorithms over simulated
+//!   NVLink / InfiniBand links.
+//! - [`model`]: GPT model descriptions — parameter counts (paper Eq. 2),
+//!   FLOPs (Eq. 3), per-layer op lists, memory model.
+//! - [`parallel`]: PTD-P `(p, t, d)` configurations, rank mapping,
+//!   analytical performance models (§3), and the configuration heuristics.
+//! - [`schedule`]: pipeline schedules — GPipe, 1F1B, interleaved 1F1B.
+//! - [`data`]: synthetic corpus generation, document packing, sharded
+//!   data loading.
+//! - [`core`]: end-to-end training-iteration simulation producing the
+//!   paper's reported metrics.
+//! - [`zero`]: ZeRO-3 baseline cost simulator (§5.2).
+//! - [`tensor`]: real CPU tensor engine with hand-written backward passes.
+//! - [`dist`]: thread-per-GPU distributed runtime running real tensor /
+//!   pipeline / data parallel training.
+
+pub use megatron_cluster as cluster;
+pub use megatron_data as data;
+pub use megatron_core as core;
+pub use megatron_dist as dist;
+pub use megatron_model as model;
+pub use megatron_net as net;
+pub use megatron_parallel as parallel;
+pub use megatron_schedule as schedule;
+pub use megatron_sim as sim;
+pub use megatron_tensor as tensor;
+pub use megatron_zero as zero;
