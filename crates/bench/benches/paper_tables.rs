@@ -1,25 +1,31 @@
-//! Criterion benches wrapping the paper-experiment generators themselves:
-//! one benchmark per table/figure regeneration, so `cargo bench` exercises
+//! Benches wrapping the paper-experiment generators themselves: one
+//! benchmark per table/figure regeneration, so `cargo bench` exercises
 //! every reproduction path end to end and tracks its cost. (The printable
 //! outputs live in the `repro` binary; see EXPERIMENTS.md.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use megatron_bench::experiments;
+use megatron_bench::harness::Bench;
 
-fn paper_experiments(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_experiments");
-    g.sample_size(10);
-    // The fast experiments run as criterion benches; the heavyweight sweeps
+fn main() {
+    let g = Bench::group("paper_experiments").sample_size(10);
+    // The fast experiments run as timed benches; the heavyweight sweeps
     // (table1, table2, fig17) are exercised once each to keep
     // `cargo bench --workspace` under control.
-    for name in ["fig6", "fig7", "fig8", "gantt", "formulas", "checkpoint", "traintime"] {
+    for name in [
+        "fig6",
+        "fig7",
+        "fig8",
+        "gantt",
+        "formulas",
+        "checkpoint",
+        "traintime",
+    ] {
         let exp = experiments::all()
             .into_iter()
             .find(|e| e.name == name)
             .expect("registered experiment");
-        g.bench_function(name, |b| b.iter(|| (exp.run)().len()));
+        g.run(name, || (exp.run)().len());
     }
-    g.finish();
 
     // One-shot smoke of the heavy sweeps (not statistically sampled).
     for name in ["fig12", "fig16", "fusion"] {
@@ -31,6 +37,3 @@ fn paper_experiments(c: &mut Criterion) {
         assert!(!out.contains("ERR"), "{name} produced an error:\n{out}");
     }
 }
-
-criterion_group!(benches, paper_experiments);
-criterion_main!(benches);

@@ -1,31 +1,24 @@
-//! Criterion benches of pipeline-schedule generation and replay, across the
-//! shapes the paper's largest runs need (p = 64, m = 512, v = 2).
+//! Benches of pipeline-schedule generation and replay, across the shapes
+//! the paper's largest runs need (p = 64, m = 512, v = 2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megatron_bench::harness::Bench;
 use megatron_schedule::ScheduleKind;
 
-fn generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule_generation");
-    g.sample_size(20);
+fn generation() {
+    let g = Bench::group("schedule_generation").sample_size(20);
     for &(p, m) in &[(8usize, 64usize), (64, 512)] {
         for kind in [
             ScheduleKind::GPipe,
             ScheduleKind::OneFOneB,
             ScheduleKind::Interleaved { chunks: 2 },
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), format!("p{p}_m{m}")),
-                &(p, m),
-                |b, &(p, m)| b.iter(|| kind.build(p, m).ops.len()),
-            );
+            g.run(&format!("{kind:?}/p{p}_m{m}"), || kind.build(p, m).ops.len());
         }
     }
-    g.finish();
 }
 
-fn replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("schedule_replay");
-    g.sample_size(20);
+fn replay() {
+    let g = Bench::group("schedule_replay").sample_size(20);
     for &(p, m, v) in &[(8usize, 64usize, 1usize), (64, 512, 1), (64, 512, 2)] {
         let kind = if v > 1 {
             ScheduleKind::Interleaved { chunks: v }
@@ -33,14 +26,13 @@ fn replay(c: &mut Criterion) {
             ScheduleKind::OneFOneB
         };
         let sched = kind.build(p, m);
-        g.bench_with_input(
-            BenchmarkId::new("replay", format!("p{p}_m{m}_v{v}")),
-            &sched,
-            |b, sched| b.iter(|| sched.replay(1.0, 2.0).unwrap().makespan),
-        );
+        g.run(&format!("replay/p{p}_m{m}_v{v}"), || {
+            sched.replay(1.0, 2.0).unwrap().makespan
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, generation, replay);
-criterion_main!(benches);
+fn main() {
+    generation();
+    replay();
+}

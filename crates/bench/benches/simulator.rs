@@ -1,78 +1,66 @@
-//! Criterion benches of the discrete-event simulation stack: raw DAG
-//! engine throughput and full PTD-P iteration simulations at three scales.
+//! Benches of the discrete-event simulation stack: raw DAG engine
+//! throughput and full PTD-P iteration simulations at three scales.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megatron_bench::harness::Bench;
 use megatron_cluster::ClusterSpec;
 use megatron_core::TrainingRun;
 use megatron_model::zoo;
 use megatron_parallel::ParallelConfig;
 use megatron_sim::DagSim;
 
-fn dag_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dag_engine");
-    g.sample_size(20);
+fn dag_engine() {
+    let g = Bench::group("dag_engine").sample_size(20);
     for &n in &[1_000usize, 10_000, 100_000] {
-        g.bench_with_input(BenchmarkId::new("chain_tasks", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = DagSim::new();
-                let r = sim.add_resource("r");
-                let mut prev = None;
-                for _ in 0..n {
-                    let deps: Vec<_> = prev.into_iter().collect();
-                    prev = Some(sim.add_task(r, 5, &deps, 0));
-                }
-                sim.run().unwrap().makespan
-            })
+        g.run(&format!("chain_tasks/{n}"), || {
+            let mut sim = DagSim::new();
+            let r = sim.add_resource("r");
+            let mut prev = None;
+            for _ in 0..n {
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(sim.add_task(r, 5, &deps, 0));
+            }
+            sim.run().unwrap().makespan
         });
-        g.bench_with_input(BenchmarkId::new("parallel_tasks", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut sim = DagSim::new();
-                let rs: Vec<_> = (0..16).map(|i| sim.add_resource(format!("r{i}"))).collect();
-                for i in 0..n {
-                    sim.add_task(rs[i % 16], 5, &[], 0);
-                }
-                sim.run().unwrap().makespan
-            })
+        g.run(&format!("parallel_tasks/{n}"), || {
+            let mut sim = DagSim::new();
+            let rs: Vec<_> = (0..16).map(|i| sim.add_resource(format!("r{i}"))).collect();
+            for i in 0..n {
+                sim.add_task(rs[i % 16], 5, &[], 0);
+            }
+            sim.run().unwrap().makespan
         });
     }
-    g.finish();
 }
 
-fn iteration_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("iteration_simulation");
-    g.sample_size(10);
+fn iteration_simulation() {
+    let g = Bench::group("iteration_simulation").sample_size(10);
 
     // Small: 5.9B on 64 GPUs.
-    g.bench_function("gpt_5.9b_64gpus", |b| {
-        let run = TrainingRun::ptdp(
-            zoo::gpt_5p9b(),
-            ClusterSpec::selene(64),
-            ParallelConfig::new(8, 2, 4, 1, 128),
-        );
-        b.iter(|| run.simulate().unwrap().iteration_time)
-    });
+    let run = TrainingRun::ptdp(
+        zoo::gpt_5p9b(),
+        ClusterSpec::selene(64),
+        ParallelConfig::new(8, 2, 4, 1, 128),
+    );
+    g.run("gpt_5.9b_64gpus", || run.simulate().unwrap().iteration_time);
 
     // Medium: GPT-3 on 768 GPUs.
-    g.bench_function("gpt3_175b_768gpus", |b| {
-        let run = TrainingRun::ptdp(
-            zoo::gpt3_175b(),
-            ClusterSpec::selene(768),
-            ParallelConfig::new(12, 8, 8, 1, 1536),
-        );
-        b.iter(|| run.simulate().unwrap().iteration_time)
-    });
+    let run = TrainingRun::ptdp(
+        zoo::gpt3_175b(),
+        ClusterSpec::selene(768),
+        ParallelConfig::new(12, 8, 8, 1, 1536),
+    );
+    g.run("gpt3_175b_768gpus", || run.simulate().unwrap().iteration_time);
 
     // Flagship: 1T on 3072 GPUs (the paper's largest run).
-    g.bench_function("gpt_1t_3072gpus", |b| {
-        let run = TrainingRun::ptdp(
-            zoo::gpt_1t(),
-            ClusterSpec::selene(3072),
-            ParallelConfig::new(64, 8, 6, 1, 3072).with_chunks(2),
-        );
-        b.iter(|| run.simulate().unwrap().iteration_time)
-    });
-    g.finish();
+    let run = TrainingRun::ptdp(
+        zoo::gpt_1t(),
+        ClusterSpec::selene(3072),
+        ParallelConfig::new(64, 8, 6, 1, 3072).with_chunks(2),
+    );
+    g.run("gpt_1t_3072gpus", || run.simulate().unwrap().iteration_time);
 }
 
-criterion_group!(benches, dag_engine, iteration_simulation);
-criterion_main!(benches);
+fn main() {
+    dag_engine();
+    iteration_simulation();
+}

@@ -1,30 +1,24 @@
-//! Criterion benches of the real CPU tensor engine: GEMM scaling and a
-//! full forward+backward of the tiny GPT used by the distributed runtime.
+//! Benches of the real CPU tensor engine: GEMM scaling and a full
+//! forward+backward of the tiny GPT used by the distributed runtime.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megatron_bench::harness::Bench;
 use megatron_tensor::gemm;
 use megatron_tensor::gpt::{GptModel, TinyGptConfig};
 use megatron_tensor::Matrix;
 use rand::SeedableRng;
 
-fn gemm_scaling(c: &mut Criterion) {
+fn gemm_scaling() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let mut g = c.benchmark_group("gemm");
-    g.sample_size(20);
+    let g = Bench::group("gemm").sample_size(20);
     for &n in &[64usize, 128, 256] {
         let a = Matrix::randn(n, n, 1.0, &mut rng);
         let b = Matrix::randn(n, n, 1.0, &mut rng);
-        g.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
-            bench.iter(|| gemm::matmul(&a, &b))
-        });
-        g.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |bench, _| {
-            bench.iter(|| gemm::matmul_tn(&a, &b))
-        });
+        g.run(&format!("matmul/{n}"), || gemm::matmul(&a, &b));
+        g.run(&format!("matmul_tn/{n}"), || gemm::matmul_tn(&a, &b));
     }
-    g.finish();
 }
 
-fn gpt_step(c: &mut Criterion) {
+fn gpt_step() {
     let cfg = TinyGptConfig {
         vocab: 128,
         seq: 32,
@@ -36,16 +30,14 @@ fn gpt_step(c: &mut Criterion) {
     let mut model = GptModel::new(cfg, &mut rng);
     let tokens: Vec<usize> = (0..4 * cfg.seq).map(|i| i % cfg.vocab).collect();
     let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
-    let mut g = c.benchmark_group("tiny_gpt");
-    g.sample_size(10);
-    g.bench_function("forward_backward_b4", |b| {
-        b.iter(|| {
-            model.zero_grads();
-            model.loss_and_grad(&tokens, &targets, 4)
-        })
+    let g = Bench::group("tiny_gpt").sample_size(10);
+    g.run("forward_backward_b4", || {
+        model.zero_grads();
+        model.loss_and_grad(&tokens, &targets, 4)
     });
-    g.finish();
 }
 
-criterion_group!(benches, gemm_scaling, gpt_step);
-criterion_main!(benches);
+fn main() {
+    gemm_scaling();
+    gpt_step();
+}

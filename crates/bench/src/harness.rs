@@ -1,0 +1,66 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace's benches are `harness = false` binaries; offline builds
+//! have no Criterion, so this provides the small subset needed: named
+//! benchmarks, configurable sample counts, and a median-of-samples report.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A group of timed benchmarks sharing a sample count.
+pub struct Bench {
+    group: String,
+    samples: usize,
+}
+
+impl Bench {
+    /// Start a benchmark group.
+    pub fn group(name: &str) -> Bench {
+        println!("group {name}");
+        Bench {
+            group: name.to_string(),
+            samples: 10,
+        }
+    }
+
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f`: one warm-up call, then `samples` timed calls; prints the
+    /// median, minimum, and maximum per-call wall time.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        println!(
+            "  {}/{name:<40} median {} (min {}, max {}, n={})",
+            self.group,
+            fmt_secs(median),
+            fmt_secs(times[0]),
+            fmt_secs(times[times.len() - 1]),
+            self.samples,
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}

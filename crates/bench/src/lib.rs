@@ -6,5 +6,6 @@
 //! runs the full sweep (used to fill `EXPERIMENTS.md`).
 
 pub mod experiments;
+pub mod harness;
 pub mod simulate_cli;
 pub mod table;

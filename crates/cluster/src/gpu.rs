@@ -1,6 +1,5 @@
 //! Roofline compute-time model for a single GPU.
 
-use serde::{Deserialize, Serialize};
 
 /// Cost of one kernel under the roofline model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +38,7 @@ impl KernelCost {
 /// quantization / low occupancy), matching the empirical behaviour the paper
 /// leans on in §3.4 and Figure 7 ("per-GPU throughput increases by up to
 /// 1.3× with a larger microbatch size").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable device name.
     pub name: String,

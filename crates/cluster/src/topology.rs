@@ -1,11 +1,10 @@
 //! Node and cluster interconnect description.
 
-use serde::{Deserialize, Serialize};
 
 use crate::GpuSpec;
 
 /// Which physical link class a transfer between two GPUs rides on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// Same GPU — no transfer needed.
     Local,
@@ -16,7 +15,7 @@ pub enum LinkClass {
 }
 
 /// A multi-GPU server (the paper's DGX A100).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// GPUs per node (8 on a DGX A100).
     pub gpus_per_node: usize,
@@ -59,7 +58,7 @@ impl NodeSpec {
 /// modeled as non-blocking: inter-node contention arises only at the HCAs
 /// (injection/ejection), which is accurate for a full-bisection topology
 /// under the paper's traffic patterns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Per-GPU compute model.
     pub gpu: GpuSpec,

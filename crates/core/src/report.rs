@@ -1,9 +1,8 @@
 //! Iteration reports: the metrics the paper's tables and figures present.
 
-use serde::Serialize;
 
 /// Communication volumes per iteration (per-GPU and aggregate).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CommVolumes {
     /// Pipeline point-to-point bytes crossing each stage boundary per GPU
     /// per iteration (both directions).
@@ -20,7 +19,7 @@ pub struct CommVolumes {
 }
 
 /// Where the iteration time went (per-device averages).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TimeBreakdown {
     /// Mean compute busy time per pipeline device (includes tensor-parallel
     /// all-reduces, which are folded into stage costs).
@@ -34,7 +33,7 @@ pub struct TimeBreakdown {
 }
 
 /// Everything the harness needs to regenerate the paper's reported numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IterationReport {
     /// End-to-end time of one training iteration, seconds.
     pub iteration_time: f64,

@@ -597,7 +597,7 @@ mod tests {
     #[test]
     fn chrome_trace_is_valid_json_with_all_kinds() {
         let trace = small_run().chrome_trace().unwrap();
-        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let v = megatron_sim::json::Json::parse(&trace).unwrap();
         let events = v.as_array().unwrap();
         assert!(!events.is_empty());
         let names: std::collections::HashSet<&str> = events

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use megatron_schedule::{Pass, ScheduleKind};
 use megatron_tensor::gpt::GptModel;
 use megatron_tensor::layers::{cross_entropy, Embedding, LayerNorm, LayerNormCache, Linear};

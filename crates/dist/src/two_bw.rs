@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use megatron_tensor::gpt::GptModel;
 use megatron_tensor::layers::cross_entropy;
 use megatron_tensor::{Adam, Matrix};

@@ -1,0 +1,1 @@
+//! Fault injection and goodput modeling (under construction).

@@ -1,9 +1,8 @@
 //! GPT model configuration and the paper's closed-form formulas.
 
-use serde::{Deserialize, Serialize};
 
 /// Architecture of a GPT-style decoder-only transformer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GptConfig {
     /// Display name (e.g. `"GPT 175B"`).
     pub name: String,

@@ -21,10 +21,9 @@ mod mapping;
 
 pub use mapping::{Coord, RankMapper};
 
-use serde::{Deserialize, Serialize};
 
 /// A full PTD-P parallelization choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Pipeline-model-parallel size `p`.
     pub pipeline: u64,

@@ -13,10 +13,9 @@
 //! - consecutive pipeline stages occupy different nodes (point-to-point over
 //!   InfiniBand, the cheap kind of cross-node traffic).
 
-use serde::{Deserialize, Serialize};
 
 /// Logical coordinate of a GPU in the PTD-P grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {
     /// Pipeline stage index, `0..p`.
     pub pipeline: u64,
@@ -27,7 +26,7 @@ pub struct Coord {
 }
 
 /// Bijective map between global ranks and [`Coord`]s for a `(p, t, d)` grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RankMapper {
     /// Pipeline-parallel size.
     pub p: u64,

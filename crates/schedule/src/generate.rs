@@ -1,11 +1,10 @@
 //! Schedule generators.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Pass, PipeOp, PipelineSchedule};
 
 /// Which pipeline schedule to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScheduleKind {
     /// All forwards then all backwards (Figure 3).
     GPipe,

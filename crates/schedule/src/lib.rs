@@ -24,10 +24,9 @@ mod replay;
 pub use generate::ScheduleKind;
 pub use replay::{render_replay, Replay, ReplayError, ReplaySpan};
 
-use serde::{Deserialize, Serialize};
 
 /// Forward or backward pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {
     /// Forward pass of a microbatch through one stage.
     Forward,
@@ -36,7 +35,7 @@ pub enum Pass {
 }
 
 /// One entry in a device's program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipeOp {
     /// Microbatch index, `0..m`.
     pub microbatch: usize,
@@ -47,7 +46,7 @@ pub struct PipeOp {
 }
 
 /// A complete pipeline schedule: per-device program order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineSchedule {
     /// Pipeline-parallel size `p` (number of devices).
     pub devices: usize,

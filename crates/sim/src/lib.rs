@@ -13,10 +13,11 @@
 //! reproducible across platforms.
 
 mod engine;
+pub mod json;
 mod trace;
 
 pub use engine::{DagSim, ResourceId, ResourceStats, SimError, SimResult, TaskId, TaskSpan};
-pub use trace::{chrome_trace_json, render_gantt};
+pub use trace::{chrome_trace_json, chrome_trace_json_with_instants, render_gantt, TraceInstant};
 
 /// Simulated time in nanoseconds.
 pub type Time = u64;

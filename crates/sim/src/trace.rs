@@ -1,25 +1,61 @@
 //! Trace export and ASCII visualization of simulation results.
 
 use crate::engine::{SimResult, TaskSpan};
-use crate::time_to_secs;
+use crate::json::Json;
+use crate::{time_to_secs, Time};
+
+/// A point event to overlay on the trace timeline (e.g. an injected fault).
+/// Rendered as a Chrome-trace instant event (`"ph": "i"`) with its own
+/// category, so it is visually distinct from compute/comm spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInstant {
+    /// When the event fires.
+    pub time: Time,
+    /// Display name (e.g. `"gpu-death node3/gpu1"`).
+    pub name: String,
+    /// Trace category (e.g. `"fault"`); span events use `"sim"`.
+    pub category: String,
+}
 
 /// Serialize spans in the Chrome `about:tracing` / Perfetto JSON array
 /// format. `names` maps each task `kind` code to a display name; unknown
 /// kinds render as `kind-N`.
 pub fn chrome_trace_json(result: &SimResult, names: &dyn Fn(u32) -> String) -> String {
-    let mut events = Vec::with_capacity(result.spans.len());
+    chrome_trace_json_with_instants(result, names, &[])
+}
+
+/// Like [`chrome_trace_json`], additionally emitting `instants` as
+/// process-scoped instant events interleaved with the spans.
+pub fn chrome_trace_json_with_instants(
+    result: &SimResult,
+    names: &dyn Fn(u32) -> String,
+    instants: &[TraceInstant],
+) -> String {
+    let mut events = Vec::with_capacity(result.spans.len() + instants.len());
     for s in &result.spans {
-        events.push(serde_json::json!({
-            "name": names(s.kind),
-            "cat": "sim",
-            "ph": "X",
-            "ts": s.start as f64 / 1e3, // chrome trace wants microseconds
-            "dur": (s.end - s.start) as f64 / 1e3,
-            "pid": 0,
-            "tid": s.resource.index(),
-        }));
+        events.push(Json::obj([
+            ("name", Json::from(names(s.kind))),
+            ("cat", Json::from("sim")),
+            ("ph", Json::from("X")),
+            // chrome trace wants microseconds
+            ("ts", Json::from(s.start as f64 / 1e3)),
+            ("dur", Json::from((s.end - s.start) as f64 / 1e3)),
+            ("pid", Json::from(0usize)),
+            ("tid", Json::from(s.resource.index())),
+        ]));
     }
-    serde_json::to_string(&events).expect("trace serialization cannot fail")
+    for i in instants {
+        events.push(Json::obj([
+            ("name", Json::from(i.name.as_str())),
+            ("cat", Json::from(i.category.as_str())),
+            ("ph", Json::from("i")),
+            ("ts", Json::from(i.time as f64 / 1e3)),
+            ("s", Json::from("p")), // process-scoped instant
+            ("pid", Json::from(0usize)),
+            ("tid", Json::from(0usize)),
+        ]));
+    }
+    Json::Arr(events).to_string()
 }
 
 /// Render an ASCII Gantt chart of the run: one row per resource, `width`
@@ -80,9 +116,31 @@ mod tests {
     fn chrome_trace_is_valid_json_with_all_spans() {
         let r = two_task_result();
         let s = chrome_trace_json(&r, &|k| format!("k{k}"));
-        let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+        let v = Json::parse(&s).unwrap();
         assert_eq!(v.as_array().unwrap().len(), 2);
-        assert_eq!(v[0]["name"], "k1");
+        assert_eq!(v[0]["name"].as_str(), Some("k1"));
+        assert_eq!(v[0]["ph"].as_str(), Some("X"));
+    }
+
+    #[test]
+    fn instants_emitted_with_distinct_category() {
+        let r = two_task_result();
+        let instants = vec![TraceInstant {
+            time: 75,
+            name: "gpu-death gpu1".to_string(),
+            category: "fault".to_string(),
+        }];
+        let s = chrome_trace_json_with_instants(&r, &|k| format!("k{k}"), &instants);
+        let v = Json::parse(&s).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let inst = &events[2];
+        assert_eq!(inst["ph"].as_str(), Some("i"));
+        assert_eq!(inst["cat"].as_str(), Some("fault"));
+        assert_eq!(inst["name"].as_str(), Some("gpu-death gpu1"));
+        assert_eq!(inst["ts"].as_f64(), Some(0.075));
+        // Span events keep the "sim" category.
+        assert_eq!(events[0]["cat"].as_str(), Some("sim"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! This crate is the numerical substrate for the thread-per-GPU distributed
 //! runtime (`megatron-dist`): it provides everything a GPT forward/backward
-//! pass needs — GEMM (rayon-parallel, with a naive reference used in
+//! pass needs — GEMM (thread-parallel, with a naive reference used in
 //! tests), GeLU, LayerNorm, causal multi-head attention, embeddings,
 //! cross-entropy — plus the Adam optimizer and a finite-difference gradient
 //! checker. Dropout is intentionally omitted: the reproduction's

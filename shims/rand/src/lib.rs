@@ -1,0 +1,403 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand` cannot be
+//! fetched. This shim reimplements the narrow API surface the workspace uses
+//! — seeded [`rngs::StdRng`], [`Rng::gen_range`] over integer and float
+//! ranges, and the [`distributions`] trio `Uniform` / `WeightedIndex` /
+//! `Distribution` — on top of the xoshiro256** generator. Everything is
+//! deterministic per seed and stable across platforms, which is the only
+//! property the repo actually relies on (seeded reproducibility for tests
+//! and synthetic data). Streams differ from the real `rand`; no seed in
+//! this repo encodes an upstream-compatible expectation.
+
+/// Core source of randomness: a 64-bit word stream.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let UniformRange { low, high_incl } = range.into();
+        T::sample_between(self, low, high_incl)
+    }
+
+    /// Uniform sample of the type's natural unit range (`[0, 1)` for
+    /// floats).
+    fn gen<T: SampleUnit>(&mut self) -> T {
+        T::sample_unit(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A `(low, high-inclusive)` pair normalized from range syntax.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange<T> {
+    low: T,
+    high_incl: T,
+}
+
+impl<T: SampleUniform> From<std::ops::Range<T>> for UniformRange<T> {
+    fn from(r: std::ops::Range<T>) -> Self {
+        assert!(r.start < r.end, "empty range in gen_range");
+        UniformRange {
+            low: r.start,
+            high_incl: T::before(r.end),
+        }
+    }
+}
+
+impl<T: SampleUniform> From<std::ops::RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: std::ops::RangeInclusive<T>) -> Self {
+        let (low, high_incl) = r.into_inner();
+        assert!(low <= high_incl, "empty range in gen_range");
+        UniformRange { low, high_incl }
+    }
+}
+
+/// Types uniformly sampleable over a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Largest value strictly below `end` (for half-open integer ranges;
+    /// floats return `end` itself and exclude it during sampling).
+    fn before(end: Self) -> Self;
+    /// Uniform draw from `[low, high]` (floats: `[low, high)`).
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn before(end: Self) -> Self {
+                end - 1
+            }
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any word is uniform.
+                    return rng.next_u64() as Self;
+                }
+                // Debiased multiply-shift (Lemire). The rejection zone is
+                // tiny for the small spans used here.
+                let zone = u64::MAX - (u64::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return low.wrapping_add((v % span) as Self);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+impl SampleUniform for f64 {
+    fn before(end: Self) -> Self {
+        end
+    }
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn before(end: Self) -> Self {
+        end
+    }
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + (high - low) * unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Types with a natural unit-interval sample.
+pub trait SampleUnit {
+    /// Sample the unit range.
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleUnit for f64 {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUnit for f32 {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+impl SampleUnit for u64 {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Map a raw word to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the workspace's standard seeded generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, per the xoshiro authors'
+            // recommendation (never yields the all-zero state).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// The distribution objects the workspace samples from.
+pub mod distributions {
+    use super::{Rng, RngCore, SampleUniform, UniformRange};
+
+    /// A reusable sampling recipe.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high_incl: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Half-open uniform distribution.
+        pub fn new(low: T, high: T) -> Self {
+            let UniformRange { low, high_incl } = (low..high).into();
+            Uniform { low, high_incl }
+        }
+
+        /// Inclusive uniform distribution.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Uniform {
+                low,
+                high_incl: high,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_between(rng, self.low, self.high_incl)
+        }
+    }
+
+    /// Error from [`WeightedIndex::new`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "weights must be non-negative with a positive sum")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Sample indices proportionally to a weight list.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        /// Cumulative weights (strictly increasing at sampleable indices).
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Build from an iterator of non-negative weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Into<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = w.into();
+                if !(w >= 0.0) || !w.is_finite() {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = rng.gen::<f64>() * self.total;
+            // First cumulative weight strictly above x; zero-weight entries
+            // are never selected (their cumulative equals the predecessor).
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+            {
+                Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..100)
+            .filter(|_| a.gen_range(0u64..1 << 40) == c.gen_range(0u64..1 << 40))
+            .count();
+        assert!(same < 3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(5u64..=5);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..100_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_distribution_matches_gen_range_semantics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Uniform::new(-2.0f32, 2.0);
+        for _ in 0..1000 {
+            let v = u.sample(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = WeightedIndex::new([8.0f64, 1.0, 1.0]).unwrap();
+        let hits = (0..10_000).filter(|_| w.sample(&mut rng) == 0).count();
+        assert!((7_500..8_500).contains(&hits), "hits {hits}");
+        assert!(WeightedIndex::new(std::iter::empty::<f64>()).is_err());
+        assert!(WeightedIndex::new([0.0f64, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0f64, 2.0]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = WeightedIndex::new([1.0f64, 0.0, 1.0]).unwrap();
+        for _ in 0..5_000 {
+            assert_ne!(w.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

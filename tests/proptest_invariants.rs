@@ -1,5 +1,6 @@
-//! Property-based tests (proptest) on the core invariants the paper's
-//! analysis rests on.
+//! Randomized property tests on the core invariants the paper's analysis
+//! rests on. Each property draws its parameters from a seeded RNG over a
+//! fixed number of cases, so failures are exactly reproducible.
 
 use megatron_repro::cluster::ClusterSpec;
 use megatron_repro::model::{memory, GptConfig};
@@ -9,22 +10,30 @@ use megatron_repro::schedule::ScheduleKind;
 use megatron_repro::sim::{time_to_secs, DagSim};
 use megatron_repro::tensor::gemm;
 use megatron_repro::tensor::Matrix;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Every generated schedule is structurally valid and deadlock-free,
-    /// and measures exactly the analytical bubble fraction.
-    #[test]
-    fn schedules_valid_and_bubble_exact(
-        p in 1usize..=8,
-        m_mult in 1usize..=4,
-        v in 1usize..=3,
-        tf in 0.5f64..3.0,
-        tb in 0.5f64..4.0,
-    ) {
-        let m = p * m_mult; // interleaving needs m % p == 0
+/// Run `body` for `CASES` deterministic cases, each with its own seeded RNG.
+fn for_cases(name: &str, body: impl Fn(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + case);
+        let _ = name; // case seed is the reproducer; name aids debugging
+        body(&mut rng);
+    }
+}
+
+/// Every generated schedule is structurally valid and deadlock-free, and
+/// measures exactly the analytical bubble fraction.
+#[test]
+fn schedules_valid_and_bubble_exact() {
+    for_cases("schedules_valid_and_bubble_exact", |rng| {
+        let p = rng.gen_range(1usize..=8);
+        let m = p * rng.gen_range(1usize..=4); // interleaving needs m % p == 0
+        let v = rng.gen_range(1usize..=3);
+        let tf = rng.gen_range(0.5f64..3.0);
+        let tb = rng.gen_range(0.5f64..4.0);
         for kind in [
             ScheduleKind::GPipe,
             ScheduleKind::OneFOneB,
@@ -32,37 +41,45 @@ proptest! {
         ] {
             let sched = kind.build(p, m);
             let replay = sched.validate().expect("valid schedule");
-            prop_assert!(replay.bubble_fraction >= -1e-9);
+            assert!(replay.bubble_fraction >= -1e-9);
             let timed = sched.replay(tf, tb).unwrap();
             let want = sched.analytical_bubble_fraction();
-            prop_assert!(
+            assert!(
                 (timed.bubble_fraction - want).abs() < 1e-6,
                 "{kind:?} (p={p}, m={m}): {} vs {want}",
                 timed.bubble_fraction
             );
         }
-    }
+    });
+}
 
-    /// 1F1B never stashes more than p microbatches; GPipe stashes exactly m
-    /// on the first device.
-    #[test]
-    fn activation_stash_bounds(p in 1usize..=8, m_mult in 1usize..=6) {
-        let m = p * m_mult;
+/// 1F1B never stashes more than p microbatches; GPipe stashes exactly m on
+/// the first device.
+#[test]
+fn activation_stash_bounds() {
+    for_cases("activation_stash_bounds", |rng| {
+        let p = rng.gen_range(1usize..=8);
+        let m = p * rng.gen_range(1usize..=6);
         let f = ScheduleKind::OneFOneB.build(p, m).replay(1.0, 2.0).unwrap();
-        prop_assert!(f.peak_in_flight.iter().all(|&x| x <= p));
+        assert!(f.peak_in_flight.iter().all(|&x| x <= p));
         let g = ScheduleKind::GPipe.build(p, m).replay(1.0, 2.0).unwrap();
-        prop_assert_eq!(g.peak_in_flight[0], m);
-    }
+        assert_eq!(g.peak_in_flight[0], m);
+    });
+}
 
-    /// Rank mapping is a bijection and groups partition the world.
-    #[test]
-    fn rank_mapping_bijective(p in 1u64..=6, t in 1u64..=6, d in 1u64..=6) {
+/// Rank mapping is a bijection and groups partition the world.
+#[test]
+fn rank_mapping_bijective() {
+    for_cases("rank_mapping_bijective", |rng| {
+        let p = rng.gen_range(1u64..=6);
+        let t = rng.gen_range(1u64..=6);
+        let d = rng.gen_range(1u64..=6);
         let mapper = RankMapper::new(p, t, d);
         let mut seen = vec![false; mapper.n() as usize];
         for r in 0..mapper.n() {
             let c = mapper.coord(r);
-            prop_assert_eq!(mapper.rank(c), r);
-            prop_assert!(!seen[r as usize]);
+            assert_eq!(mapper.rank(c), r);
+            assert!(!seen[r as usize]);
             seen[r as usize] = true;
         }
         // Tensor groups partition.
@@ -74,64 +91,65 @@ proptest! {
                 }
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
-    }
+        assert!(count.iter().all(|&c| c == 1));
+    });
+}
 
-    /// Parameter-count closed form (Eq. 2) tracks exact enumeration within
-    /// 0.1% for arbitrary architectures.
-    #[test]
-    fn eq2_tracks_exact(
-        l in 1u64..=128,
-        h_units in 1u64..=40,
-        head_pow in 0u32..=5,
-    ) {
-        let heads = 1u64 << head_pow;
-        let h = h_units * heads * 8; // h divisible by heads
+/// Parameter-count closed form (Eq. 2) tracks exact enumeration within 0.1%
+/// for arbitrary architectures.
+#[test]
+fn eq2_tracks_exact() {
+    for_cases("eq2_tracks_exact", |rng| {
+        let l = rng.gen_range(1u64..=128);
+        let heads = 1u64 << rng.gen_range(0u32..=5);
+        let h = rng.gen_range(1u64..=40) * heads * 8; // h divisible by heads
         let cfg = GptConfig::paper("prop", l, h, heads);
         let exact = cfg.params_exact() as f64;
         let eq2 = cfg.params_eq2();
-        prop_assert!((exact - eq2).abs() / exact < 1e-3, "l={l} h={h}: {exact} vs {eq2}");
-    }
+        assert!(
+            (exact - eq2).abs() / exact < 1e-3,
+            "l={l} h={h}: {exact} vs {eq2}"
+        );
+    });
+}
 
-    /// FLOPs formula: Eq. 3 equals the appendix breakdown with
-    /// recomputation, for arbitrary shapes and batch sizes.
-    #[test]
-    fn eq3_equals_appendix(
-        l in 1u64..=64,
-        h_units in 1u64..=24,
-        batch in 1u64..=4096,
-    ) {
-        let h = h_units * 128;
+/// FLOPs formula: Eq. 3 equals the appendix breakdown with recomputation,
+/// for arbitrary shapes and batch sizes.
+#[test]
+fn eq3_equals_appendix() {
+    for_cases("eq3_equals_appendix", |rng| {
+        let l = rng.gen_range(1u64..=64);
+        let h = rng.gen_range(1u64..=24) * 128;
+        let batch = rng.gen_range(1u64..=4096);
         let cfg = GptConfig::paper("prop", l, h, 8);
         let a = cfg.flops_per_iteration_eq3(batch);
         let b = cfg.flops_per_iteration(batch, true);
-        prop_assert!((a - b).abs() / a < 1e-12);
-    }
+        assert!((a - b).abs() / a < 1e-12);
+    });
+}
 
-    /// GEMM agrees with the naive triple loop on arbitrary shapes.
-    #[test]
-    fn gemm_matches_naive(
-        m in 1usize..=12,
-        k in 1usize..=12,
-        n in 1usize..=12,
-        seed in 0u64..1000,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Matrix::randn(m, k, 1.0, &mut rng);
-        let b = Matrix::randn(k, n, 1.0, &mut rng);
+/// GEMM agrees with the naive triple loop on arbitrary shapes.
+#[test]
+fn gemm_matches_naive() {
+    for_cases("gemm_matches_naive", |rng| {
+        let m = rng.gen_range(1usize..=12);
+        let k = rng.gen_range(1usize..=12);
+        let n = rng.gen_range(1usize..=12);
+        let a = Matrix::randn(m, k, 1.0, rng);
+        let b = Matrix::randn(k, n, 1.0, rng);
         let fast = gemm::matmul(&a, &b);
         let slow = gemm::matmul_naive(&a, &b);
-        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
-    }
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    });
+}
 
-    /// Simulated ring all-reduce time matches the analytical model for
-    /// arbitrary intra-node groups and sizes.
-    #[test]
-    fn simulated_all_reduce_matches_analytical(
-        group_size in 2usize..=8,
-        mib in 1u64..=64,
-    ) {
+/// Simulated ring all-reduce time matches the analytical model for
+/// arbitrary intra-node groups and sizes.
+#[test]
+fn simulated_all_reduce_matches_analytical() {
+    for_cases("simulated_all_reduce_matches_analytical", |rng| {
+        let group_size = rng.gen_range(2usize..=8);
+        let mib = rng.gen_range(1u64..=64);
         let cluster = ClusterSpec::selene(8);
         let ranks: Vec<usize> = (0..group_size).collect();
         let bytes = mib * 1024 * 1024;
@@ -140,89 +158,89 @@ proptest! {
         net.ring_all_reduce(&mut sim, &ranks, bytes, &[], 0);
         let got = time_to_secs(sim.run().unwrap().makespan);
         let want = analytical::ring_all_reduce_time(&cluster, &ranks, bytes as f64);
-        prop_assert!((got - want).abs() / want < 0.05, "{got} vs {want}");
-    }
+        assert!((got - want).abs() / want < 0.05, "{got} vs {want}");
+    });
+}
 
-    /// The ring volume factor 2(r−1)/r is monotone and bounded by 2.
-    #[test]
-    fn ring_volume_factor(r in 1usize..=4096) {
+/// The ring volume factor 2(r−1)/r is monotone and bounded by 2.
+#[test]
+fn ring_volume_factor() {
+    for_cases("ring_volume_factor", |rng| {
+        let r = rng.gen_range(1usize..=4096);
         let v = analytical::ring_all_reduce_volume(r, 1.0);
-        prop_assert!((0.0..2.0).contains(&v));
+        assert!((0.0..2.0).contains(&v));
         if r > 1 {
-            prop_assert!(v > analytical::ring_all_reduce_volume(r - 1, 1.0) - 1e-12);
+            assert!(v > analytical::ring_all_reduce_volume(r - 1, 1.0) - 1e-12);
         }
-    }
+    });
+}
 
-    /// Memory model invariants: sharding monotonically reduces per-GPU
-    /// state; recomputation never stashes more than full caching; the §3.5
-    /// optimal checkpoint count minimizes the closed-form footprint.
-    #[test]
-    fn memory_model_invariants(
-        l_per_stage in 1u64..=8,
-        p_pow in 0u32..=3,
-        t_pow in 0u32..=3,
-        b in 1u64..=8,
-    ) {
-        let p = 1u64 << p_pow;
-        let t = 1u64 << t_pow;
+/// Memory model invariants: sharding monotonically reduces per-GPU state;
+/// recomputation never stashes more than full caching; the §3.5 optimal
+/// checkpoint count minimizes the closed-form footprint.
+#[test]
+fn memory_model_invariants() {
+    for_cases("memory_model_invariants", |rng| {
+        let l_per_stage = rng.gen_range(1u64..=8);
+        let p = 1u64 << rng.gen_range(0u32..=3);
+        let t = 1u64 << rng.gen_range(0u32..=3);
+        let b = rng.gen_range(1u64..=8);
         let heads = t.max(4);
         let cfg = GptConfig::paper("prop", l_per_stage * p, heads * 64, heads);
         // More pipeline or tensor parallelism → less state per GPU.
         let state = memory::model_state_bytes_per_gpu(&cfg, p, t);
         if p > 1 {
-            prop_assert!(state <= memory::model_state_bytes_per_gpu(&cfg, p / 2, t));
+            assert!(state <= memory::model_state_bytes_per_gpu(&cfg, p / 2, t));
         }
         if t > 1 {
-            prop_assert!(state <= memory::model_state_bytes_per_gpu(&cfg, p, t / 2));
+            assert!(state <= memory::model_state_bytes_per_gpu(&cfg, p, t / 2));
         }
         // Recompute stash ≤ full stash.
-        prop_assert!(
-            memory::activation_bytes_recompute(&cfg, b)
-                <= memory::activation_bytes_full(&cfg, b, t)
+        assert!(
+            memory::activation_bytes_recompute(&cfg, b) <= memory::activation_bytes_full(&cfg, b, t)
         );
         // Optimal checkpoint count minimizes the §3.5 expression.
         let (ai, am, ll) = (1.0e6, 17.0e6, l_per_stage as f64 * 4.0);
         let c_star = memory::optimal_checkpoints(ai, am, ll);
         let best = memory::checkpointed_stage_bytes(ai, am, ll, c_star);
         for c in 1..=(ll as u64) {
-            prop_assert!(memory::checkpointed_stage_bytes(ai, am, ll, c as f64) >= best - 1e-3);
+            assert!(memory::checkpointed_stage_bytes(ai, am, ll, c as f64) >= best - 1e-3);
         }
-    }
+    });
+}
 
-    /// Analytical §3 identities: interleaving divides the bubble by v; the
-    /// scatter/gather wire volume is exactly 1/t of the plain transfer.
-    #[test]
-    fn analysis_identities(
-        p in 2u64..=64,
-        m_mult in 1u64..=8,
-        v in 1u64..=4,
-        t in 1u64..=8,
-        b in 1u64..=8,
-    ) {
+/// Analytical §3 identities: interleaving divides the bubble by v; the
+/// scatter/gather wire volume is exactly 1/t of the plain transfer.
+#[test]
+fn analysis_identities() {
+    for_cases("analysis_identities", |rng| {
         use megatron_repro::parallel::analysis;
-        let m = p * m_mult;
+        let p = rng.gen_range(2u64..=64);
+        let m = p * rng.gen_range(1u64..=8);
+        let v = rng.gen_range(1u64..=4);
+        let t = rng.gen_range(1u64..=8);
+        let b = rng.gen_range(1u64..=8);
         let base = analysis::bubble_fraction(p, m, 1);
         let inter = analysis::bubble_fraction(p, m, v);
-        prop_assert!((inter - base / v as f64).abs() < 1e-12);
+        assert!((inter - base / v as f64).abs() < 1e-12);
         let cfg = GptConfig::paper("prop", 2, 1024, 8);
         let plain = analysis::pipeline_p2p_bytes(&cfg, b);
         let sg = analysis::pipeline_p2p_bytes_scatter_gather(&cfg, b, t);
-        prop_assert!(sg >= plain / t && sg <= plain / t + t);
-    }
+        assert!(sg >= plain / t && sg <= plain / t + t);
+    });
+}
 
-    /// DAG simulation is work-conserving: makespan is at least the busiest
-    /// resource's total work and at most the sum of all task durations.
-    #[test]
-    fn dag_sim_bounds(
-        n_tasks in 1usize..=60,
-        n_res in 1usize..=6,
-        seed in 0u64..1000,
-    ) {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// DAG simulation is work-conserving: makespan is at least the busiest
+/// resource's total work and at most the sum of all task durations.
+#[test]
+fn dag_sim_bounds() {
+    for_cases("dag_sim_bounds", |rng| {
+        let n_tasks = rng.gen_range(1usize..=60);
+        let n_res = rng.gen_range(1usize..=6);
         let mut sim = DagSim::new();
-        let resources: Vec<_> = (0..n_res).map(|i| sim.add_resource(format!("r{i}"))).collect();
+        let resources: Vec<_> = (0..n_res)
+            .map(|i| sim.add_resource(format!("r{i}")))
+            .collect();
         let mut tasks = Vec::new();
         let mut total: u64 = 0;
         for i in 0..n_tasks {
@@ -240,8 +258,8 @@ proptest! {
         }
         let result = sim.run().unwrap();
         let busiest = result.resources.iter().map(|r| r.busy).max().unwrap();
-        prop_assert!(result.makespan >= busiest);
-        prop_assert!(result.makespan <= total);
-        prop_assert_eq!(result.spans.len(), n_tasks);
-    }
+        assert!(result.makespan >= busiest);
+        assert!(result.makespan <= total);
+        assert_eq!(result.spans.len(), n_tasks);
+    });
 }
