@@ -6,25 +6,142 @@
 //! board. Reductions always iterate contributions in rank order, so every
 //! member computes a bit-identical result — the property the equivalence
 //! tests lean on.
+//!
+//! Failure handling: the barrier is poisonable. When a member thread
+//! panics (its [`GroupMember`] is dropped mid-unwind) or a rank is
+//! deliberately killed via [`GroupMember::poison`], every peer blocked in —
+//! or later entering — a collective gets [`CommError::Poisoned`] instead of
+//! hanging. A rank that simply stops calling collectives trips
+//! [`CommError::Timeout`] in its peers after the group's configured
+//! timeout, which also poisons the group so the failure propagates.
 
-use std::sync::{Arc, Barrier, Mutex};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default collective timeout; generous next to the microseconds a healthy
+/// shared-memory collective takes, so it only fires on real failures.
+pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A collective failed instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer did not reach the barrier within the group timeout. The
+    /// group is poisoned as a side effect.
+    Timeout,
+    /// The group was poisoned: a peer panicked mid-collective, was killed
+    /// via [`GroupMember::poison`], or previously timed out.
+    Poisoned,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "collective timed out waiting for a peer"),
+            CommError::Poisoned => write!(f, "communicator group is poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Condvar-based rendezvous barrier that can be poisoned and waited on
+/// with a timeout. Reusable across generations like [`std::sync::Barrier`].
+struct PoisonBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    size: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(size: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            size,
+        }
+    }
+
+    fn wait(&self, timeout: Duration) -> Result<(), CommError> {
+        let mut s = self.state.lock().unwrap();
+        if s.poisoned {
+            return Err(CommError::Poisoned);
+        }
+        s.arrived += 1;
+        if s.arrived == self.size {
+            s.arrived = 0;
+            s.generation = s.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if s.generation != gen {
+                // The barrier completed for our generation; a poison flag
+                // raised afterwards belongs to a later collective.
+                return Ok(());
+            }
+            if s.poisoned {
+                return Err(CommError::Poisoned);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Give up, and poison so the stuck peers (and the late
+                // rank, if it ever shows up) fail fast instead of hanging.
+                s.poisoned = true;
+                self.cv.notify_all();
+                return Err(CommError::Timeout);
+            }
+            s = self.cv.wait_timeout(s, deadline - now).unwrap().0;
+        }
+    }
+
+    fn poison(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.state.lock().unwrap().poisoned
+    }
+}
 
 /// Shared state of one communicator group.
 pub struct Group {
     size: usize,
     board: Vec<Mutex<Vec<f32>>>,
-    barrier: Barrier,
+    barrier: PoisonBarrier,
+    timeout: Duration,
 }
 
 impl Group {
     /// Create a group of `size` ranks; hand one [`GroupMember`] per rank to
-    /// its thread via [`Group::member`].
+    /// its thread via [`Group::member`]. Collectives use
+    /// [`DEFAULT_COMM_TIMEOUT`].
     pub fn new(size: usize) -> Arc<Group> {
+        Group::with_timeout(size, DEFAULT_COMM_TIMEOUT)
+    }
+
+    /// Like [`Group::new`] with an explicit collective timeout.
+    pub fn with_timeout(size: usize, timeout: Duration) -> Arc<Group> {
         assert!(size > 0);
         Arc::new(Group {
             size,
             board: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
-            barrier: Barrier::new(size),
+            barrier: PoisonBarrier::new(size),
+            timeout,
         })
     }
 
@@ -40,6 +157,11 @@ impl Group {
     /// Ranks in the group.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Whether the group has been poisoned by a failure.
+    pub fn is_poisoned(&self) -> bool {
+        self.barrier.is_poisoned()
     }
 }
 
@@ -61,14 +183,21 @@ impl GroupMember {
         self.group.size
     }
 
-    /// In-place sum all-reduce. Deterministic: contributions are summed in
-    /// rank order on every member.
-    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+    /// Poison the group: every peer blocked in — or later entering — a
+    /// collective gets [`CommError::Poisoned`]. Used to simulate killing
+    /// this rank; also invoked automatically when a member thread panics.
+    pub fn poison(&self) {
+        self.group.barrier.poison();
+    }
+
+    /// Fallible in-place sum all-reduce. Deterministic: contributions are
+    /// summed in rank order on every member.
+    pub fn try_all_reduce_sum(&self, buf: &mut [f32]) -> Result<(), CommError> {
         if self.group.size == 1 {
-            return;
+            return Ok(());
         }
         *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.group.barrier.wait();
+        self.try_barrier()?;
         for (i, b) in buf.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for r in 0..self.group.size {
@@ -76,16 +205,16 @@ impl GroupMember {
             }
             *b = acc;
         }
-        self.group.barrier.wait();
+        self.try_barrier()
     }
 
-    /// In-place element-wise max all-reduce.
-    pub fn all_reduce_max(&self, buf: &mut [f32]) {
+    /// Fallible in-place element-wise max all-reduce.
+    pub fn try_all_reduce_max(&self, buf: &mut [f32]) -> Result<(), CommError> {
         if self.group.size == 1 {
-            return;
+            return Ok(());
         }
         *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.group.barrier.wait();
+        self.try_barrier()?;
         for (i, b) in buf.iter_mut().enumerate() {
             let mut acc = f32::NEG_INFINITY;
             for r in 0..self.group.size {
@@ -93,59 +222,63 @@ impl GroupMember {
             }
             *b = acc;
         }
-        self.group.barrier.wait();
+        self.try_barrier()
     }
 
-    /// In-place mean all-reduce (deterministic, rank-ordered).
-    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
-        self.all_reduce_sum(buf);
+    /// Fallible in-place mean all-reduce (deterministic, rank-ordered).
+    pub fn try_all_reduce_mean(&self, buf: &mut [f32]) -> Result<(), CommError> {
+        self.try_all_reduce_sum(buf)?;
         let k = 1.0 / self.group.size as f32;
         for b in buf {
             *b *= k;
         }
+        Ok(())
     }
 
-    /// All-gather: every rank contributes `part`; returns the rank-ordered
-    /// concatenation.
-    pub fn all_gather(&self, part: &[f32]) -> Vec<f32> {
+    /// Fallible all-gather: every rank contributes `part`; returns the
+    /// rank-ordered concatenation.
+    pub fn try_all_gather(&self, part: &[f32]) -> Result<Vec<f32>, CommError> {
         if self.group.size == 1 {
-            return part.to_vec();
+            return Ok(part.to_vec());
         }
         *self.group.board[self.rank].lock().unwrap() = part.to_vec();
-        self.group.barrier.wait();
+        self.try_barrier()?;
         let mut out = Vec::with_capacity(part.len() * self.group.size);
         for r in 0..self.group.size {
             out.extend_from_slice(&self.group.board[r].lock().unwrap());
         }
-        self.group.barrier.wait();
-        out
+        self.try_barrier()?;
+        Ok(out)
     }
 
-    /// Broadcast `buf` from `root` to every rank, in place.
-    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+    /// Fallible broadcast of `buf` from `root` to every rank, in place.
+    pub fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
         if self.group.size == 1 {
-            return;
+            return Ok(());
         }
         if self.rank == root {
             *self.group.board[root].lock().unwrap() = buf.to_vec();
         }
-        self.group.barrier.wait();
+        self.try_barrier()?;
         if self.rank != root {
             buf.copy_from_slice(&self.group.board[root].lock().unwrap());
         }
-        self.group.barrier.wait();
+        self.try_barrier()
     }
 
-    /// Reduce-scatter: sum contributions, return this rank's `1/size` shard
-    /// (buffer length must divide evenly).
-    pub fn reduce_scatter_sum(&self, buf: &[f32]) -> Vec<f32> {
-        assert!(buf.len().is_multiple_of(self.group.size), "uneven reduce-scatter");
+    /// Fallible reduce-scatter: sum contributions, return this rank's
+    /// `1/size` shard (buffer length must divide evenly).
+    pub fn try_reduce_scatter_sum(&self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
+        assert!(
+            buf.len().is_multiple_of(self.group.size),
+            "uneven reduce-scatter"
+        );
         let chunk = buf.len() / self.group.size;
         if self.group.size == 1 {
-            return buf.to_vec();
+            return Ok(buf.to_vec());
         }
         *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.group.barrier.wait();
+        self.try_barrier()?;
         let lo = self.rank * chunk;
         let mut out = vec![0.0f32; chunk];
         for r in 0..self.group.size {
@@ -154,13 +287,58 @@ impl GroupMember {
                 *o += v;
             }
         }
-        self.group.barrier.wait();
-        out
+        self.try_barrier()?;
+        Ok(out)
     }
 
-    /// Pure synchronization barrier.
+    /// Fallible synchronization barrier.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.group.barrier.wait(self.group.timeout)
+    }
+
+    /// In-place sum all-reduce; panics on communicator failure.
+    pub fn all_reduce_sum(&self, buf: &mut [f32]) {
+        self.try_all_reduce_sum(buf).expect("all_reduce_sum");
+    }
+
+    /// In-place element-wise max all-reduce; panics on communicator failure.
+    pub fn all_reduce_max(&self, buf: &mut [f32]) {
+        self.try_all_reduce_max(buf).expect("all_reduce_max");
+    }
+
+    /// In-place mean all-reduce; panics on communicator failure.
+    pub fn all_reduce_mean(&self, buf: &mut [f32]) {
+        self.try_all_reduce_mean(buf).expect("all_reduce_mean");
+    }
+
+    /// All-gather; panics on communicator failure.
+    pub fn all_gather(&self, part: &[f32]) -> Vec<f32> {
+        self.try_all_gather(part).expect("all_gather")
+    }
+
+    /// Broadcast from `root`; panics on communicator failure.
+    pub fn broadcast(&self, buf: &mut [f32], root: usize) {
+        self.try_broadcast(buf, root).expect("broadcast");
+    }
+
+    /// Reduce-scatter; panics on communicator failure.
+    pub fn reduce_scatter_sum(&self, buf: &[f32]) -> Vec<f32> {
+        self.try_reduce_scatter_sum(buf).expect("reduce_scatter_sum")
+    }
+
+    /// Pure synchronization barrier; panics on communicator failure.
     pub fn barrier(&self) {
-        self.group.barrier.wait();
+        self.try_barrier().expect("barrier");
+    }
+}
+
+impl Drop for GroupMember {
+    fn drop(&mut self) {
+        // A member dropped while its thread unwinds means the rank died
+        // mid-collective-sequence: poison so peers error instead of hanging.
+        if std::thread::panicking() {
+            self.group.barrier.poison();
+        }
     }
 }
 
@@ -299,6 +477,93 @@ mod tests {
                 assert_eq!(*v, want, "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn panicked_rank_poisons_group_and_survivors_error() {
+        // Rank 2 panics before joining the collective; its GroupMember is
+        // dropped during unwinding and poisons the group. Both survivors
+        // must get a CommError well within the timeout, not deadlock.
+        let group = Group::with_timeout(3, Duration::from_secs(5));
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for r in 0..3usize {
+            let m = Arc::clone(&group).member(r);
+            // Raw threads (not thread::scope): rank 2's panic must not tear
+            // down the test before the survivors observe the error.
+            handles.push(thread::spawn(move || {
+                if m.rank() == 2 {
+                    panic!("simulated GPU failure");
+                }
+                let mut buf = vec![m.rank() as f32; 4];
+                m.try_all_reduce_sum(&mut buf).map(|()| buf)
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        assert!(results[2].is_err(), "rank 2 should have panicked");
+        for r in 0..2 {
+            let got = results[r].as_ref().expect("survivor must not panic");
+            assert_eq!(got, &Err(CommError::Poisoned), "rank {r}");
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "survivors must error before the timeout, got {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn absent_rank_times_out_survivors() {
+        // Rank 2 never calls the collective (and never panics): survivors
+        // trip the timeout, which poisons the group.
+        let group = Group::with_timeout(3, Duration::from_millis(100));
+        let results = thread::scope(|s| {
+            let handles: Vec<_> = (0..3usize)
+                .map(|r| {
+                    let m = Arc::clone(&group).member(r);
+                    s.spawn(move || {
+                        if m.rank() == 2 {
+                            // Exits cleanly without ever joining: no panic,
+                            // so only the timeout can save the peers.
+                            return Ok(());
+                        }
+                        let mut buf = vec![1.0f32];
+                        m.try_all_reduce_sum(&mut buf)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        for r in 0..2 {
+            assert!(
+                matches!(results[r], Err(CommError::Timeout) | Err(CommError::Poisoned)),
+                "rank {r}: {:?}",
+                results[r]
+            );
+        }
+        assert!(group.is_poisoned());
+    }
+
+    #[test]
+    fn explicit_poison_fails_later_collectives() {
+        let results = run_group(2, |m| {
+            let mut buf = vec![1.0f32];
+            m.try_all_reduce_sum(&mut buf).unwrap();
+            if m.rank() == 0 {
+                m.poison();
+            }
+            let _ = m.try_barrier();
+            m.try_all_reduce_sum(&mut buf)
+        });
+        for r in &results {
+            assert_eq!(*r, Err(CommError::Poisoned));
+        }
+    }
+
+    #[test]
+    fn comm_error_displays() {
+        assert!(CommError::Timeout.to_string().contains("timed out"));
+        assert!(CommError::Poisoned.to_string().contains("poisoned"));
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod trainer;
 pub mod two_bw;
 pub mod vocab;
 
-pub use comm::{Group, GroupMember};
+pub use comm::{CommError, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
 pub use trainer::{PtdpSpec, PtdpTrainer, TrainLog};
