@@ -29,4 +29,7 @@ pub mod two_bw;
 pub mod vocab;
 
 pub use comm::{CommError, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
-pub use trainer::{PtdpSpec, PtdpTrainer, TrainLog};
+pub use trainer::{
+    KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadState, TrainError, TrainLog,
+    TrainOutcome, TrainSnapshot,
+};

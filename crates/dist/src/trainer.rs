@@ -21,15 +21,16 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use megatron_schedule::{Pass, ScheduleKind};
 use megatron_tensor::gpt::GptModel;
 use megatron_tensor::layers::{cross_entropy, Embedding, LayerNorm, LayerNormCache, Linear};
-use megatron_tensor::{Adam, Matrix};
+use megatron_tensor::{Adam, AdamState, Matrix};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 use crate::block::{ParallelBlock, ParallelBlockCache};
-use crate::comm::{Group, GroupMember};
+use crate::comm::{CommError, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
 use crate::vocab::{VocabHeadCache, VocabParallelEmbedding, VocabParallelHead};
 
 /// Parallelization plan for [`PtdpTrainer`].
@@ -97,6 +98,7 @@ type SharedMap<V> = Arc<Mutex<HashMap<ThreadKey, V>>>;
 /// Result of a training run.
 pub struct TrainLog {
     /// Mean loss per iteration (averaged over microbatches and replicas).
+    /// A resumed run only fills the entries it executed.
     pub losses: Vec<f32>,
     /// Flattened final parameters per thread, keyed `(pipeline, data,
     /// tensor)` — in each thread's canonical visit order, for equivalence
@@ -106,6 +108,110 @@ pub struct TrainLog {
     /// (GPipe stashes m microbatches, 1F1B at most p, recompute only the
     /// chunk inputs).
     pub peak_stash_floats: HashMap<ThreadKey, usize>,
+    /// Wall-clock seconds per executed iteration per thread — the raw
+    /// material for straggler detection (`megatron-fault`).
+    pub step_times: HashMap<ThreadKey, Vec<f64>>,
+}
+
+/// One thread's share of an in-memory checkpoint: its flattened parameters
+/// plus the full Adam state. Exact f32 copies, so a restore resumes
+/// bit-identically.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    /// Flattened parameters in canonical visit order.
+    pub params: Vec<f32>,
+    /// Optimizer state.
+    pub adam: AdamState,
+}
+
+/// A consistent in-memory checkpoint of the whole job, taken after the
+/// optimizer step of iteration `next_iter - 1`.
+#[derive(Debug, Clone, Default)]
+pub struct TrainSnapshot {
+    /// First iteration a resumed run should execute.
+    pub next_iter: usize,
+    /// Per-thread state, keyed `(pipeline, data, tensor)`.
+    pub threads: HashMap<ThreadKey, ThreadState>,
+}
+
+/// Deliberately kill one rank mid-iteration (fault-injection hook): the
+/// thread poisons its groups and exits halfway through its schedule ops
+/// for that iteration, as if its GPU died.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSwitch {
+    /// Which thread dies.
+    pub thread: ThreadKey,
+    /// Iteration (0-based, absolute) during which it dies.
+    pub iteration: usize,
+}
+
+/// Failure-handling knobs for [`PtdpTrainer::train_with`].
+pub struct RunControl {
+    /// Snapshot the full job state every `k` iterations (after the
+    /// optimizer step of iterations k-1, 2k-1, ...).
+    pub checkpoint_every: Option<usize>,
+    /// Resume from a previous checkpoint instead of the master weights.
+    pub restore: Option<TrainSnapshot>,
+    /// Kill a rank mid-iteration.
+    pub kill: Option<KillSwitch>,
+    /// Collective timeout for all process groups.
+    pub comm_timeout: Duration,
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        RunControl {
+            checkpoint_every: None,
+            restore: None,
+            kill: None,
+            comm_timeout: DEFAULT_COMM_TIMEOUT,
+        }
+    }
+}
+
+/// Why a thread of a training run stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// This rank was deliberately killed by a [`KillSwitch`].
+    Killed(ThreadKey),
+    /// A collective failed (peer died or timed out).
+    Comm(CommError),
+    /// A pipeline channel closed because a peer exited early.
+    PipelineBroken,
+    /// The restore snapshot has no state for this thread.
+    MissingThreadState(ThreadKey),
+    /// A thread panicked for a reason other than a communicator failure.
+    ThreadPanicked(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Killed(k) => write!(f, "rank {k:?} was killed"),
+            TrainError::Comm(e) => write!(f, "collective failed: {e}"),
+            TrainError::PipelineBroken => write!(f, "pipeline channel closed by a dead peer"),
+            TrainError::MissingThreadState(k) => {
+                write!(f, "snapshot has no state for thread {k:?}")
+            }
+            TrainError::ThreadPanicked(m) => write!(f, "worker thread panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Everything a (possibly failed) [`PtdpTrainer::train_with`] run produced.
+pub struct TrainOutcome {
+    /// Losses / final params / instrumentation. On a failed run, only the
+    /// entries completed before the failure are filled.
+    pub log: TrainLog,
+    /// The first error observed, if the run did not complete. A run with a
+    /// [`KillSwitch`] always reports an error (`Killed` on the dead rank's
+    /// side, a comm/pipeline error from the survivors).
+    pub error: Option<TrainError>,
+    /// The most recent checkpoint completed by *every* thread, if
+    /// checkpointing was enabled and one completed before the failure.
+    pub snapshot: Option<TrainSnapshot>,
 }
 
 /// Embedding owned by a first-stage thread: replicated or vocab-sharded.
@@ -266,6 +372,17 @@ impl ThreadModel {
         self.visit(&mut |p, _| out.extend_from_slice(p));
         out
     }
+
+    /// Overwrite every parameter from a flat snapshot (inverse of
+    /// [`ThreadModel::flat_params`]).
+    pub(crate) fn set_flat_params(&mut self, vals: &[f32]) {
+        let mut off = 0;
+        self.visit(&mut |p, _| {
+            p.copy_from_slice(&vals[off..off + p.len()]);
+            off += p.len();
+        });
+        assert_eq!(off, vals.len(), "snapshot parameter count mismatch");
+    }
 }
 
 /// Per-microbatch forward cache for one chunk.
@@ -352,7 +469,23 @@ impl PtdpTrainer {
 
     /// Train for one iteration per element of `data`; each element is the
     /// full global batch (`tokens`, `targets`), both `B·seq` long.
+    ///
+    /// # Panics
+    /// If any worker fails (use [`PtdpTrainer::train_with`] for the
+    /// fallible path).
     pub fn train(&self, data: &[(Vec<usize>, Vec<usize>)]) -> TrainLog {
+        let out = self.train_with(data, RunControl::default());
+        if let Some(e) = out.error {
+            panic!("training failed: {e}");
+        }
+        out.log
+    }
+
+    /// Like [`PtdpTrainer::train`] with failure handling: periodic
+    /// in-memory checkpoints, restore-from-snapshot, deliberate rank
+    /// kills, and a collective timeout. Never panics on worker failure —
+    /// the first error is reported in the outcome instead.
+    pub fn train_with(&self, data: &[(Vec<usize>, Vec<usize>)], ctl: RunControl) -> TrainOutcome {
         let spec = self.spec;
         let cfg = self.master.cfg;
         let (p, t, d, v) = (spec.pipeline, spec.tensor, spec.data, spec.chunks);
@@ -376,11 +509,12 @@ impl PtdpTrainer {
         schedule.validate().expect("generated schedule is valid");
 
         // --- Process groups ---
+        let timeout = ctl.comm_timeout;
         let tensor_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
-            .flat_map(|pi| (0..d).map(move |di| ((pi, di), Group::new(t))))
+            .flat_map(|pi| (0..d).map(move |di| ((pi, di), Group::with_timeout(t, timeout))))
             .collect();
         let data_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
-            .flat_map(|pi| (0..t).map(move |ti| ((pi, ti), Group::new(d))))
+            .flat_map(|pi| (0..t).map(move |ti| ((pi, ti), Group::with_timeout(d, timeout))))
             .collect();
 
         // --- Channels (per (di, ti) lane, per stage boundary) ---
@@ -425,8 +559,16 @@ impl PtdpTrainer {
         let losses = Arc::new(Mutex::new(vec![0.0f32; data.len()]));
         let final_params: SharedMap<Vec<f32>> = Arc::new(Mutex::new(HashMap::new()));
         let peak_stash: SharedMap<usize> = Arc::new(Mutex::new(HashMap::new()));
+        let step_times: SharedMap<Vec<f64>> = Arc::new(Mutex::new(HashMap::new()));
+        // Checkpoints accumulate per iteration; threads may drift by up to
+        // a pipeline flush, so only an iteration every thread finished
+        // counts as a restorable snapshot.
+        let ckpts: Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>> =
+            Mutex::new(HashMap::new());
+        let ctl = &ctl;
 
-        std::thread::scope(|scope| {
+        let results: Vec<(ThreadKey, Result<(), TrainError>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p * d * t);
             for pi in 0..p {
                 for di in 0..d {
                     for ti in 0..t {
@@ -436,9 +578,11 @@ impl PtdpTrainer {
                         let losses = Arc::clone(&losses);
                         let final_params = Arc::clone(&final_params);
                         let peak_stash = Arc::clone(&peak_stash);
+                        let step_times = Arc::clone(&step_times);
                         let master = &self.master;
                         let schedule = &schedule;
-                        scope.spawn(move || {
+                        let ckpts = &ckpts;
+                        handles.push(((pi, di, ti), scope.spawn(move || {
                             run_thread(ThreadArgs {
                                 pi,
                                 di,
@@ -453,24 +597,79 @@ impl PtdpTrainer {
                                 losses,
                                 final_params,
                                 peak_stash,
-                            });
-                        });
+                                step_times,
+                                ctl,
+                                ckpts,
+                            })
+                        })));
                     }
                 }
             }
+            handles
+                .into_iter()
+                .map(|(key, h)| (key, h.join().unwrap_or_else(|p| Err(classify_panic(&p)))))
+                .collect()
         });
 
-        TrainLog {
-            losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
-            final_params: Arc::try_unwrap(final_params)
-                .unwrap()
-                .into_inner()
-                .unwrap(),
-            peak_stash_floats: Arc::try_unwrap(peak_stash)
-                .unwrap()
-                .into_inner()
-                .unwrap(),
+        // Prefer the deliberate kill as the headline error (the comm errors
+        // on the survivors are its consequences).
+        let error = results
+            .iter()
+            .find_map(|(_, r)| match r {
+                Err(e @ TrainError::Killed(_)) => Some(e.clone()),
+                _ => None,
+            })
+            .or_else(|| {
+                results
+                    .iter()
+                    .find_map(|(_, r)| r.as_ref().err().cloned())
+            });
+
+        let world = p * d * t;
+        let snapshot = ckpts
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .filter(|(_, threads)| threads.len() == world)
+            .max_by_key(|(next_iter, _)| *next_iter)
+            .map(|(next_iter, threads)| TrainSnapshot { next_iter, threads });
+
+        TrainOutcome {
+            log: TrainLog {
+                losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
+                final_params: Arc::try_unwrap(final_params)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap(),
+                peak_stash_floats: Arc::try_unwrap(peak_stash)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap(),
+                step_times: Arc::try_unwrap(step_times).unwrap().into_inner().unwrap(),
+            },
+            error,
+            snapshot,
         }
+    }
+}
+
+/// Map a worker panic to a [`TrainError`]. Inner tensor/vocab collectives
+/// surface poisoned groups by panicking; recognize those so survivors of a
+/// killed rank report a clean comm error.
+fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    if msg.contains("Poisoned") || msg.contains("poisoned") {
+        TrainError::Comm(CommError::Poisoned)
+    } else if msg.contains("Timeout") || msg.contains("timed out") {
+        TrainError::Comm(CommError::Timeout)
+    } else if msg.contains("recv") || msg.contains("send") {
+        TrainError::PipelineBroken
+    } else {
+        TrainError::ThreadPanicked(msg)
     }
 }
 
@@ -488,6 +687,9 @@ struct ThreadArgs<'a> {
     losses: Arc<Mutex<Vec<f32>>>,
     final_params: SharedMap<Vec<f32>>,
     peak_stash: SharedMap<usize>,
+    step_times: SharedMap<Vec<f64>>,
+    ctl: &'a RunControl,
+    ckpts: &'a Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>>,
 }
 
 /// Build the shard thread `(pi, ti)` owns from the master weights.
@@ -594,7 +796,7 @@ fn head_backward(head: &mut HeadShard, hc: &HeadCache, tg: &GroupMember) -> Matr
     }
 }
 
-fn run_thread(args: ThreadArgs<'_>) {
+fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     let ThreadArgs {
         pi,
         di,
@@ -609,6 +811,9 @@ fn run_thread(args: ThreadArgs<'_>) {
         losses,
         final_params,
         peak_stash,
+        step_times,
+        ctl,
+        ckpts,
     } = args;
     let cfg = master.cfg;
     let (p, v) = (spec.pipeline, spec.chunks);
@@ -619,12 +824,41 @@ fn run_thread(args: ThreadArgs<'_>) {
     let b = spec.microbatch;
     let per_replica = data[0].0.len() / seq / spec.data;
     let m = per_replica / b;
+    let key: ThreadKey = (pi, di, ti);
+
+    // Any early return must poison both groups first, or peers blocked in
+    // a collective would sit out the full timeout instead of failing fast.
+    let fail = |e: CommError| {
+        tg.poison();
+        dg.poison();
+        TrainError::Comm(e)
+    };
+    let broken = || {
+        tg.poison();
+        dg.poison();
+        TrainError::PipelineBroken
+    };
 
     let mut model = build_thread_model(master, &spec, pi, ti);
     let mut adam = Adam::new(spec.lr);
     let owns_last = model.head.is_some();
 
-    for (iter, (tokens, targets)) in data.iter().enumerate() {
+    let start_iter = if let Some(snap) = &ctl.restore {
+        let st = snap.threads.get(&key).ok_or_else(|| {
+            tg.poison();
+            dg.poison();
+            TrainError::MissingThreadState(key)
+        })?;
+        model.set_flat_params(&st.params);
+        adam.import_state(st.adam.clone());
+        snap.next_iter
+    } else {
+        0
+    };
+    let kill_iter = ctl.kill.filter(|k| k.thread == key).map(|k| k.iteration);
+
+    for (iter, (tokens, targets)) in data.iter().enumerate().skip(start_iter) {
+        let iter_start = Instant::now();
         // This replica's slice.
         let lo = di * per_replica * seq;
         let replica_tokens = &tokens[lo..lo + per_replica * seq];
@@ -637,7 +871,14 @@ fn run_thread(args: ThreadArgs<'_>) {
         let mut stash_floats = 0usize;
         let mut loss_sum = 0.0f32;
 
-        for op in &schedule.ops[pi] {
+        for (opi, op) in schedule.ops[pi].iter().enumerate() {
+            // Fault-injection hook: die halfway through this iteration's
+            // op list, as if the GPU failed mid-step.
+            if kill_iter == Some(iter) && opi == schedule.ops[pi].len() / 2 {
+                tg.poison();
+                dg.poison();
+                return Err(TrainError::Killed(key));
+            }
             let stage = schedule.stage_of(pi, op.chunk);
             match op.pass {
                 Pass::Forward => {
@@ -649,7 +890,7 @@ fn run_thread(args: ThreadArgs<'_>) {
                             .expect("stage 0 owns embed")
                             .forward(toks, seq, &tg)
                     } else {
-                        ep.fwd_in[&stage].recv().expect("pipeline fwd recv")
+                        ep.fwd_in[&stage].recv().map_err(|_| broken())?
                     };
                     let mut x = input.clone();
                     let mut block_caches = Vec::with_capacity(layers_per_stage);
@@ -675,7 +916,7 @@ fn run_thread(args: ThreadArgs<'_>) {
                             cache.head = Some(head_cache);
                         }
                     } else {
-                        ep.fwd_out[&stage].send(x).expect("pipeline fwd send");
+                        ep.fwd_out[&stage].send(x).map_err(|_| broken())?;
                     }
                     stash_floats += cache.float_count();
                     let mut peak = peak_stash.lock().unwrap();
@@ -713,7 +954,7 @@ fn run_thread(args: ThreadArgs<'_>) {
                         let head = model.head.as_mut().expect("head");
                         head_backward(head, hc, &tg)
                     } else {
-                        ep.bwd_in[&stage].recv().expect("pipeline bwd recv")
+                        ep.bwd_in[&stage].recv().map_err(|_| broken())?
                     };
                     for (blk, c) in model.chunks[op.chunk]
                         .iter_mut()
@@ -723,7 +964,7 @@ fn run_thread(args: ThreadArgs<'_>) {
                         dx = blk.backward(c, &dx, b, seq, &tg);
                     }
                     if stage > 0 {
-                        ep.bwd_out[&stage].send(dx).expect("pipeline bwd send");
+                        ep.bwd_out[&stage].send(dx).map_err(|_| broken())?;
                     } else {
                         let toks = cache.tokens.as_ref().expect("stage-0 tokens");
                         model
@@ -751,7 +992,7 @@ fn run_thread(args: ThreadArgs<'_>) {
         // over data-parallel replicas.
         if owns_last && ti == 0 {
             let mut l = [loss_sum * inv_m];
-            dg.all_reduce_mean(&mut l);
+            dg.try_all_reduce_mean(&mut l).map_err(&fail)?;
             if di == 0 {
                 losses.lock().unwrap()[iter] = l[0];
             }
@@ -773,7 +1014,7 @@ fn run_thread(args: ThreadArgs<'_>) {
             flat_g.resize(n0 + pad, 0.0);
             flat_p.resize(n0 + pad, 0.0);
             let chunk = (n0 + pad) / d;
-            let mut gshard = dg.reduce_scatter_sum(&flat_g);
+            let mut gshard = dg.try_reduce_scatter_sum(&flat_g).map_err(&fail)?;
             let inv_d = 1.0 / d as f32;
             for x in &mut gshard {
                 *x *= inv_d;
@@ -781,7 +1022,7 @@ fn run_thread(args: ThreadArgs<'_>) {
             let lo = di * chunk;
             let mut pshard = flat_p[lo..lo + chunk].to_vec();
             adam.step(&mut [(&mut pshard, &mut gshard)]);
-            let mut gathered = dg.all_gather(&pshard);
+            let mut gathered = dg.try_all_gather(&pshard).map_err(&fail)?;
             gathered.truncate(n0);
             let mut off = 0;
             model.visit(&mut |pp, _| {
@@ -792,17 +1033,47 @@ fn run_thread(args: ThreadArgs<'_>) {
             // Data-parallel gradient averaging, parameter by parameter
             // (same order on every member of the group).
             if spec.data > 1 {
-                model.visit(&mut |_, g| dg.all_reduce_mean(g));
+                let mut comm_err: Option<CommError> = None;
+                model.visit(&mut |_, g| {
+                    if comm_err.is_none() {
+                        if let Err(e) = dg.try_all_reduce_mean(g) {
+                            comm_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = comm_err {
+                    return Err(fail(e));
+                }
             }
             let mut pairs = model.param_grad_pairs();
             adam.step(&mut pairs);
         }
+
+        // --- Optimizer step done: checkpoint + instrumentation ---
+        if let Some(k) = ctl.checkpoint_every {
+            if k > 0 && (iter + 1).is_multiple_of(k) {
+                let state = ThreadState {
+                    params: model.flat_params(),
+                    adam: adam.export_state(),
+                };
+                ckpts
+                    .lock()
+                    .unwrap()
+                    .entry(iter + 1)
+                    .or_default()
+                    .insert(key, state);
+            }
+        }
+        step_times
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(iter_start.elapsed().as_secs_f64());
     }
 
-    final_params
-        .lock()
-        .unwrap()
-        .insert((pi, di, ti), model.flat_params());
+    final_params.lock().unwrap().insert(key, model.flat_params());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1124,6 +1395,105 @@ mod tests {
         assert!(
             g0 >= 3 * f0,
             "GPipe peak {g0} should far exceed 1F1B peak {f0}"
+        );
+    }
+
+    /// Kill a rank mid-iteration, grab the last full checkpoint, resume,
+    /// and demand the resumed run lands bit-identically on an
+    /// uninterrupted one.
+    fn kill_and_restart_bitwise(cfg: TinyGptConfig, spec: PtdpSpec, batch: usize) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let master = GptModel::new(cfg, &mut rng);
+        let data = make_data(cfg, batch, 6, 91);
+
+        // Run A: uninterrupted reference.
+        let a = PtdpTrainer::new(master.clone(), spec).train(&data);
+        for v in a.step_times.values() {
+            assert_eq!(v.len(), 6, "every thread times every iteration");
+        }
+
+        // Run B: checkpoint every 2 iterations, kill a rank during iter 4.
+        let ctl = RunControl {
+            checkpoint_every: Some(2),
+            kill: Some(KillSwitch {
+                thread: (0, 0, 0),
+                iteration: 4,
+            }),
+            comm_timeout: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let b = PtdpTrainer::new(master.clone(), spec).train_with(&data, ctl);
+        assert_eq!(b.error, Some(TrainError::Killed((0, 0, 0))));
+        let snap = b.snapshot.expect("a checkpoint completed before the kill");
+        assert_eq!(snap.next_iter, 4, "latest full checkpoint is after iter 3");
+        assert_eq!(snap.threads.len(), spec.world());
+
+        // Run C: resume from the snapshot.
+        let ctl = RunControl {
+            restore: Some(snap),
+            ..Default::default()
+        };
+        let c = PtdpTrainer::new(master, spec).train_with(&data, ctl);
+        assert!(c.error.is_none(), "resume failed: {:?}", c.error);
+        assert_eq!(a.final_params.len(), c.log.final_params.len());
+        for (k, v) in &a.final_params {
+            assert_eq!(
+                v, &c.log.final_params[k],
+                "thread {k:?} weights not bit-identical after resume"
+            );
+        }
+        assert_eq!(
+            a.losses[4..],
+            c.log.losses[4..],
+            "resumed-iteration losses must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn kill_and_restart_1f1b() {
+        let mut spec = PtdpSpec::new(2, 2, 1);
+        spec.microbatch = 1;
+        kill_and_restart_bitwise(tiny(2), spec, 4);
+    }
+
+    #[test]
+    fn kill_and_restart_gpipe() {
+        let mut spec = PtdpSpec::new(2, 1, 2);
+        spec.schedule = ScheduleKind::GPipe;
+        spec.microbatch = 1;
+        kill_and_restart_bitwise(tiny(2), spec, 4);
+    }
+
+    #[test]
+    fn kill_and_restart_interleaved() {
+        let mut spec = PtdpSpec::new(2, 1, 1);
+        spec.chunks = 2;
+        spec.schedule = ScheduleKind::Interleaved { chunks: 2 };
+        spec.microbatch = 1;
+        kill_and_restart_bitwise(tiny(4), spec, 4);
+    }
+
+    #[test]
+    fn restore_missing_thread_state_errors() {
+        let cfg = tiny(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let master = GptModel::new(cfg, &mut rng);
+        let data = make_data(cfg, 4, 2, 11);
+        let mut spec = PtdpSpec::new(2, 1, 1);
+        spec.microbatch = 1;
+        let ctl = RunControl {
+            restore: Some(TrainSnapshot {
+                next_iter: 1,
+                threads: HashMap::new(),
+            }),
+            comm_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let out = PtdpTrainer::new(master, spec).train_with(&data, ctl);
+        assert!(
+            matches!(out.error, Some(TrainError::MissingThreadState(_))),
+            "got {:?}",
+            out.error
         );
     }
 

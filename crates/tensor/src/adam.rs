@@ -73,6 +73,38 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Snapshot the optimizer state (step count and both moment vectors)
+    /// for checkpointing. Together with the parameters this is everything
+    /// needed to resume training bit-identically.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore state captured by [`Adam::export_state`]. Hyperparameters
+    /// are kept; subsequent steps continue exactly where the snapshot
+    /// left off.
+    pub fn import_state(&mut self, state: AdamState) {
+        assert_eq!(state.m.len(), state.v.len(), "moment length mismatch");
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+    }
+}
+
+/// Serializable Adam state: step count and first/second moment vectors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamState {
+    /// Steps taken.
+    pub t: u64,
+    /// First moments (positional, over the concatenated parameter slices).
+    pub m: Vec<f32>,
+    /// Second moments.
+    pub v: Vec<f32>,
 }
 
 #[cfg(test)]

@@ -22,5 +22,5 @@ pub mod gradcheck;
 pub mod layers;
 mod matrix;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use matrix::Matrix;
