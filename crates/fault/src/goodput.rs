@@ -1,0 +1,231 @@
+//! MTBF-driven goodput modeling and optimal checkpoint intervals.
+//!
+//! The paper's §5.10 measures checkpoint save/load bandwidth on Selene;
+//! this module composes that I/O model (`megatron_core::checkpoint`) with
+//! a classic first-order failure model to answer the operational question
+//! it raises: *how often should a run of this size checkpoint, and how
+//! much goodput survives at a given failure rate?*
+//!
+//! Model: failures arrive with cluster-wide mean time between failures
+//! `M`. Checkpoints cost `δ` (the §5.10 save time) every `τ` seconds of
+//! useful work; each failure costs a restart `R` (the §5.10 load time
+//! plus job-relaunch overhead) and, on average, `τ/2` of lost work since
+//! the last checkpoint. The goodput fraction is
+//!
+//! ```text
+//! f(τ) = τ/(τ+δ) · (1 − (τ/2 + R)/M)
+//! ```
+//!
+//! and the near-optimal interval is Young/Daly's `τ* = √(2δM)`.
+
+use megatron_core::{CheckpointIo, FilesystemSpec};
+use megatron_model::zoo::Table1Row;
+
+/// First-order checkpoint/failure model of one training job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoodputModel {
+    /// Cluster-wide mean time between failures, seconds.
+    pub mtbf_s: f64,
+    /// Checkpoint save cost, seconds (§5.10's `save_seconds`).
+    pub save_s: f64,
+    /// Restart cost per failure, seconds: checkpoint load plus job
+    /// relaunch/requeue overhead.
+    pub restart_s: f64,
+}
+
+impl GoodputModel {
+    /// Build the model for one Table 1 row on a given filesystem: the
+    /// checkpoint save/load times come from the §5.10 I/O model at the
+    /// row's node count (Selene packs 8 GPUs per node).
+    pub fn for_table1_row(
+        row: &Table1Row,
+        fs: &FilesystemSpec,
+        mtbf_s: f64,
+        relaunch_s: f64,
+    ) -> Self {
+        let nodes = (row.n_gpus as usize).div_ceil(8);
+        let io = CheckpointIo::estimate(&row.config, fs, nodes);
+        GoodputModel {
+            mtbf_s,
+            save_s: io.save_seconds,
+            restart_s: io.load_seconds + relaunch_s,
+        }
+    }
+
+    /// Goodput fraction at checkpoint interval `interval_s`, clamped to
+    /// `[0, 1]` (a failure rate high enough to drive the expression
+    /// negative means the job makes no progress at all).
+    pub fn goodput(&self, interval_s: f64) -> f64 {
+        assert!(interval_s > 0.0, "interval must be positive");
+        let tau = interval_s;
+        let useful = tau / (tau + self.save_s);
+        let lost = (tau / 2.0 + self.restart_s) / self.mtbf_s;
+        (useful * (1.0 - lost)).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of wall-clock spent writing checkpoints at `interval_s`.
+    pub fn checkpoint_overhead_fraction(&self, interval_s: f64) -> f64 {
+        self.save_s / (interval_s + self.save_s)
+    }
+
+    /// Expected fraction of wall-clock lost to failures (half an interval
+    /// of redone work plus the restart, per MTBF) at `interval_s`.
+    pub fn lost_work_fraction(&self, interval_s: f64) -> f64 {
+        ((interval_s / 2.0 + self.restart_s) / self.mtbf_s).min(1.0)
+    }
+
+    /// Young/Daly's near-optimal checkpoint interval `√(2δM)`, seconds.
+    pub fn young_daly_interval(&self) -> f64 {
+        (2.0 * self.save_s * self.mtbf_s).sqrt()
+    }
+
+    /// Brute-force the goodput-maximizing interval over a geometric grid
+    /// of `steps` points spanning `[lo_s, hi_s]`. Ground truth for
+    /// validating [`GoodputModel::young_daly_interval`].
+    pub fn optimal_interval_brute_force(&self, lo_s: f64, hi_s: f64, steps: usize) -> f64 {
+        assert!(lo_s > 0.0 && hi_s > lo_s && steps >= 2);
+        let ratio = (hi_s / lo_s).powf(1.0 / (steps - 1) as f64);
+        let mut best = (lo_s, self.goodput(lo_s));
+        let mut tau = lo_s;
+        for _ in 1..steps {
+            tau *= ratio;
+            let g = self.goodput(tau);
+            if g > best.1 {
+                best = (tau, g);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megatron_model::zoo;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn selene_1t(mtbf_s: f64) -> GoodputModel {
+        let rows = zoo::table1();
+        let row = rows.last().unwrap(); // the 1T row, 3072 GPUs / 384 nodes
+        GoodputModel::for_table1_row(row, &FilesystemSpec::selene(), mtbf_s, 120.0)
+    }
+
+    #[test]
+    fn trillion_row_inherits_section_5_10_costs() {
+        let m = selene_1t(4.0 * 3600.0);
+        // §5.10: ~50 s save at 273 GB/s, ~14 s load at 1 TB/s.
+        assert!(m.save_s > 40.0 && m.save_s < 60.0, "save {}", m.save_s);
+        assert!(
+            m.restart_s > 120.0 + 10.0 && m.restart_s < 120.0 + 20.0,
+            "restart {}",
+            m.restart_s
+        );
+    }
+
+    #[test]
+    fn young_daly_matches_brute_force() {
+        // Over a realistic MTBF range, √(2δM) must land within 15 % of the
+        // brute-force optimum, and its goodput within 0.2 % — the optimum
+        // is flat, which is exactly why the approximation is usable.
+        for mtbf_h in [1.0, 4.0, 24.0, 24.0 * 7.0] {
+            let m = selene_1t(mtbf_h * 3600.0);
+            let yd = m.young_daly_interval();
+            let bf = m.optimal_interval_brute_force(10.0, m.mtbf_s, 20_000);
+            assert!(
+                (yd - bf).abs() / bf < 0.15,
+                "MTBF {mtbf_h} h: Young/Daly {yd:.0} s vs brute force {bf:.0} s"
+            );
+            assert!(
+                m.goodput(yd) >= 0.998 * m.goodput(bf),
+                "MTBF {mtbf_h} h: goodput {:.5} vs optimal {:.5}",
+                m.goodput(yd),
+                m.goodput(bf)
+            );
+        }
+    }
+
+    #[test]
+    fn goodput_monotone_nonincreasing_as_mtbf_shrinks() {
+        // Property: at the (per-MTBF) Young/Daly interval, goodput never
+        // rises when failures get more frequent. Seeded random model
+        // parameters in realistic ranges.
+        let mut rng = StdRng::seed_from_u64(0x5eed_fa01);
+        for case in 0..64 {
+            let save_s = rng.gen_range(5.0..120.0);
+            let restart_s = rng.gen_range(10.0..600.0);
+            let mut prev = f64::INFINITY;
+            // MTBF descending from 30 days to 30 minutes.
+            let mut mtbf = 30.0 * 24.0 * 3600.0;
+            while mtbf > 1800.0 {
+                let m = GoodputModel {
+                    mtbf_s: mtbf,
+                    save_s,
+                    restart_s,
+                };
+                let g = m.goodput(m.young_daly_interval());
+                assert!(
+                    g <= prev + 1e-12,
+                    "case {case}: goodput rose from {prev} to {g} as MTBF fell to {mtbf}"
+                );
+                prev = g;
+                mtbf /= rng.gen_range(1.2..3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn goodput_monotone_at_fixed_interval_too() {
+        let mut rng = StdRng::seed_from_u64(0x5eed_fa02);
+        for _ in 0..64 {
+            let m0 = GoodputModel {
+                mtbf_s: 0.0, // overwritten below
+                save_s: rng.gen_range(5.0..120.0),
+                restart_s: rng.gen_range(10.0..600.0),
+            };
+            let tau = rng.gen_range(300.0..7200.0);
+            let mut prev = f64::INFINITY;
+            for mtbf_h in [720.0, 168.0, 24.0, 4.0, 1.0, 0.5] {
+                let g = GoodputModel {
+                    mtbf_s: mtbf_h * 3600.0,
+                    ..m0
+                }
+                .goodput(tau);
+                assert!(g <= prev + 1e-12);
+                prev = g;
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_decompose_goodput() {
+        let m = selene_1t(24.0 * 3600.0);
+        let tau = m.young_daly_interval();
+        let f = m.goodput(tau);
+        let recomposed =
+            (1.0 - m.checkpoint_overhead_fraction(tau)) * (1.0 - m.lost_work_fraction(tau));
+        assert!((f - recomposed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_reliability_recovers_pure_overhead() {
+        let m = GoodputModel {
+            mtbf_s: f64::INFINITY,
+            save_s: 50.0,
+            restart_s: 100.0,
+        };
+        // Only the checkpoint overhead remains; longer intervals always win.
+        assert!((m.goodput(1000.0) - 1000.0 / 1050.0).abs() < 1e-12);
+        assert!(m.goodput(10_000.0) > m.goodput(1000.0));
+    }
+
+    #[test]
+    fn hopeless_failure_rate_clamps_to_zero() {
+        let m = GoodputModel {
+            mtbf_s: 60.0,
+            save_s: 50.0,
+            restart_s: 500.0,
+        };
+        assert_eq!(m.goodput(600.0), 0.0);
+    }
+}

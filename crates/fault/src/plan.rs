@@ -1,0 +1,532 @@
+//! Seeded fault plans and their injection into the discrete-event world.
+//!
+//! A [`FaultPlan`] is a reproducible (seeded) list of timed fault events —
+//! GPU deaths, whole-node deaths, link degradations and flaps, compute
+//! stragglers — drawn from independent exponential inter-arrival processes,
+//! one per fault class. A [`FaultInjector`] lowers the plan onto a
+//! [`DagSim`]: deaths and stragglers become slowdown windows on compute
+//! resources, link events become slowdown windows on the victim GPU's
+//! network egress ports (`megatron-net` registers one NVLink and one IB
+//! port per GPU). Every event is also exported as a Chrome-trace instant
+//! (category `fault`) so injected runs can be inspected in Perfetto next
+//! to the ordinary task spans.
+
+use megatron_net::Network;
+use megatron_sim::{secs_to_time, DagSim, ResourceId, Time, TraceInstant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A resource stays effectively frozen under this slowdown factor; the
+/// engine requires finite factors, so "dead" is modeled as "10⁶× slower
+/// for the repair window".
+pub const DEATH_FACTOR: f64 = 1e6;
+
+/// What failed and how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// One GPU stops making progress until repaired/replaced.
+    GpuDeath {
+        /// Repair/replacement window, seconds.
+        repair_s: f64,
+    },
+    /// A whole node (all its GPUs and their links) goes down.
+    NodeDeath {
+        /// Repair/replacement window, seconds.
+        repair_s: f64,
+    },
+    /// A GPU's inter-node link runs degraded (e.g. cable errors forcing
+    /// retransmits) for a while.
+    LinkDegrade {
+        /// Work-time multiplier while degraded (≥ 1).
+        factor: f64,
+        /// Degradation window, seconds.
+        duration_s: f64,
+    },
+    /// A link flaps: `count` short degraded bursts spaced `period_s` apart.
+    LinkFlap {
+        /// Work-time multiplier during each burst.
+        factor: f64,
+        /// Burst length, seconds.
+        burst_s: f64,
+        /// Gap between burst starts, seconds.
+        period_s: f64,
+        /// Number of bursts.
+        count: u32,
+    },
+    /// A GPU computes slower than its peers (thermal throttling, ECC
+    /// retirement, background daemon...).
+    Straggler {
+        /// Work-time multiplier while straggling (≥ 1).
+        factor: f64,
+        /// Straggle window, seconds.
+        duration_s: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short label for traces and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::GpuDeath { .. } => "gpu-death",
+            FaultKind::NodeDeath { .. } => "node-death",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::LinkFlap { .. } => "link-flap",
+            FaultKind::Straggler { .. } => "straggler",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Onset time, seconds since simulation start.
+    pub at_s: f64,
+    /// The victim GPU (for node faults: any GPU of the node — the injector
+    /// expands to the whole node).
+    pub gpu: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Mean time between failures per fault class, over the *whole cluster*
+/// (set a class to `f64::INFINITY` to disable it).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultRates {
+    /// MTBF of single-GPU deaths, seconds.
+    pub gpu_death_mtbf_s: f64,
+    /// MTBF of whole-node deaths, seconds.
+    pub node_death_mtbf_s: f64,
+    /// MTBF of link-degradation episodes, seconds.
+    pub link_degrade_mtbf_s: f64,
+    /// MTBF of link-flap episodes, seconds.
+    pub link_flap_mtbf_s: f64,
+    /// MTBF of straggler episodes, seconds.
+    pub straggler_mtbf_s: f64,
+}
+
+impl FaultRates {
+    /// Nothing ever fails.
+    pub fn none() -> Self {
+        FaultRates {
+            gpu_death_mtbf_s: f64::INFINITY,
+            node_death_mtbf_s: f64::INFINITY,
+            link_degrade_mtbf_s: f64::INFINITY,
+            link_flap_mtbf_s: f64::INFINITY,
+            straggler_mtbf_s: f64::INFINITY,
+        }
+    }
+}
+
+/// A reproducible schedule of fault events over a time horizon.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Covered horizon, seconds.
+    pub horizon_s: f64,
+    /// Events sorted by onset time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Draw a plan for `n_gpus` GPUs over `horizon_s` seconds. Each fault
+    /// class arrives as a Poisson process with the given cluster-wide MTBF
+    /// (exponential inter-arrival via inverse-CDF); victims are uniform
+    /// over GPUs. The same seed always yields the same plan.
+    pub fn generate(seed: u64, n_gpus: usize, horizon_s: f64, rates: &FaultRates) -> Self {
+        assert!(n_gpus > 0, "need at least one GPU");
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let classes: [(f64, fn(&mut StdRng) -> FaultKind); 5] = [
+            (rates.gpu_death_mtbf_s, |r| FaultKind::GpuDeath {
+                repair_s: r.gen_range(300.0..1800.0),
+            }),
+            (rates.node_death_mtbf_s, |r| FaultKind::NodeDeath {
+                repair_s: r.gen_range(600.0..3600.0),
+            }),
+            (rates.link_degrade_mtbf_s, |r| FaultKind::LinkDegrade {
+                factor: r.gen_range(1.5..8.0),
+                duration_s: r.gen_range(30.0..600.0),
+            }),
+            (rates.link_flap_mtbf_s, |r| FaultKind::LinkFlap {
+                factor: r.gen_range(4.0..20.0),
+                burst_s: r.gen_range(1.0..10.0),
+                period_s: r.gen_range(20.0..120.0),
+                count: r.gen_range(2u64..6) as u32,
+            }),
+            (rates.straggler_mtbf_s, |r| FaultKind::Straggler {
+                factor: r.gen_range(1.1..2.5),
+                duration_s: r.gen_range(60.0..1200.0),
+            }),
+        ];
+        for (mtbf, draw) in classes {
+            if !mtbf.is_finite() {
+                continue;
+            }
+            assert!(mtbf > 0.0, "MTBF must be positive");
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival: −ln(1−U)·MTBF.
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() * mtbf;
+                if t >= horizon_s {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at_s: t,
+                    gpu: rng.gen_range(0..n_gpus),
+                    kind: draw(&mut rng),
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        FaultPlan { horizon_s, events }
+    }
+
+    /// The plan's events as Chrome-trace instants (category `fault`), for
+    /// overlay on a simulated timeline via
+    /// [`megatron_sim::chrome_trace_json_with_instants`].
+    pub fn instants(&self) -> Vec<TraceInstant> {
+        self.events
+            .iter()
+            .map(|e| TraceInstant {
+                time: secs_to_time(e.at_s),
+                name: format!("gpu{}.{}", e.gpu, e.kind.label()),
+                category: "fault".to_string(),
+            })
+            .collect()
+    }
+}
+
+/// One slowdown window destined for one resource.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    resource: ResourceId,
+    from: Time,
+    to: Time,
+    factor: f64,
+}
+
+/// Lowers a [`FaultPlan`] onto a [`DagSim`].
+pub struct FaultInjector<'a> {
+    /// Compute resource per GPU, in GPU order (as registered by the
+    /// caller's DAG builder).
+    pub gpu_compute: &'a [ResourceId],
+    /// Network ports to degrade on link faults and deaths (optional — a
+    /// compute-only simulation passes `None`).
+    pub network: Option<&'a Network>,
+    /// GPUs per node, for expanding node deaths (8 on Selene).
+    pub gpus_per_node: usize,
+}
+
+impl FaultInjector<'_> {
+    /// Apply every event of `plan` as slowdown windows. Windows that would
+    /// overlap an already-applied window on the same resource are clipped
+    /// to start after it (the engine rejects overlaps); windows swallowed
+    /// whole are dropped. Returns the number of windows actually applied.
+    pub fn apply(&self, sim: &mut DagSim, plan: &FaultPlan) -> usize {
+        let mut windows = Vec::new();
+        for ev in &plan.events {
+            self.expand(ev, &mut windows);
+        }
+        // Per-resource overlap resolution: sort by (resource, start) and
+        // push each window's start past the previous end.
+        windows.sort_by(|a, b| (a.resource, a.from).cmp(&(b.resource, b.from)));
+        let mut applied = 0;
+        let mut last_end: Option<(ResourceId, Time)> = None;
+        for mut w in windows {
+            if let Some((res, end)) = last_end {
+                if res == w.resource && w.from < end {
+                    w.from = end;
+                }
+            }
+            if w.from >= w.to {
+                continue;
+            }
+            sim.add_slowdown(w.resource, w.from, w.to, w.factor);
+            last_end = Some((w.resource, w.to));
+            applied += 1;
+        }
+        applied
+    }
+
+    fn expand(&self, ev: &FaultEvent, out: &mut Vec<Window>) {
+        let from = secs_to_time(ev.at_s);
+        let mut push = |resource: ResourceId, from: Time, to: Time, factor: f64| {
+            out.push(Window {
+                resource,
+                from,
+                to,
+                factor,
+            });
+        };
+        match ev.kind {
+            FaultKind::GpuDeath { repair_s } => {
+                let to = secs_to_time(ev.at_s + repair_s);
+                push(self.gpu_compute[ev.gpu], from, to, DEATH_FACTOR);
+                if let Some(net) = self.network {
+                    push(net.nv_port(ev.gpu), from, to, DEATH_FACTOR);
+                    push(net.ib_port(ev.gpu), from, to, DEATH_FACTOR);
+                }
+            }
+            FaultKind::NodeDeath { repair_s } => {
+                let to = secs_to_time(ev.at_s + repair_s);
+                let node = ev.gpu / self.gpus_per_node;
+                for g in node * self.gpus_per_node..(node + 1) * self.gpus_per_node {
+                    if g >= self.gpu_compute.len() {
+                        break;
+                    }
+                    push(self.gpu_compute[g], from, to, DEATH_FACTOR);
+                    if let Some(net) = self.network {
+                        push(net.nv_port(g), from, to, DEATH_FACTOR);
+                        push(net.ib_port(g), from, to, DEATH_FACTOR);
+                    }
+                }
+            }
+            FaultKind::LinkDegrade { factor, duration_s } => {
+                let to = secs_to_time(ev.at_s + duration_s);
+                if let Some(net) = self.network {
+                    push(net.ib_port(ev.gpu), from, to, factor);
+                } else {
+                    // Compute-only world: charge the victim's compute
+                    // resource so the fault is still visible.
+                    push(self.gpu_compute[ev.gpu], from, to, factor);
+                }
+            }
+            FaultKind::LinkFlap {
+                factor,
+                burst_s,
+                period_s,
+                count,
+            } => {
+                for i in 0..count {
+                    let start = ev.at_s + i as f64 * period_s;
+                    let (f, t) = (secs_to_time(start), secs_to_time(start + burst_s));
+                    if let Some(net) = self.network {
+                        push(net.ib_port(ev.gpu), f, t, factor);
+                    } else {
+                        push(self.gpu_compute[ev.gpu], f, t, factor);
+                    }
+                }
+            }
+            FaultKind::Straggler { factor, duration_s } => {
+                push(
+                    self.gpu_compute[ev.gpu],
+                    from,
+                    secs_to_time(ev.at_s + duration_s),
+                    factor,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megatron_cluster::ClusterSpec;
+    use megatron_sim::time_to_secs;
+
+    fn demo_rates() -> FaultRates {
+        FaultRates {
+            gpu_death_mtbf_s: 3600.0,
+            node_death_mtbf_s: 4.0 * 3600.0,
+            link_degrade_mtbf_s: 1800.0,
+            link_flap_mtbf_s: 2.0 * 3600.0,
+            straggler_mtbf_s: 900.0,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, 16, 24.0 * 3600.0, &demo_rates());
+        let b = FaultPlan::generate(42, 16, 24.0 * 3600.0, &demo_rates());
+        assert_eq!(a.events, b.events);
+        assert!(!a.events.is_empty(), "a day at these rates produces faults");
+    }
+
+    #[test]
+    fn different_seed_different_plan() {
+        let a = FaultPlan::generate(1, 16, 24.0 * 3600.0, &demo_rates());
+        let b = FaultPlan::generate(2, 16, 24.0 * 3600.0, &demo_rates());
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn events_sorted_and_inside_horizon() {
+        let plan = FaultPlan::generate(7, 64, 12.0 * 3600.0, &demo_rates());
+        for w in plan.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+        for e in &plan.events {
+            assert!(e.at_s >= 0.0 && e.at_s < plan.horizon_s);
+            assert!(e.gpu < 64);
+        }
+    }
+
+    #[test]
+    fn arrival_count_tracks_mtbf() {
+        // Over 200×MTBF, a Poisson process yields ~200 arrivals; seeded
+        // draws must land in a generous window around that.
+        let rates = FaultRates {
+            straggler_mtbf_s: 100.0,
+            ..FaultRates::none()
+        };
+        let plan = FaultPlan::generate(3, 8, 20_000.0, &rates);
+        let n = plan.events.len();
+        assert!((120..=280).contains(&n), "got {n} events, expected ~200");
+    }
+
+    #[test]
+    fn straggler_window_stretches_victim_only() {
+        let mut sim = DagSim::new();
+        let g0 = sim.add_resource("gpu0");
+        let g1 = sim.add_resource("gpu1");
+        let work = secs_to_time(10.0);
+        let a = sim.add_task(g0, work, &[], 1);
+        let b = sim.add_task(g1, work, &[], 1);
+        let plan = FaultPlan {
+            horizon_s: 100.0,
+            events: vec![FaultEvent {
+                at_s: 0.0,
+                gpu: 0,
+                kind: FaultKind::Straggler {
+                    factor: 2.0,
+                    duration_s: 100.0,
+                },
+            }],
+        };
+        let inj = FaultInjector {
+            gpu_compute: &[g0, g1],
+            network: None,
+            gpus_per_node: 8,
+        };
+        assert_eq!(inj.apply(&mut sim, &plan), 1);
+        let result = sim.run().unwrap();
+        let fa = time_to_secs(result.finish_of(a).unwrap());
+        let fb = time_to_secs(result.finish_of(b).unwrap());
+        assert!((fa - 20.0).abs() < 1e-6, "victim took {fa}");
+        assert!((fb - 10.0).abs() < 1e-6, "bystander took {fb}");
+    }
+
+    #[test]
+    fn node_death_freezes_every_gpu_of_the_node() {
+        let mut sim = DagSim::new();
+        let gpus: Vec<_> = (0..4).map(|g| sim.add_resource(format!("gpu{g}"))).collect();
+        let tasks: Vec<_> = gpus
+            .iter()
+            .map(|&g| sim.add_task(g, secs_to_time(1.0), &[], 1))
+            .collect();
+        // 2 GPUs per node; kill node 0 (gpus 0-1) for 50 s at t=0.
+        let plan = FaultPlan {
+            horizon_s: 100.0,
+            events: vec![FaultEvent {
+                at_s: 0.0,
+                gpu: 1,
+                kind: FaultKind::NodeDeath { repair_s: 50.0 },
+            }],
+        };
+        let inj = FaultInjector {
+            gpu_compute: &gpus,
+            network: None,
+            gpus_per_node: 2,
+        };
+        inj.apply(&mut sim, &plan);
+        let result = sim.run().unwrap();
+        for (g, &t) in tasks.iter().enumerate() {
+            let f = time_to_secs(result.finish_of(t).unwrap());
+            if g < 2 {
+                // Dead until repair; the 1 s of work completes right after.
+                assert!(f >= 50.0, "gpu{g} finished at {f}, node was dead");
+            } else {
+                assert!((f - 1.0).abs() < 1e-6, "gpu{g} finished at {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_faults_hit_network_ports() {
+        let mut sim = DagSim::new();
+        let cluster = ClusterSpec::selene(16);
+        let gpus: Vec<_> = (0..16).map(|g| sim.add_resource(format!("gpu{g}"))).collect();
+        let net = Network::new(&mut sim, cluster);
+        // Degrade gpu 3's IB port 4× for the whole run, then send
+        // cross-node traffic from gpu 3 and from gpu 4 (both node 0, peers
+        // on node 1).
+        let plan = FaultPlan {
+            horizon_s: 1e4,
+            events: vec![FaultEvent {
+                at_s: 0.0,
+                gpu: 3,
+                kind: FaultKind::LinkDegrade {
+                    factor: 4.0,
+                    duration_s: 1e4,
+                },
+            }],
+        };
+        let inj = FaultInjector {
+            gpu_compute: &gpus,
+            network: Some(&net),
+            gpus_per_node: 8,
+        };
+        inj.apply(&mut sim, &plan);
+        let bytes = 1 << 30;
+        let slow = net.send(&mut sim, 3, 8, bytes, &[], 3);
+        let fine = net.send(&mut sim, 4, 9, bytes, &[], 3);
+        let result = sim.run().unwrap();
+        let ts = time_to_secs(result.finish_of(slow).unwrap());
+        let tf = time_to_secs(result.finish_of(fine).unwrap());
+        assert!(
+            (ts / tf - 4.0).abs() < 0.05,
+            "degraded link {ts} s vs healthy {tf} s"
+        );
+    }
+
+    #[test]
+    fn overlapping_generated_windows_are_resolved() {
+        // Two stragglers overlapping on the same GPU must not panic the
+        // engine (which rejects overlapping windows): the second is
+        // clipped to start where the first ends.
+        let mut sim = DagSim::new();
+        let g0 = sim.add_resource("gpu0");
+        let plan = FaultPlan {
+            horizon_s: 100.0,
+            events: vec![
+                FaultEvent {
+                    at_s: 0.0,
+                    gpu: 0,
+                    kind: FaultKind::Straggler {
+                        factor: 2.0,
+                        duration_s: 50.0,
+                    },
+                },
+                FaultEvent {
+                    at_s: 25.0,
+                    gpu: 0,
+                    kind: FaultKind::Straggler {
+                        factor: 3.0,
+                        duration_s: 50.0,
+                    },
+                },
+            ],
+        };
+        let inj = FaultInjector {
+            gpu_compute: &[g0],
+            network: None,
+            gpus_per_node: 8,
+        };
+        assert_eq!(inj.apply(&mut sim, &plan), 2);
+        sim.add_task(g0, secs_to_time(100.0), &[], 1);
+        sim.run().unwrap(); // must not panic
+    }
+
+    #[test]
+    fn instants_carry_fault_category() {
+        let plan = FaultPlan::generate(11, 8, 3600.0, &demo_rates());
+        let instants = plan.instants();
+        assert_eq!(instants.len(), plan.events.len());
+        for (i, e) in instants.iter().zip(&plan.events) {
+            assert_eq!(i.category, "fault");
+            assert!(i.name.starts_with(&format!("gpu{}", e.gpu)));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Straggler detection from per-rank step-time statistics.
+//!
+//! The real trainer (`megatron_dist::TrainLog::step_times`) records
+//! wall-clock seconds per executed iteration per thread. In a synchronous
+//! PTD-P job every rank steps in lockstep, so one slow rank drags the
+//! whole iteration — the paper's throughput numbers implicitly assume no
+//! stragglers. This module summarizes the raw timings and flags ranks
+//! whose mean step time sits well above the job-wide median.
+
+use std::collections::HashMap;
+
+use megatron_dist::trainer::ThreadKey;
+
+/// Summary statistics of one rank's step times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankStats {
+    /// Rank coordinate `(pipeline, data, tensor)`.
+    pub thread: ThreadKey,
+    /// Executed iterations.
+    pub steps: usize,
+    /// Mean step time, seconds.
+    pub mean_s: f64,
+    /// Maximum step time, seconds.
+    pub max_s: f64,
+    /// Mean step time relative to the job-wide median of rank means.
+    pub vs_median: f64,
+}
+
+/// Straggler analysis of a whole job.
+#[derive(Debug, Clone)]
+pub struct StragglerReport {
+    /// Per-rank statistics, slowest (by `vs_median`) first.
+    pub ranks: Vec<RankStats>,
+    /// Median of per-rank mean step times, seconds.
+    pub median_mean_s: f64,
+    /// Flagging threshold: ranks with `mean > threshold · median` are
+    /// stragglers.
+    pub threshold: f64,
+}
+
+impl StragglerReport {
+    /// Analyze per-rank step times (as produced by
+    /// `megatron_dist::TrainLog::step_times`). `threshold` is the
+    /// mean-vs-median ratio above which a rank is flagged (1.2 = 20 %
+    /// slower than typical).
+    pub fn analyze(step_times: &HashMap<ThreadKey, Vec<f64>>, threshold: f64) -> Self {
+        assert!(threshold >= 1.0, "threshold below 1 flags the median itself");
+        let mut means: Vec<(ThreadKey, usize, f64, f64)> = step_times
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&k, v)| {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                let max = v.iter().cloned().fold(0.0f64, f64::max);
+                (k, v.len(), mean, max)
+            })
+            .collect();
+        let mut sorted: Vec<f64> = means.iter().map(|&(_, _, m, _)| m).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median_mean_s = if sorted.is_empty() {
+            0.0
+        } else if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        means.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        let ranks = means
+            .into_iter()
+            .map(|(thread, steps, mean_s, max_s)| RankStats {
+                thread,
+                steps,
+                mean_s,
+                max_s,
+                vs_median: if median_mean_s > 0.0 {
+                    mean_s / median_mean_s
+                } else {
+                    1.0
+                },
+            })
+            .collect();
+        StragglerReport {
+            ranks,
+            median_mean_s,
+            threshold,
+        }
+    }
+
+    /// The flagged stragglers (slowest first).
+    pub fn stragglers(&self) -> Vec<&RankStats> {
+        self.ranks
+            .iter()
+            .filter(|r| r.vs_median > self.threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(pairs: &[(ThreadKey, &[f64])]) -> HashMap<ThreadKey, Vec<f64>> {
+        pairs.iter().map(|&(k, v)| (k, v.to_vec())).collect()
+    }
+
+    #[test]
+    fn flags_the_slow_rank() {
+        let st = times(&[
+            ((0, 0, 0), &[1.0, 1.1, 0.9]),
+            ((0, 0, 1), &[1.0, 1.0, 1.0]),
+            ((1, 0, 0), &[2.5, 2.6, 2.4]),
+            ((1, 0, 1), &[1.1, 0.9, 1.0]),
+        ]);
+        let report = StragglerReport::analyze(&st, 1.5);
+        let flagged = report.stragglers();
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].thread, (1, 0, 0));
+        assert!(flagged[0].vs_median > 2.0);
+        // Slowest first in the full ranking too.
+        assert_eq!(report.ranks[0].thread, (1, 0, 0));
+    }
+
+    #[test]
+    fn uniform_job_has_no_stragglers() {
+        let st = times(&[
+            ((0, 0, 0), &[1.0, 1.0]),
+            ((0, 0, 1), &[1.01, 0.99]),
+            ((1, 0, 0), &[1.0, 1.02]),
+        ]);
+        let report = StragglerReport::analyze(&st, 1.2);
+        assert!(report.stragglers().is_empty());
+        assert!((report.median_mean_s - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_and_partial_logs_are_tolerated() {
+        let st = times(&[((0, 0, 0), &[]), ((0, 0, 1), &[1.0])]);
+        let report = StragglerReport::analyze(&st, 1.2);
+        assert_eq!(report.ranks.len(), 1, "empty logs are skipped");
+        let report = StragglerReport::analyze(&HashMap::new(), 1.2);
+        assert!(report.ranks.is_empty());
+        assert_eq!(report.median_mean_s, 0.0);
+    }
+}

@@ -37,6 +37,16 @@ impl Network {
         &self.cluster
     }
 
+    /// The NVLink egress resource of one GPU (fault-injection target).
+    pub fn nv_port(&self, gpu: usize) -> ResourceId {
+        self.nv_egress[gpu]
+    }
+
+    /// The InfiniBand egress resource of one GPU (fault-injection target).
+    pub fn ib_port(&self, gpu: usize) -> ResourceId {
+        self.ib_egress[gpu]
+    }
+
     /// Egress resource a `from → to` transfer occupies.
     fn egress_for(&self, from: usize, to: usize) -> Option<ResourceId> {
         match self.cluster.link_class(from, to) {
