@@ -158,6 +158,16 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "tooling: Chrome-trace export of a simulated iteration",
             run: trace,
         },
+        Experiment {
+            name: "faults",
+            paper_ref: "Section 5.10 extension: goodput vs MTBF for the Table 1 zoo",
+            run: faults,
+        },
+        Experiment {
+            name: "ckpt-interval",
+            paper_ref: "Section 5.10 extension: Young/Daly optimal checkpoint interval",
+            run: ckpt_interval,
+        },
     ]
 }
 
@@ -913,6 +923,109 @@ pub fn trace() -> String {
         }
         Err(e) => format!("ERR {e}\n"),
     }
+}
+
+/// Goodput vs failure rate for the Table 1 zoo: each row's §5.10
+/// checkpoint costs composed with an MTBF failure model, evaluated at the
+/// row's Young/Daly checkpoint interval. A second section shows what a
+/// seeded week of faults on the 1T run's 3072 GPUs actually looks like.
+pub fn faults() -> String {
+    use megatron_fault::{FaultPlan, FaultRates, GoodputModel};
+    let fs = FilesystemSpec::selene();
+    let relaunch_s = 120.0; // job requeue + process launch on top of §5.10 load
+    let mut t = Table::new([
+        "model",
+        "GPUs",
+        "save s",
+        "MTBF",
+        "ckpt every",
+        "goodput",
+        "ckpt ovh",
+        "lost work",
+    ]);
+    for row in zoo::table1() {
+        for (label, mtbf_h) in [("6h", 6.0), ("24h", 24.0), ("1wk", 168.0)] {
+            let m = GoodputModel::for_table1_row(&row, &fs, mtbf_h * 3600.0, relaunch_s);
+            let tau = m.young_daly_interval();
+            t.row([
+                row.config.name.clone(),
+                row.n_gpus.to_string(),
+                format!("{:.1}", m.save_s),
+                label.to_string(),
+                format!("{:.1} min", tau / 60.0),
+                format!("{:.1}%", 100.0 * m.goodput(tau)),
+                format!("{:.2}%", 100.0 * m.checkpoint_overhead_fraction(tau)),
+                format!("{:.2}%", 100.0 * m.lost_work_fraction(tau)),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "goodput falls monotonically as MTBF shrinks; bigger checkpoints (save s)\n\
+         force longer intervals and lose more work per failure\n\n",
+    );
+
+    // One concrete week on the trillion-parameter run: a seeded plan of
+    // every fault class, as the injector would lower it into the simulator.
+    let week = 7.0 * 24.0 * 3600.0;
+    let rates = FaultRates {
+        gpu_death_mtbf_s: 24.0 * 3600.0,
+        node_death_mtbf_s: 7.0 * 24.0 * 3600.0,
+        link_degrade_mtbf_s: 12.0 * 3600.0,
+        link_flap_mtbf_s: 24.0 * 3600.0,
+        straggler_mtbf_s: 6.0 * 3600.0,
+    };
+    let plan = FaultPlan::generate(0xfa11, 3072, week, &rates);
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for ev in &plan.events {
+        *counts.entry(ev.kind.label()).or_default() += 1;
+    }
+    out.push_str(&format!(
+        "seeded fault plan, 1T run (3072 GPUs), one week, cluster-wide MTBFs\n\
+         (gpu-death 24h, node-death 1wk, link-degrade 12h, link-flap 24h, straggler 6h):\n\
+         {} events total: {}\n",
+        plan.events.len(),
+        counts
+            .iter()
+            .map(|(k, v)| format!("{v} {k}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    out
+}
+
+/// Young/Daly √(2δM) checkpoint interval vs the brute-force optimum for
+/// the trillion-parameter run at §5.10 checkpoint costs.
+pub fn ckpt_interval() -> String {
+    use megatron_fault::GoodputModel;
+    let rows = zoo::table1();
+    let row = rows.last().expect("Table 1 is non-empty"); // 1T, 3072 GPUs
+    let fs = FilesystemSpec::selene();
+    let mut t = Table::new([
+        "MTBF",
+        "Young/Daly",
+        "brute force",
+        "interval err",
+        "goodput (YD)",
+        "goodput (BF)",
+    ]);
+    for (label, mtbf_h) in [("1h", 1.0), ("4h", 4.0), ("24h", 24.0), ("1wk", 168.0)] {
+        let m = GoodputModel::for_table1_row(row, &fs, mtbf_h * 3600.0, 120.0);
+        let yd = m.young_daly_interval();
+        let bf = m.optimal_interval_brute_force(10.0, m.mtbf_s, 20_000);
+        t.row([
+            label.to_string(),
+            format!("{:.1} min", yd / 60.0),
+            format!("{:.1} min", bf / 60.0),
+            format!("{:+.1}%", 100.0 * (yd / bf - 1.0)),
+            format!("{:.3}%", 100.0 * m.goodput(yd)),
+            format!("{:.3}%", 100.0 * m.goodput(bf)),
+        ]);
+    }
+    t.render()
+        + "the analytic interval lands within a few percent of the sweep and its\n\
+           goodput within 0.2% — the optimum is flat, which is why √(2δM) is the\n\
+           operational rule of thumb\n"
 }
 
 /// §6 "Sharded Data Parallelism" related work, quantified: the
