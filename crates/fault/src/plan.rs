@@ -126,6 +126,9 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
 }
 
+/// Draws one fault class's parameters from the plan RNG.
+type KindDraw = fn(&mut StdRng) -> FaultKind;
+
 impl FaultPlan {
     /// Draw a plan for `n_gpus` GPUs over `horizon_s` seconds. Each fault
     /// class arrives as a Poisson process with the given cluster-wide MTBF
@@ -136,7 +139,7 @@ impl FaultPlan {
         assert!(horizon_s > 0.0, "horizon must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
-        let classes: [(f64, fn(&mut StdRng) -> FaultKind); 5] = [
+        let classes: [(f64, KindDraw); 5] = [
             (rates.gpu_death_mtbf_s, |r| FaultKind::GpuDeath {
                 repair_s: r.gen_range(300.0..1800.0),
             }),
@@ -230,7 +233,7 @@ impl FaultInjector<'_> {
         }
         // Per-resource overlap resolution: sort by (resource, start) and
         // push each window's start past the previous end.
-        windows.sort_by(|a, b| (a.resource, a.from).cmp(&(b.resource, b.from)));
+        windows.sort_by_key(|w| (w.resource, w.from));
         let mut applied = 0;
         let mut last_end: Option<(ResourceId, Time)> = None;
         for mut w in windows {

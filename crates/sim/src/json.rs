@@ -71,13 +71,6 @@ impl Json {
         }
     }
 
-    /// Serialize compactly.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -125,6 +118,16 @@ impl Json {
             return Err(ParseError { at: pos });
         }
         Ok(value)
+    }
+}
+
+/// Compact serialization (and, via the `ToString` blanket impl, the
+/// `to_string()` used throughout the trace exporter).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

@@ -8,7 +8,7 @@ use crate::Matrix;
 /// Each row is written by exactly one thread, so results are bit-identical
 /// to a serial loop regardless of thread count.
 fn par_rows(out: &mut [f32], n: usize, body: impl Fn(usize, &mut [f32]) + Sync) {
-    let rows = if n == 0 { 0 } else { out.len() / n };
+    let rows = out.len().checked_div(n).unwrap_or(0);
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)

@@ -284,7 +284,7 @@ pub mod distributions {
             let mut total = 0.0f64;
             for w in weights {
                 let w: f64 = w.into();
-                if !(w >= 0.0) || !w.is_finite() {
+                if !w.is_finite() || w < 0.0 {
                     return Err(WeightedError);
                 }
                 total += w;
