@@ -12,7 +12,9 @@ fn generation() {
             ScheduleKind::OneFOneB,
             ScheduleKind::Interleaved { chunks: 2 },
         ] {
-            g.run(&format!("{kind:?}/p{p}_m{m}"), || kind.build(p, m).ops.len());
+            g.run(&format!("{kind:?}/p{p}_m{m}"), || {
+                kind.build(p, m).ops.len()
+            });
         }
     }
 }

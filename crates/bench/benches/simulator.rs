@@ -49,7 +49,9 @@ fn iteration_simulation() {
         ClusterSpec::selene(768),
         ParallelConfig::new(12, 8, 8, 1, 1536),
     );
-    g.run("gpt3_175b_768gpus", || run.simulate().unwrap().iteration_time);
+    g.run("gpt3_175b_768gpus", || {
+        run.simulate().unwrap().iteration_time
+    });
 
     // Flagship: 1T on 3072 GPUs (the paper's largest run).
     let run = TrainingRun::ptdp(

@@ -168,6 +168,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "Section 5.10 extension: Young/Daly optimal checkpoint interval",
             run: ckpt_interval,
         },
+        Experiment {
+            name: "recovery",
+            paper_ref: "Section 5.10 extension: auto-recovery through a seeded fault plan",
+            run: recovery,
+        },
     ]
 }
 
@@ -218,7 +223,10 @@ pub fn gantt() -> String {
     let mut out = String::new();
     for (label, kind) in [
         ("GPipe (Figure 3)", ScheduleKind::GPipe),
-        ("1F1B / PipeDream-Flush (Figure 4, top)", ScheduleKind::OneFOneB),
+        (
+            "1F1B / PipeDream-Flush (Figure 4, top)",
+            ScheduleKind::OneFOneB,
+        ),
         (
             "Interleaved 1F1B, v=2 (Figure 4, bottom)",
             ScheduleKind::Interleaved { chunks: 2 },
@@ -315,15 +323,7 @@ pub fn fig8() -> String {
 /// Table 1: weak scaling from 1.7B to 1T parameters.
 pub fn table1() -> String {
     let mut t = Table::new([
-        "model",
-        "(t,p,d)",
-        "GPUs",
-        "batch",
-        "TF/s/GPU",
-        "paper",
-        "% peak",
-        "paper",
-        "agg PF/s",
+        "model", "(t,p,d)", "GPUs", "batch", "TF/s/GPU", "paper", "% peak", "paper", "agg PF/s",
         "paper",
     ]);
     for row in zoo::table1() {
@@ -387,7 +387,13 @@ fn microbatch_for(row: &zoo::Table1Row) -> u64 {
         if !b_prime.is_multiple_of(b) {
             continue;
         }
-        let pc = ParallelConfig::new(row.pipeline_parallel, row.tensor_parallel, d, b, row.batch_size);
+        let pc = ParallelConfig::new(
+            row.pipeline_parallel,
+            row.tensor_parallel,
+            d,
+            b,
+            row.batch_size,
+        );
         if pc
             .validate_for_model(&row.config, row.n_gpus, cluster.gpu.mem_capacity, true)
             .is_err()
@@ -514,8 +520,7 @@ pub fn fig11() -> String {
             }
         }
     }
-    t.render()
-        + "paper: higher batch size scales better since the pipeline bubble is amortized\n"
+    t.render() + "paper: higher batch size scales better since the pipeline bubble is amortized\n"
 }
 
 /// Figure 12: interleaved vs non-interleaved 1F1B on GPT-3 175B, 96 GPUs.
@@ -533,7 +538,10 @@ pub fn fig12() -> String {
                 batch.to_string(),
                 format!("{:.0}", rb.tflops_per_gpu),
                 format!("{:.0}", ri.tflops_per_gpu),
-                format!("{:+.1}%", 100.0 * (ri.tflops_per_gpu / rb.tflops_per_gpu - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (ri.tflops_per_gpu / rb.tflops_per_gpu - 1.0)
+                ),
             ]),
             (rb, ri) => t.row([
                 batch.to_string(),
@@ -651,8 +659,8 @@ pub fn fig16() -> String {
 /// makes the paper's non-recompute line stop at moderate batch sizes.
 pub fn fig17() -> String {
     let model = zoo::gpt_145b();
-    let usable = (80.0 * (1u64 << 30) as f64
-        * megatron_parallel::heuristics::USABLE_MEMORY_FRACTION) as u64;
+    let usable =
+        (80.0 * (1u64 << 30) as f64 * megatron_parallel::heuristics::USABLE_MEMORY_FRACTION) as u64;
     let mut t = Table::new(["batch", "recompute", "seq/s", "memory GiB/GPU"]);
     for batch in [1u64, 2, 4, 8, 16, 32, 64, 128] {
         for recompute in [false, true] {
@@ -665,7 +673,11 @@ pub fn fig17() -> String {
                     batch.to_string(),
                     recompute.to_string(),
                     "OOM".to_string(),
-                    format!("{} (> {} usable)", r.memory_bytes_per_gpu >> 30, usable >> 30),
+                    format!(
+                        "{} (> {} usable)",
+                        r.memory_bytes_per_gpu >> 30,
+                        usable >> 30
+                    ),
                 ]),
                 Ok(r) => t.row([
                     batch.to_string(),
@@ -705,7 +717,10 @@ pub fn fig18() -> String {
                 batch.to_string(),
                 format!("{:.0}", a.tflops_per_gpu),
                 format!("{:.0}", b.tflops_per_gpu),
-                format!("{:+.1}%", 100.0 * (b.tflops_per_gpu / a.tflops_per_gpu - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (b.tflops_per_gpu / a.tflops_per_gpu - 1.0)
+                ),
             ]),
             _ => t.row([batch.to_string(), "ERR".into(), "ERR".into(), String::new()]),
         }
@@ -717,7 +732,14 @@ pub fn fig18() -> String {
 pub fn fusion() -> String {
     let mut t = Table::new(["model", "unfused TF/s", "fused TF/s", "gain", "paper"]);
     let cases = [
-        (zoo::gpt3_175b(), 12u64, 8u64, 1536u64, 96usize * 16, "19% (113->135)"),
+        (
+            zoo::gpt3_175b(),
+            12u64,
+            8u64,
+            1536u64,
+            96usize * 16,
+            "19% (113->135)",
+        ),
         (zoo::gpt_530b(), 35, 8, 2520, 2520, "11% (133->148)"),
     ];
     for (model, pp, tp, batch, gpus, paper) in cases {
@@ -733,10 +755,19 @@ pub fn fusion() -> String {
                 model.name.clone(),
                 format!("{:.0}", a.tflops_per_gpu),
                 format!("{:.0}", b.tflops_per_gpu),
-                format!("{:+.1}%", 100.0 * (b.tflops_per_gpu / a.tflops_per_gpu - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (b.tflops_per_gpu / a.tflops_per_gpu - 1.0)
+                ),
                 paper.to_string(),
             ]),
-            _ => t.row([model.name.clone(), "ERR".into(), "ERR".into(), "".into(), paper.into()]),
+            _ => t.row([
+                model.name.clone(),
+                "ERR".into(),
+                "ERR".into(),
+                "".into(),
+                paper.into(),
+            ]),
         }
     }
     t.render()
@@ -789,7 +820,10 @@ pub fn traintime() -> String {
         "300B".into(),
         "1024".into(),
         "140".into(),
-        format!("{:.0}", gpt3.training_time_eq4(300e9, 1024.0, 140e12) / 86400.0),
+        format!(
+            "{:.0}",
+            gpt3.training_time_eq4(300e9, 1024.0, 140e12) / 86400.0
+        ),
         "34".into(),
     ]);
     let one_t = zoo::gpt_1t();
@@ -798,7 +832,10 @@ pub fn traintime() -> String {
         "450B".into(),
         "3072".into(),
         "163".into(),
-        format!("{:.0}", one_t.training_time_eq4(450e9, 3072.0, 163e12) / 86400.0),
+        format!(
+            "{:.0}",
+            one_t.training_time_eq4(450e9, 3072.0, 163e12) / 86400.0
+        ),
         "84".into(),
     ]);
     t.render()
@@ -873,7 +910,10 @@ pub fn ablations() -> String {
     blocking.options.enforce_memory = false;
     let mut overlapped = blocking.clone();
     overlapped.options.blocking_p2p = false;
-    for (label, run) in [("synchronous sends (real)", &blocking), ("ideal overlap", &overlapped)] {
+    for (label, run) in [
+        ("synchronous sends (real)", &blocking),
+        ("ideal overlap", &overlapped),
+    ] {
         match run.simulate() {
             Ok(r) => t.row([
                 "p2p blocking".to_string(),
@@ -895,7 +935,11 @@ pub fn ablations() -> String {
                 format!("v={v} (bubble {:.3})", r.analytical_bubble_fraction),
                 format!("{:.0}", r.tflops_per_gpu),
             ]),
-            Err(e) => t.row(["interleave degree".into(), format!("v={v}"), format!("ERR {e}")]),
+            Err(e) => t.row([
+                "interleave degree".into(),
+                format!("v={v}"),
+                format!("ERR {e}"),
+            ]),
         }
     }
 
@@ -1028,13 +1072,239 @@ pub fn ckpt_interval() -> String {
            operational rule of thumb\n"
 }
 
+/// E30: the reliability loop, end-to-end on the real trainer. A seeded
+/// `FaultPlan` kills ranks mid-iteration; the `Supervisor` restores each
+/// time from the durable sharded checkpoint store and resumes; the final
+/// losses must match a fault-free run bit-for-bit; and the *measured*
+/// goodput is cross-checked against the Young/Daly `GoodputModel`
+/// parameterized by the run's own measured MTBF / save / restart costs.
+pub fn recovery() -> String {
+    use megatron_dist::{
+        CheckpointStore, KillSwitch, PtdpSpec, PtdpTrainer, Supervisor, SupervisorConfig,
+    };
+    use megatron_fault::{FaultPlan, FaultRates, RecoveryMeasurement};
+    use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Duration;
+
+    // A tiny but non-trivial job: 8 "GPUs" as (p=2, t=2, d=2) threads.
+    let cfg = TinyGptConfig {
+        vocab: 13,
+        seq: 8,
+        hidden: 32,
+        heads: 4,
+        layers: 2,
+    };
+    let iters = 24usize;
+    let ckpt_every = 2usize;
+    let spec = PtdpSpec::new(2, 2, 2);
+    let mut rng = StdRng::seed_from_u64(0x5eed_e30);
+    let master = GptModel::new(cfg, &mut rng);
+    let batch = 64usize;
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..iters)
+        .map(|_| {
+            let toks = (0..batch * cfg.seq)
+                .map(|_| rng.gen_range(0..cfg.vocab))
+                .collect();
+            let tgts = (0..batch * cfg.seq)
+                .map(|_| rng.gen_range(0..cfg.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect();
+
+    // Seeded fault plan: only GPU deaths, one fictional second per
+    // iteration, cluster-wide MTBF of 8 "seconds" over a 24-iteration
+    // horizon → ~3 expected deaths. Each death maps onto the rank whose
+    // flat index matches the dead GPU, killed mid-iteration.
+    let mut rates = FaultRates::none();
+    rates.gpu_death_mtbf_s = 8.0;
+    let (seed, plan) = (0u64..64)
+        .map(|i| {
+            let s = 0xe30 + i;
+            (
+                s,
+                FaultPlan::generate(s, spec.world(), iters as f64, &rates),
+            )
+        })
+        .find(|(_, p)| p.events.len() >= 2)
+        .expect("some seed in [0xe30, 0xe30+64) draws >= 2 deaths");
+    let kills: Vec<KillSwitch> = plan
+        .events
+        .iter()
+        .map(|ev| KillSwitch {
+            thread: spec.thread_key(ev.gpu % spec.world()),
+            iteration: (ev.at_s as usize).clamp(1, iters - 1),
+        })
+        .collect();
+
+    let mut out = String::new();
+    let mut t = Table::new(["event", "at", "gpu", "kills thread", "at iteration"]);
+    for (ev, k) in plan.events.iter().zip(&kills) {
+        t.row([
+            ev.kind.label().to_string(),
+            format!("{:.1} s", ev.at_s),
+            ev.gpu.to_string(),
+            format!("{:?}", k.thread),
+            k.iteration.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "seeded fault plan (seed {seed:#x}) on {} threads (p=2, t=2, d=2), {} iterations,\n\
+         durable checkpoint every {} iterations:\n{}\n",
+        spec.world(),
+        iters,
+        ckpt_every,
+        t.render()
+    ));
+
+    // Reference: the same job, fault-free. Its step times give the clean
+    // per-iteration cost over all 24 iterations (the supervisor's own
+    // estimate only sees the iterations of the final attempt).
+    let clean = PtdpTrainer::new(master.clone(), spec).train(&data);
+    let clean_iter_s = {
+        let mut per_iter = vec![0.0f64; iters];
+        for times in clean.step_times.values() {
+            for (slot, t) in per_iter.iter_mut().zip(times) {
+                *slot = slot.max(*t);
+            }
+        }
+        per_iter.iter().sum::<f64>() / iters as f64
+    };
+
+    // The supervised run, through every kill.
+    let root = std::env::temp_dir().join(format!("megatron-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CheckpointStore::open(&root).expect("checkpoint store");
+    let sup = Supervisor::new(
+        master,
+        spec,
+        std::sync::Arc::clone(&store),
+        SupervisorConfig {
+            max_restarts: kills.len() + 2,
+            checkpoint_every: ckpt_every,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+            ..SupervisorConfig::default()
+        },
+    );
+    let report = sup.run(&data, &kills);
+    assert!(
+        report.completed(),
+        "supervisor gave up: {:?}",
+        report.gave_up
+    );
+
+    let mut t = Table::new([
+        "incident",
+        "error",
+        "resumed from",
+        "lost iters",
+        "restore",
+        "backoff",
+    ]);
+    for inc in &report.incidents {
+        t.row([
+            format!("attempt {}", inc.attempt),
+            format!("{}", inc.error),
+            format!("iter {}", inc.resumed_from),
+            inc.lost_iterations.to_string(),
+            format!("{:.1} ms", 1e3 * inc.restore_s),
+            format!("{:.1} ms", 1e3 * inc.backoff_s),
+        ]);
+    }
+    out.push_str(&format!(
+        "recovery timeline ({} attempts, zero manual intervention):\n{}\n",
+        report.attempts,
+        t.render()
+    ));
+
+    // Bit-identity against the fault-free run.
+    let losses_ok = report.losses == clean.losses;
+    let params_ok = report.final_params.as_ref() == Some(&clean.final_params);
+    out.push_str(&format!(
+        "final losses bit-identical to fault-free run: {}\n\
+         final weights bit-identical to fault-free run: {}\n\n",
+        if losses_ok { "yes" } else { "NO" },
+        if params_ok { "yes" } else { "NO" },
+    ));
+
+    // Empirical goodput vs the analytic model fed with the run's own
+    // measured MTBF, save cost, and restart cost. Detection/relaunch
+    // overhead per incident is the failed attempt's wall time not
+    // explained by executed iterations or checkpoint saves.
+    let windows = store.save_windows();
+    let save_s_total: f64 = windows.iter().map(|(_, s)| s).sum();
+    let mean_save = save_s_total / windows.len().max(1) as f64;
+    let mut detect_s_total = 0.0;
+    let mut start = 0usize;
+    for inc in &report.incidents {
+        let executed = (inc.resumed_from + inc.lost_iterations).saturating_sub(start);
+        let saves = executed / ckpt_every;
+        // The dying rank gets through about half its op schedule, so each
+        // incident also burned ~half an iteration of work — that belongs
+        // to the model's τ/2 lost-work term, not to restart cost.
+        let explained = (executed as f64 + 0.5) * clean_iter_s + saves as f64 * mean_save;
+        detect_s_total += (inc.attempt_wall_s - explained).max(0.0);
+        start = inc.resumed_from;
+    }
+    let meas = RecoveryMeasurement {
+        wall_s: report.wall_s,
+        n_iterations: report.iterations,
+        clean_iter_s,
+        n_failures: report.incidents.len(),
+        lost_iterations: report.incidents.iter().map(|i| i.lost_iterations).sum(),
+        restore_s_total: report.incidents.iter().map(|i| i.restore_s).sum(),
+        backoff_s_total: report.incidents.iter().map(|i| i.backoff_s).sum(),
+        detect_s_total,
+        save_s_total,
+        n_checkpoints: windows.len(),
+        checkpoint_every_iters: ckpt_every,
+    };
+    let measured = meas.measured_goodput();
+    let predicted = meas.predicted_goodput();
+    let model = meas.to_model();
+    let err = (measured - predicted).abs() / predicted.max(1e-12);
+    out.push_str(&format!(
+        "measured on this run: clean iteration {:.2} ms, save {:.2} ms,\n\
+         MTBF {:.1} ms, restart {:.2} ms (restore + backoff + detection)\n\
+         measured goodput:  {:.1}% ({} iterations of useful work in {:.1} ms wall)\n\
+         predicted goodput: {:.1}% (Young/Daly model at tau = {:.1} ms)\n\
+         agreement: {:.1}% {}\n",
+        1e3 * meas.clean_iter_s,
+        1e3 * mean_save,
+        1e3 * model.mtbf_s,
+        1e3 * model.restart_s,
+        100.0 * measured,
+        meas.n_iterations,
+        1e3 * meas.wall_s,
+        100.0 * predicted,
+        1e3 * meas.interval_s(),
+        100.0 * err,
+        if err <= 0.10 {
+            "(within the 10% acceptance band)"
+        } else {
+            "(OUTSIDE the 10% acceptance band)"
+        },
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    out
+}
+
 /// §6 "Sharded Data Parallelism" related work, quantified: the
 /// memory-vs-communication ladder of ZeRO stages for GPT-3 on 384 GPUs.
 pub fn zero_stages() -> String {
     use megatron_zero::{ZeroRun, ZeroStage};
     let model = zoo::gpt3_175b();
     let cluster = ClusterSpec::selene(384);
-    let mut t = Table::new(["stage", "memory GiB/GPU", "comm s/iter", "TF/s/GPU", "fits 80 GB?"]);
+    let mut t = Table::new([
+        "stage",
+        "memory GiB/GPU",
+        "comm s/iter",
+        "TF/s/GPU",
+        "fits 80 GB?",
+    ]);
     for (name, stage) in [
         ("ZeRO-1 (optimizer shard)", ZeroStage::One),
         ("ZeRO-2 (+ gradient shard)", ZeroStage::Two),
@@ -1049,7 +1319,12 @@ pub fn zero_stages() -> String {
             format!("{}", r.memory_bytes_per_gpu >> 30),
             format!("{:.1}", r.comm_time),
             format!("{:.0}", r.tflops_per_gpu),
-            if r.memory_bytes_per_gpu <= 80 * (1 << 30) { "yes" } else { "NO" }.to_string(),
+            if r.memory_bytes_per_gpu <= 80 * (1 << 30) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     t.render()
@@ -1094,7 +1369,12 @@ pub fn batchscale() -> String {
                 format!("{:.3}", r.analytical_bubble_fraction),
                 format!("{:.0}", r.tflops_per_gpu),
             ]),
-            Err(e) => t.row([batch.to_string(), String::new(), String::new(), format!("ERR {e}")]),
+            Err(e) => t.row([
+                batch.to_string(),
+                String::new(),
+                String::new(),
+                format!("ERR {e}"),
+            ]),
         }
     }
     t.render() + "throughput rises monotonically with batch size (bubble amortization +\nless frequent gradient all-reduce)\n"

@@ -64,7 +64,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
             "--model" => {
                 let name = value("--model")?;
                 model = Some(
-                    lookup_model(&name).ok_or_else(|| format!("unknown model '{name}'\n{USAGE}"))?,
+                    lookup_model(&name)
+                        .ok_or_else(|| format!("unknown model '{name}'\n{USAGE}"))?,
                 );
             }
             "--layers" => layers = Some(parse(&value("--layers")?)?),
@@ -88,14 +89,21 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let model = match (model, layers, hidden, heads) {
         (Some(m), None, None, None) => m,
         (None, Some(l), Some(h), Some(a)) => GptConfig::paper("custom", l, h, a),
-        _ => return Err(format!("specify --model OR --layers/--hidden/--heads\n{USAGE}")),
+        _ => {
+            return Err(format!(
+                "specify --model OR --layers/--hidden/--heads\n{USAGE}"
+            ))
+        }
     };
     let gpus: u64 = gpus.ok_or_else(|| format!("--gpus required\n{USAGE}"))?;
     let t: u64 = t.ok_or_else(|| format!("--tensor required\n{USAGE}"))?;
     let p: u64 = p.ok_or_else(|| format!("--pipeline required\n{USAGE}"))?;
     let batch: u64 = batch.ok_or_else(|| format!("--batch required\n{USAGE}"))?;
     if !gpus.is_multiple_of(t * p) {
-        return Err(format!("gpus ({gpus}) must be divisible by t·p ({})", t * p));
+        return Err(format!(
+            "gpus ({gpus}) must be divisible by t·p ({})",
+            t * p
+        ));
     }
     let d = gpus / (t * p);
 
@@ -115,7 +123,9 @@ pub fn run(args: &[String]) -> Result<String, String> {
         return Err(format!("unknown schedule '{schedule}' (1f1b|gpipe)"));
     }
 
-    let r = run.simulate().map_err(|e| format!("simulation failed: {e}"))?;
+    let r = run
+        .simulate()
+        .map_err(|e| format!("simulation failed: {e}"))?;
     Ok(format!(
         "model: {} ({:.1}B params) on {gpus} GPUs, (t,p,d)=({t},{p},{d}), b={microbatch}, B={batch}, v={chunks}\n\
          \n\
@@ -180,8 +190,14 @@ mod tests {
     #[test]
     fn rejects_bad_flags() {
         assert!(run(&argv("--bogus 3")).is_err());
-        assert!(run(&argv("--model nope --gpus 8 --tensor 1 --pipeline 1 --batch 8")).is_err());
-        assert!(run(&argv("--model 175b --gpus 10 --tensor 8 --pipeline 12 --batch 8")).is_err());
+        assert!(run(&argv(
+            "--model nope --gpus 8 --tensor 1 --pipeline 1 --batch 8"
+        ))
+        .is_err());
+        assert!(run(&argv(
+            "--model 175b --gpus 10 --tensor 8 --pipeline 12 --batch 8"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Roofline compute-time model for a single GPU.
 
-
 /// Cost of one kernel under the roofline model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCost {
@@ -154,8 +153,7 @@ impl GpuSpec {
             return KernelCost::ZERO;
         }
         KernelCost {
-            seconds: bytes as f64 / self.mem_bandwidth
-                + kernels as f64 * self.kernel_overhead,
+            seconds: bytes as f64 / self.mem_bandwidth + kernels as f64 * self.kernel_overhead,
             // Element-wise FLOPs are negligible next to GEMMs and the paper's
             // Eq. 3 excludes them; we account time and bytes only.
             flops: 0.0,
@@ -178,7 +176,10 @@ mod tests {
         let c = g.gemm(8192, 12288, 12288, 2);
         let achieved = c.flops / c.seconds;
         let frac = achieved / g.peak_matmul_flops;
-        assert!(frac > 0.55, "large GEMM should approach max eff, got {frac}");
+        assert!(
+            frac > 0.55,
+            "large GEMM should approach max eff, got {frac}"
+        );
         assert!(frac <= g.max_gemm_efficiency + 1e-9);
     }
 
@@ -191,7 +192,10 @@ mod tests {
         let t_mem = c.bytes / g.mem_bandwidth;
         assert!(c.seconds >= t_mem, "roofline memory floor violated");
         let frac = c.flops / c.seconds / g.peak_matmul_flops;
-        assert!(frac < 0.05, "skinny GEMM should be far below peak, got {frac}");
+        assert!(
+            frac < 0.05,
+            "skinny GEMM should be far below peak, got {frac}"
+        );
     }
 
     #[test]
@@ -210,9 +214,7 @@ mod tests {
         let (s, h) = (2048u64, 4096u64);
         let tput = |b: u64| {
             // one MLP fwd: (b*s × h) × (h × 4h) then (b*s × 4h) × (4h × h)
-            let c = g
-                .gemm(b * s, h, 4 * h, 2)
-                .then(g.gemm(b * s, 4 * h, h, 2));
+            let c = g.gemm(b * s, h, 4 * h, 2).then(g.gemm(b * s, 4 * h, h, 2));
             c.flops / c.seconds
         };
         assert!(tput(2) > tput(1));

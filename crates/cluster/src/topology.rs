@@ -1,6 +1,5 @@
 //! Node and cluster interconnect description.
 
-
 use crate::GpuSpec;
 
 /// Which physical link class a transfer between two GPUs rides on.

@@ -218,7 +218,10 @@ mod tests {
         assert!(optimizer_step_time(&model, &cluster, &c) > 0.0);
         assert!(data_parallel_all_reduce_time(&model, &cluster, &c) > 0.0);
         let serial = pc(2, 2, 1, 1, 64);
-        assert_eq!(data_parallel_all_reduce_time(&model, &cluster, &serial), 0.0);
+        assert_eq!(
+            data_parallel_all_reduce_time(&model, &cluster, &serial),
+            0.0
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Iteration reports: the metrics the paper's tables and figures present.
 
-
 /// Communication volumes per iteration (per-GPU and aggregate).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CommVolumes {

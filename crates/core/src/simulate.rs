@@ -245,8 +245,12 @@ impl TrainingRun {
             .map_err(|e| RunError::Schedule(e.to_string()))?;
 
         let mut sim = DagSim::new();
-        let compute: Vec<_> = (0..p).map(|d| sim.add_resource(format!("dev{d}.compute"))).collect();
-        let netport: Vec<_> = (0..p).map(|d| sim.add_resource(format!("dev{d}.net"))).collect();
+        let compute: Vec<_> = (0..p)
+            .map(|d| sim.add_resource(format!("dev{d}.compute")))
+            .collect();
+        let netport: Vec<_> = (0..p)
+            .map(|d| sim.add_resource(format!("dev{d}.net")))
+            .collect();
 
         // Precompute boundary transfer durations stage -> stage+1 (forward)
         // and stage -> stage−1 (backward, same cost by symmetry).
@@ -600,11 +604,14 @@ mod tests {
         let v = megatron_sim::json::Json::parse(&trace).unwrap();
         let events = v.as_array().unwrap();
         assert!(!events.is_empty());
-        let names: std::collections::HashSet<&str> = events
-            .iter()
-            .map(|e| e["name"].as_str().unwrap())
-            .collect();
-        for want in ["forward", "backward", "pipeline-p2p", "grad-allreduce+optimizer"] {
+        let names: std::collections::HashSet<&str> =
+            events.iter().map(|e| e["name"].as_str().unwrap()).collect();
+        for want in [
+            "forward",
+            "backward",
+            "pipeline-p2p",
+            "grad-allreduce+optimizer",
+        ] {
             assert!(names.contains(want), "missing {want} in {names:?}");
         }
     }

@@ -59,7 +59,9 @@ impl ShardedLoader {
     pub fn new(sequences: Vec<(Vec<usize>, Vec<usize>)>, batch: usize) -> Self {
         assert!(!sequences.is_empty());
         let seq = sequences[0].0.len();
-        assert!(sequences.iter().all(|(t, g)| t.len() == seq && g.len() == seq));
+        assert!(sequences
+            .iter()
+            .all(|(t, g)| t.len() == seq && g.len() == seq));
         assert!(
             sequences.len() >= batch,
             "need at least one full batch of sequences"

@@ -78,85 +78,100 @@ fn unshard_qkv(shards: &[&Linear]) -> Linear {
     }
 }
 
+/// Merge per-thread flat parameter vectors (one per `(pi, ti)` shard, in
+/// each thread's canonical visit order) back into one serial [`GptModel`].
+/// The same machinery unshards *any* vector positionally aligned with the
+/// parameters — the durable checkpoint layer feeds it Adam moment vectors
+/// to build the canonical cross-topology layout.
+pub(crate) fn assemble_from_flat(
+    cfg: TinyGptConfig,
+    spec: &PtdpSpec,
+    flat_of: &mut dyn FnMut(usize, usize) -> Vec<f32>,
+) -> GptModel {
+    let (p, t, v) = (spec.pipeline, spec.tensor, spec.chunks);
+    let stages = p * v;
+    let layers_per_stage = cfg.layers / stages;
+
+    // Rebuild each thread's structured shard from its flat parameters.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let template = GptModel::new(cfg, &mut rng);
+    let mut thread_models: std::collections::HashMap<(usize, usize), crate::trainer::ThreadModel> =
+        std::collections::HashMap::new();
+    for pi in 0..p {
+        for ti in 0..t {
+            let flat = flat_of(pi, ti);
+            let mut tm = crate::trainer::build_thread_model(&template, spec, pi, ti);
+            let mut off = 0usize;
+            tm.visit_params(&mut |params| {
+                params.copy_from_slice(&flat[off..off + params.len()]);
+                off += params.len();
+            });
+            assert_eq!(off, flat.len(), "thread ({pi},{ti}) shard size mismatch");
+            thread_models.insert((pi, ti), tm);
+        }
+    }
+
+    // Blocks: layer l lives on stage l / layers_per_stage.
+    let blocks: Vec<Block> = (0..cfg.layers)
+        .map(|l| {
+            let stage = l / layers_per_stage;
+            let (pi, c) = (stage % p, stage / p);
+            let pos = l % layers_per_stage;
+            let shards: Vec<&crate::block::ParallelBlock> = (0..t)
+                .map(|ti| &thread_models[&(pi, ti)].chunks[c][pos])
+                .collect();
+            let qkv_parts: Vec<&Linear> = shards.iter().map(|s| &s.qkv).collect();
+            let proj_parts: Vec<&Linear> = shards.iter().map(|s| &s.proj).collect();
+            let fc1_parts: Vec<&Linear> = shards.iter().map(|s| &s.fc1).collect();
+            let fc2_parts: Vec<&Linear> = shards.iter().map(|s| &s.fc2).collect();
+            Block::from_parts(
+                shards[0].ln1.clone(),
+                unshard_qkv(&qkv_parts),
+                unshard_rows(&proj_parts, Some(shards[0].proj_bias.clone())),
+                shards[0].ln2.clone(),
+                unshard_columns(&fc1_parts),
+                unshard_rows(&fc2_parts, Some(shards[0].fc2_bias.clone())),
+                cfg.heads,
+            )
+        })
+        .collect();
+
+    // Embedding (stage 0, device 0) and head (last stage, device p−1).
+    let embed = {
+        let shards: Vec<&crate::trainer::EmbedShard> = (0..t)
+            .map(|ti| thread_models[&(0, ti)].embed.as_ref().expect("embed"))
+            .collect();
+        crate::trainer::EmbedShard::assemble(&shards)
+    };
+    let last_dev = (stages - 1) % p;
+    let (final_ln, lm_head) = {
+        let shards: Vec<&crate::trainer::HeadShard> = (0..t)
+            .map(|ti| thread_models[&(last_dev, ti)].head.as_ref().expect("head"))
+            .collect();
+        crate::trainer::HeadShard::assemble(&shards)
+    };
+
+    GptModel {
+        cfg,
+        embed,
+        blocks,
+        final_ln,
+        lm_head,
+    }
+}
+
 impl TrainLog {
     /// Merge the final shards of a finished run back into one serial
     /// [`GptModel`]. Uses the data-parallel replica 0 (all replicas are
     /// verified identical by the trainer's collectives).
     pub fn assemble(&self, cfg: TinyGptConfig, spec: &PtdpSpec) -> GptModel {
-        let (p, t, v) = (spec.pipeline, spec.tensor, spec.chunks);
-        let stages = p * v;
-        let layers_per_stage = cfg.layers / stages;
-
-        // Rebuild each thread's structured shard from its flat parameters.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let template = GptModel::new(cfg, &mut rng);
-        let mut thread_models: std::collections::HashMap<ThreadKey, crate::trainer::ThreadModel> =
-            std::collections::HashMap::new();
-        for pi in 0..p {
-            for ti in 0..t {
-                let key = (pi, 0usize, ti);
-                let flat = self
-                    .final_params
-                    .get(&key)
-                    .unwrap_or_else(|| panic!("missing shard for thread {key:?}"));
-                let mut tm = crate::trainer::build_thread_model(&template, spec, pi, ti);
-                let mut off = 0usize;
-                tm.visit_params(&mut |params| {
-                    params.copy_from_slice(&flat[off..off + params.len()]);
-                    off += params.len();
-                });
-                assert_eq!(off, flat.len(), "thread {key:?} shard size mismatch");
-                thread_models.insert(key, tm);
-            }
-        }
-
-        // Blocks: layer l lives on stage l / layers_per_stage.
-        let blocks: Vec<Block> = (0..cfg.layers)
-            .map(|l| {
-                let stage = l / layers_per_stage;
-                let (pi, c) = (stage % p, stage / p);
-                let pos = l % layers_per_stage;
-                let shards: Vec<&crate::block::ParallelBlock> = (0..t)
-                    .map(|ti| &thread_models[&(pi, 0, ti)].chunks[c][pos])
-                    .collect();
-                let qkv_parts: Vec<&Linear> = shards.iter().map(|s| &s.qkv).collect();
-                let proj_parts: Vec<&Linear> = shards.iter().map(|s| &s.proj).collect();
-                let fc1_parts: Vec<&Linear> = shards.iter().map(|s| &s.fc1).collect();
-                let fc2_parts: Vec<&Linear> = shards.iter().map(|s| &s.fc2).collect();
-                Block::from_parts(
-                    shards[0].ln1.clone(),
-                    unshard_qkv(&qkv_parts),
-                    unshard_rows(&proj_parts, Some(shards[0].proj_bias.clone())),
-                    shards[0].ln2.clone(),
-                    unshard_columns(&fc1_parts),
-                    unshard_rows(&fc2_parts, Some(shards[0].fc2_bias.clone())),
-                    cfg.heads,
-                )
-            })
-            .collect();
-
-        // Embedding (stage 0, device 0) and head (last stage, device p−1).
-        let embed = {
-            let shards: Vec<&crate::trainer::EmbedShard> = (0..t)
-                .map(|ti| thread_models[&(0, 0, ti)].embed.as_ref().expect("embed"))
-                .collect();
-            crate::trainer::EmbedShard::assemble(&shards)
-        };
-        let last_dev = (stages - 1) % p;
-        let (final_ln, lm_head) = {
-            let shards: Vec<&crate::trainer::HeadShard> = (0..t)
-                .map(|ti| thread_models[&(last_dev, 0, ti)].head.as_ref().expect("head"))
-                .collect();
-            crate::trainer::HeadShard::assemble(&shards)
-        };
-
-        GptModel {
-            cfg,
-            embed,
-            blocks,
-            final_ln,
-            lm_head,
-        }
+        assemble_from_flat(cfg, spec, &mut |pi, ti| {
+            let key: ThreadKey = (pi, 0, ti);
+            self.final_params
+                .get(&key)
+                .unwrap_or_else(|| panic!("missing shard for thread {key:?}"))
+                .clone()
+        })
     }
 }
 
@@ -181,10 +196,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(404);
         (0..iters)
             .map(|_| {
-                let toks: Vec<usize> =
-                    (0..batch * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
-                let tgts: Vec<usize> =
-                    (0..batch * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
+                let toks: Vec<usize> = (0..batch * c.seq)
+                    .map(|_| rng.gen_range(0..c.vocab))
+                    .collect();
+                let tgts: Vec<usize> = (0..batch * c.seq)
+                    .map(|_| rng.gen_range(0..c.vocab))
+                    .collect();
                 (toks, tgts)
             })
             .collect()

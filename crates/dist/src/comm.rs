@@ -45,6 +45,28 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
+/// Typed panic payload thrown by the infallible collective wrappers
+/// ([`GroupMember::all_reduce_sum`] and friends) when the communicator
+/// fails. The trainer downcasts to this when classifying a worker panic,
+/// so a comm failure can never be confused with any other panic no matter
+/// how the message is worded.
+#[derive(Debug, Clone, Copy)]
+pub struct CommPanic(pub CommError);
+
+impl fmt::Display for CommPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "collective failed: {}", self.0)
+    }
+}
+
+/// Panic with a typed [`CommPanic`] payload on `Err`.
+fn expect_comm<T>(r: Result<T, CommError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => std::panic::panic_any(CommPanic(e)),
+    }
+}
+
 /// Condvar-based rendezvous barrier that can be poisoned and waited on
 /// with a timeout. Reusable across generations like [`std::sync::Barrier`].
 struct PoisonBarrier {
@@ -296,39 +318,40 @@ impl GroupMember {
         self.group.barrier.wait(self.group.timeout)
     }
 
-    /// In-place sum all-reduce; panics on communicator failure.
+    /// In-place sum all-reduce; panics with [`CommPanic`] on failure.
     pub fn all_reduce_sum(&self, buf: &mut [f32]) {
-        self.try_all_reduce_sum(buf).expect("all_reduce_sum");
+        expect_comm(self.try_all_reduce_sum(buf));
     }
 
-    /// In-place element-wise max all-reduce; panics on communicator failure.
+    /// In-place element-wise max all-reduce; panics with [`CommPanic`] on
+    /// failure.
     pub fn all_reduce_max(&self, buf: &mut [f32]) {
-        self.try_all_reduce_max(buf).expect("all_reduce_max");
+        expect_comm(self.try_all_reduce_max(buf));
     }
 
-    /// In-place mean all-reduce; panics on communicator failure.
+    /// In-place mean all-reduce; panics with [`CommPanic`] on failure.
     pub fn all_reduce_mean(&self, buf: &mut [f32]) {
-        self.try_all_reduce_mean(buf).expect("all_reduce_mean");
+        expect_comm(self.try_all_reduce_mean(buf));
     }
 
-    /// All-gather; panics on communicator failure.
+    /// All-gather; panics with [`CommPanic`] on failure.
     pub fn all_gather(&self, part: &[f32]) -> Vec<f32> {
-        self.try_all_gather(part).expect("all_gather")
+        expect_comm(self.try_all_gather(part))
     }
 
-    /// Broadcast from `root`; panics on communicator failure.
+    /// Broadcast from `root`; panics with [`CommPanic`] on failure.
     pub fn broadcast(&self, buf: &mut [f32], root: usize) {
-        self.try_broadcast(buf, root).expect("broadcast");
+        expect_comm(self.try_broadcast(buf, root));
     }
 
-    /// Reduce-scatter; panics on communicator failure.
+    /// Reduce-scatter; panics with [`CommPanic`] on failure.
     pub fn reduce_scatter_sum(&self, buf: &[f32]) -> Vec<f32> {
-        self.try_reduce_scatter_sum(buf).expect("reduce_scatter_sum")
+        expect_comm(self.try_reduce_scatter_sum(buf))
     }
 
-    /// Pure synchronization barrier; panics on communicator failure.
+    /// Pure synchronization barrier; panics with [`CommPanic`] on failure.
     pub fn barrier(&self) {
-        self.try_barrier().expect("barrier");
+        expect_comm(self.try_barrier());
     }
 }
 
@@ -405,7 +428,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let results = run_group(3, |m| {
-            let mut buf = if m.rank() == 1 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            let mut buf = if m.rank() == 1 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             m.broadcast(&mut buf, 1);
             buf
         });
@@ -532,11 +559,17 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
         });
         for r in 0..2 {
             assert!(
-                matches!(results[r], Err(CommError::Timeout) | Err(CommError::Poisoned)),
+                matches!(
+                    results[r],
+                    Err(CommError::Timeout) | Err(CommError::Poisoned)
+                ),
                 "rank {r}: {:?}",
                 results[r]
             );
@@ -558,6 +591,27 @@ mod tests {
         for r in &results {
             assert_eq!(*r, Err(CommError::Poisoned));
         }
+    }
+
+    #[test]
+    fn infallible_wrappers_panic_with_typed_payload() {
+        let group = Group::with_timeout(2, Duration::from_secs(5));
+        let payload = thread::scope(|s| {
+            let poisoner = Arc::clone(&group).member(0);
+            let victim = Arc::clone(&group).member(1);
+            poisoner.poison();
+            s.spawn(move || {
+                let mut buf = vec![1.0f32];
+                victim.all_reduce_sum(&mut buf);
+            })
+            .join()
+            .expect_err("collective on a poisoned group must panic")
+        });
+        let cp = payload
+            .downcast_ref::<CommPanic>()
+            .expect("panic payload must be a CommPanic, not a string");
+        assert_eq!(cp.0, CommError::Poisoned);
+        assert!(cp.to_string().contains("poisoned"));
     }
 
     #[test]

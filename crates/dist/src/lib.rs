@@ -22,14 +22,18 @@
 
 pub mod assemble;
 pub mod block;
+pub mod checkpoint;
 pub mod comm;
 pub mod shard;
+pub mod supervisor;
 pub mod trainer;
 pub mod two_bw;
 pub mod vocab;
 
-pub use comm::{CommError, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
+pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
+pub use comm::{CommError, CommPanic, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
+pub use supervisor::{Incident, Supervisor, SupervisorConfig, SupervisorReport};
 pub use trainer::{
-    KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadState, TrainError, TrainLog,
-    TrainOutcome, TrainSnapshot,
+    KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadState, TrainError, TrainLog, TrainOutcome,
+    TrainSnapshot,
 };

@@ -96,7 +96,9 @@ mod tests {
         let lin = Linear::new(4, 6, true, &mut r);
         let x = Matrix::randn(3, 4, 1.0, &mut r);
         let full = lin.forward(&x);
-        let parts: Vec<Matrix> = (0..2).map(|i| shard_columns(&lin, 2, i).forward(&x)).collect();
+        let parts: Vec<Matrix> = (0..2)
+            .map(|i| shard_columns(&lin, 2, i).forward(&x))
+            .collect();
         let joined = Matrix::concat_cols(&parts);
         assert!(joined.max_abs_diff(&full) < 1e-6);
     }

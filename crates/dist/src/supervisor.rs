@@ -1,0 +1,446 @@
+//! Elastic auto-recovery: run training to completion across failures
+//! without an operator in the loop.
+//!
+//! The paper's §5.10 prices checkpoint I/O but leaves restarts to a human;
+//! at large scale (MegaScale et al.) the control plane must notice the
+//! failure, restore the last durable checkpoint, and resume by itself. The
+//! [`Supervisor`] closes that loop around [`PtdpTrainer`]: it launches a
+//! run with durable checkpointing enabled, classifies any [`TrainError`],
+//! restores from the newest complete generation in its
+//! [`CheckpointStore`], and retries under a bounded exponential backoff
+//! and a max-restart budget. Transient errors (a killed rank, a failed
+//! collective, a broken pipeline) are retried; structural ones (missing
+//! snapshot state, a non-communicator panic, checkpoint I/O failure) stop
+//! the job immediately. Each recovery is recorded as an [`Incident`] —
+//! failed-attempt wall time, restore time, backoff, iterations of lost
+//! work — so measured recovery cost can be cross-checked against
+//! `megatron-fault`'s analytic goodput model.
+//!
+//! Because training is deterministic and restores are exact-f32, a
+//! supervised run that survives any number of mid-run kills produces
+//! bit-identical losses and final weights to a fault-free run of the same
+//! job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+
+use crate::checkpoint::{CheckpointError, CheckpointStore};
+use crate::trainer::{
+    KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadKey, TrainError, TrainSnapshot,
+};
+
+/// Retry policy for a [`Supervisor`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Restart budget: up to `1 + max_restarts` attempts total.
+    pub max_restarts: usize,
+    /// Durable checkpoint interval in iterations.
+    pub checkpoint_every: usize,
+    /// Backoff before restart attempt `n` is `backoff_base · 2ⁿ`, capped
+    /// at [`SupervisorConfig::backoff_max`].
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_max: Duration,
+    /// The collective timeout is halved on every retry attempt (repeat
+    /// failures should be detected faster), but never below this floor.
+    pub min_comm_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 5,
+            checkpoint_every: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+            min_comm_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// One failure → recovery cycle, as observed by the supervisor.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Which attempt failed (0 = the initial run).
+    pub attempt: usize,
+    /// The error that ended the attempt.
+    pub error: TrainError,
+    /// Wall-clock seconds the failed attempt ran before the error
+    /// surfaced (work + detection).
+    pub attempt_wall_s: f64,
+    /// Iteration the next attempt resumed from (0 = from scratch).
+    pub resumed_from: usize,
+    /// Completed iterations that must be re-executed because they
+    /// post-date the restored checkpoint — the Young/Daly "lost work".
+    pub lost_iterations: usize,
+    /// Seconds spent validating and loading the durable checkpoint.
+    pub restore_s: f64,
+    /// Seconds slept in exponential backoff before the restart.
+    pub backoff_s: f64,
+    /// Whether the restore had to reshard a canonical layout because the
+    /// stored topology differs from the running one.
+    pub cross_topology: bool,
+}
+
+/// Everything a supervised run produced.
+#[derive(Debug)]
+pub struct SupervisorReport {
+    /// Mean loss per iteration, stitched across attempts. Deterministic
+    /// training + exact restores make these bit-identical to a fault-free
+    /// run's losses.
+    pub losses: Vec<f32>,
+    /// Final per-thread parameters, if the job completed.
+    pub final_params: Option<HashMap<ThreadKey, Vec<f32>>>,
+    /// One entry per failure the supervisor recovered from (or died on).
+    pub incidents: Vec<Incident>,
+    /// Attempts launched (1 = clean run, no failures).
+    pub attempts: usize,
+    /// The error that exhausted the budget or was classified as
+    /// non-retryable, if the job did not complete.
+    pub gave_up: Option<TrainError>,
+    /// Total wall-clock seconds, including restores and backoff.
+    pub wall_s: f64,
+    /// Mean per-iteration seconds over the final successful attempt
+    /// (max across threads per iteration) — the empirical "clean"
+    /// iteration cost for goodput accounting. 0 if the job never
+    /// completed.
+    pub clean_iter_s: f64,
+    /// Iterations the job was asked to run.
+    pub iterations: usize,
+}
+
+impl SupervisorReport {
+    /// Did the job run to completion?
+    pub fn completed(&self) -> bool {
+        self.final_params.is_some()
+    }
+}
+
+/// Auto-recovery wrapper around [`PtdpTrainer`]: train, and on failure
+/// restore from the durable store and retry until the job completes or
+/// the restart budget runs out.
+pub struct Supervisor {
+    trainer: PtdpTrainer,
+    spec: PtdpSpec,
+    model_cfg: TinyGptConfig,
+    store: Arc<CheckpointStore>,
+    cfg: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// Build a supervisor for training `master` under `spec`, durably
+    /// checkpointing into `store`.
+    pub fn new(
+        master: GptModel,
+        spec: PtdpSpec,
+        store: Arc<CheckpointStore>,
+        cfg: SupervisorConfig,
+    ) -> Supervisor {
+        assert!(cfg.checkpoint_every > 0, "checkpoint interval must be > 0");
+        let model_cfg = master.cfg;
+        Supervisor {
+            trainer: PtdpTrainer::new(master, spec),
+            spec,
+            model_cfg,
+            store,
+            cfg,
+        }
+    }
+
+    /// Collective timeout for attempt `n`: halved per retry, floored.
+    fn comm_timeout(&self, attempt: usize) -> Duration {
+        let mut t = self.spec.comm_timeout;
+        for _ in 0..attempt {
+            t /= 2;
+        }
+        t.max(self.cfg.min_comm_timeout)
+    }
+
+    /// Is this error worth a restart, or is the job structurally broken?
+    fn is_transient(e: &TrainError) -> bool {
+        matches!(
+            e,
+            TrainError::Killed(_) | TrainError::Comm(_) | TrainError::PipelineBroken
+        )
+    }
+
+    /// Run the full `data` schedule to completion, restarting through
+    /// failures. `kills` are fault-injection points (at most one is armed
+    /// per attempt — the earliest one at or after the attempt's resume
+    /// iteration, mirroring one GPU death at a time).
+    pub fn run(&self, data: &[(Vec<usize>, Vec<usize>)], kills: &[KillSwitch]) -> SupervisorReport {
+        let t0 = Instant::now();
+        let mut pending: Vec<KillSwitch> = kills.to_vec();
+        pending.sort_by_key(|k| k.iteration);
+
+        let mut losses = vec![0.0f32; data.len()];
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut restore: Option<TrainSnapshot> = None;
+        let mut final_params = None;
+        let mut gave_up = None;
+        let mut attempts = 0;
+        let mut clean_iter_s = 0.0;
+        let mut last_error: Option<TrainError> = None;
+
+        for attempt in 0..=self.cfg.max_restarts {
+            attempts = attempt + 1;
+            let start_iter = restore.as_ref().map_or(0, |s| s.next_iter);
+            let armed = pending.iter().position(|k| k.iteration >= start_iter);
+            let kill = armed.map(|i| pending[i]);
+
+            let ctl = RunControl {
+                checkpoint_every: Some(self.cfg.checkpoint_every),
+                restore: restore.take(),
+                kill,
+                comm_timeout: Some(self.comm_timeout(attempt)),
+                durable: Some(Arc::clone(&self.store)),
+            };
+            let attempt_t0 = Instant::now();
+            let out = self.trainer.train_with(data, ctl);
+            let attempt_wall_s = attempt_t0.elapsed().as_secs_f64();
+
+            match out.error {
+                None => {
+                    // Completed: take the tail of the losses and the final
+                    // weights, and measure the clean iteration cost.
+                    losses[start_iter..].copy_from_slice(&out.log.losses[start_iter..]);
+                    let executed = data.len() - start_iter;
+                    if executed > 0 {
+                        let mut per_iter = vec![0.0f64; executed];
+                        for times in out.log.step_times.values() {
+                            for (slot, t) in per_iter.iter_mut().zip(times) {
+                                *slot = slot.max(*t);
+                            }
+                        }
+                        clean_iter_s = per_iter.iter().sum::<f64>() / executed as f64;
+                    }
+                    final_params = Some(out.log.final_params);
+                    break;
+                }
+                Some(e) if Self::is_transient(&e) && attempt < self.cfg.max_restarts => {
+                    // The armed kill has fired; it must not re-arm after
+                    // the restart.
+                    if let Some(i) = armed {
+                        pending.remove(i);
+                    }
+                    let restore_t0 = Instant::now();
+                    let restored = match self.store.load_latest(&self.spec, self.model_cfg) {
+                        Ok(r) => Some(r),
+                        Err(CheckpointError::NoneAvailable) => None,
+                        Err(_) => None,
+                    };
+                    let restore_s = restore_t0.elapsed().as_secs_f64();
+                    let resumed_from = restored.as_ref().map_or(0, |r| r.snapshot.next_iter);
+                    let cross_topology = restored.as_ref().is_some_and(|r| r.cross_topology);
+
+                    // Iterations completed in this attempt but after the
+                    // restored checkpoint will be re-executed: lost work.
+                    // The kill iteration bounds what the attempt reached.
+                    let reached = kill.map_or(start_iter, |k| k.iteration);
+                    let lost_iterations = reached.saturating_sub(resumed_from);
+
+                    // Losses up to the resume point are final — the next
+                    // attempt recomputes everything after it.
+                    let safe = resumed_from.max(start_iter);
+                    losses[start_iter..safe].copy_from_slice(&out.log.losses[start_iter..safe]);
+
+                    let backoff = self
+                        .cfg
+                        .backoff_base
+                        .saturating_mul(1u32 << attempt.min(20))
+                        .min(self.cfg.backoff_max);
+                    std::thread::sleep(backoff);
+
+                    incidents.push(Incident {
+                        attempt,
+                        error: e.clone(),
+                        attempt_wall_s,
+                        resumed_from,
+                        lost_iterations,
+                        restore_s,
+                        backoff_s: backoff.as_secs_f64(),
+                        cross_topology,
+                    });
+                    last_error = Some(e);
+                    restore = restored.map(|r| r.snapshot);
+                }
+                Some(e) => {
+                    // Non-retryable, or the budget is spent.
+                    incidents.push(Incident {
+                        attempt,
+                        error: e.clone(),
+                        attempt_wall_s,
+                        resumed_from: 0,
+                        lost_iterations: 0,
+                        restore_s: 0.0,
+                        backoff_s: 0.0,
+                        cross_topology: false,
+                    });
+                    gave_up = Some(e);
+                    break;
+                }
+            }
+        }
+        if final_params.is_none() && gave_up.is_none() {
+            gave_up = last_error;
+        }
+
+        SupervisorReport {
+            losses,
+            final_params,
+            incidents,
+            attempts,
+            gave_up,
+            wall_s: t0.elapsed().as_secs_f64(),
+            clean_iter_s,
+            iterations: data.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn cfg() -> TinyGptConfig {
+        TinyGptConfig {
+            vocab: 13,
+            seq: 6,
+            hidden: 8,
+            heads: 4,
+            layers: 2,
+        }
+    }
+
+    fn make_data(
+        c: TinyGptConfig,
+        batch: usize,
+        iters: usize,
+        seed: u64,
+    ) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..iters)
+            .map(|_| {
+                let toks: Vec<usize> = (0..batch * c.seq)
+                    .map(|_| rng.gen_range(0..c.vocab))
+                    .collect();
+                let tgts: Vec<usize> = (0..batch * c.seq)
+                    .map(|_| rng.gen_range(0..c.vocab))
+                    .collect();
+                (toks, tgts)
+            })
+            .collect()
+    }
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("mgsup-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    fn fast_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_from_one_kill_bit_identically() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let master = GptModel::new(c, &mut rng);
+        let data = make_data(c, 4, 8, 77);
+        let spec = PtdpSpec::new(2, 1, 2);
+
+        let clean = PtdpTrainer::new(master.clone(), spec).train(&data);
+
+        let root = tmp_root("onekill");
+        let store = CheckpointStore::open(&root).unwrap();
+        let sup = Supervisor::new(master, spec, store, fast_cfg());
+        let kills = [KillSwitch {
+            thread: (1, 0, 0),
+            iteration: 5,
+        }];
+        let report = sup.run(&data, &kills);
+
+        assert!(report.completed(), "gave up: {:?}", report.gave_up);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.incidents.len(), 1);
+        let inc = &report.incidents[0];
+        assert!(Supervisor::is_transient(&inc.error));
+        assert_eq!(inc.resumed_from, 4, "checkpoint_every=2, killed at 5");
+        assert_eq!(inc.lost_iterations, 1);
+        assert_eq!(report.losses, clean.losses, "losses must be bit-identical");
+        assert_eq!(
+            report.final_params.as_ref().unwrap(),
+            &clean.final_params,
+            "final weights must be bit-identical"
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn exhausts_restart_budget_and_gives_up() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let master = GptModel::new(c, &mut rng);
+        let data = make_data(c, 2, 6, 99);
+        let spec = PtdpSpec::new(1, 1, 2);
+
+        let root = tmp_root("budget");
+        let store = CheckpointStore::open(&root).unwrap();
+        let sup = Supervisor::new(
+            master,
+            spec,
+            store,
+            SupervisorConfig {
+                max_restarts: 1,
+                ..fast_cfg()
+            },
+        );
+        // More kills than the budget allows.
+        let kills: Vec<KillSwitch> = (1..4)
+            .map(|i| KillSwitch {
+                thread: (0, 1, 0),
+                iteration: i,
+            })
+            .collect();
+        let report = sup.run(&data, &kills);
+        assert!(!report.completed());
+        assert_eq!(report.attempts, 2);
+        assert!(report.gave_up.is_some());
+        assert_eq!(report.incidents.len(), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn retry_shortens_comm_timeout_with_floor() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let master = GptModel::new(c, &mut rng);
+        let mut spec = PtdpSpec::new(1, 1, 1);
+        spec.comm_timeout = Duration::from_secs(8);
+        let store = CheckpointStore::open(tmp_root("timeout")).unwrap();
+        let sup = Supervisor::new(
+            master,
+            spec,
+            store,
+            SupervisorConfig {
+                min_comm_timeout: Duration::from_secs(3),
+                ..SupervisorConfig::default()
+            },
+        );
+        assert_eq!(sup.comm_timeout(0), Duration::from_secs(8));
+        assert_eq!(sup.comm_timeout(1), Duration::from_secs(4));
+        assert_eq!(sup.comm_timeout(2), Duration::from_secs(3), "floored");
+        let _ = fs::remove_dir_all(sup.store.root());
+    }
+}

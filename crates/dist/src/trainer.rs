@@ -30,7 +30,8 @@ use megatron_tensor::{Adam, AdamState, Matrix};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 use crate::block::{ParallelBlock, ParallelBlockCache};
-use crate::comm::{CommError, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
+use crate::checkpoint::CheckpointStore;
+use crate::comm::{CommError, CommPanic, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
 use crate::vocab::{VocabHeadCache, VocabParallelEmbedding, VocabParallelHead};
 
 /// Parallelization plan for [`PtdpTrainer`].
@@ -65,6 +66,11 @@ pub struct PtdpSpec {
     /// dimension across the tensor group (Megatron's layout), with the
     /// distributed cross-entropy that never materializes full logits.
     pub vocab_parallel: bool,
+    /// Collective timeout for every process group of a run under this
+    /// spec. [`RunControl::comm_timeout`] can override it per run (the
+    /// supervisor shortens it on retry attempts so repeat failures are
+    /// detected faster).
+    pub comm_timeout: Duration,
 }
 
 impl PtdpSpec {
@@ -81,12 +87,23 @@ impl PtdpSpec {
             shard_optimizer: false,
             recompute: false,
             vocab_parallel: false,
+            comm_timeout: DEFAULT_COMM_TIMEOUT,
         }
     }
 
     /// Total threads.
     pub fn world(&self) -> usize {
         self.pipeline * self.tensor * self.data
+    }
+
+    /// The thread coordinate of a flat rank index, in the trainer's spawn
+    /// order: pipeline outermost, then data, tensor innermost.
+    pub fn thread_key(&self, rank: usize) -> ThreadKey {
+        assert!(rank < self.world(), "rank {rank} out of range");
+        let ti = rank % self.tensor;
+        let di = (rank / self.tensor) % self.data;
+        let pi = rank / (self.tensor * self.data);
+        (pi, di, ti)
     }
 }
 
@@ -146,6 +163,7 @@ pub struct KillSwitch {
 }
 
 /// Failure-handling knobs for [`PtdpTrainer::train_with`].
+#[derive(Default)]
 pub struct RunControl {
     /// Snapshot the full job state every `k` iterations (after the
     /// optimizer step of iterations k-1, 2k-1, ...).
@@ -154,19 +172,12 @@ pub struct RunControl {
     pub restore: Option<TrainSnapshot>,
     /// Kill a rank mid-iteration.
     pub kill: Option<KillSwitch>,
-    /// Collective timeout for all process groups.
-    pub comm_timeout: Duration,
-}
-
-impl Default for RunControl {
-    fn default() -> Self {
-        RunControl {
-            checkpoint_every: None,
-            restore: None,
-            kill: None,
-            comm_timeout: DEFAULT_COMM_TIMEOUT,
-        }
-    }
+    /// Override [`PtdpSpec::comm_timeout`] for this run only.
+    pub comm_timeout: Option<Duration>,
+    /// Persist every in-memory checkpoint to this store as well: each
+    /// thread writes its own shard and the thread completing a generation
+    /// commits it (canonical layout + manifest).
+    pub durable: Option<Arc<CheckpointStore>>,
 }
 
 /// Why a thread of a training run stopped early.
@@ -180,6 +191,10 @@ pub enum TrainError {
     PipelineBroken,
     /// The restore snapshot has no state for this thread.
     MissingThreadState(ThreadKey),
+    /// Writing a durable checkpoint shard or committing a generation
+    /// failed (I/O error). The run is aborted: silently continuing would
+    /// leave the job without restore points.
+    Checkpoint(String),
     /// A thread panicked for a reason other than a communicator failure.
     ThreadPanicked(String),
 }
@@ -193,6 +208,7 @@ impl std::fmt::Display for TrainError {
             TrainError::MissingThreadState(k) => {
                 write!(f, "snapshot has no state for thread {k:?}")
             }
+            TrainError::Checkpoint(m) => write!(f, "durable checkpoint failed: {m}"),
             TrainError::ThreadPanicked(m) => write!(f, "worker thread panicked: {m}"),
         }
     }
@@ -400,11 +416,15 @@ struct ChunkCache {
 impl ChunkCache {
     /// `f32` values held (activation-memory instrumentation, §3.5).
     fn float_count(&self) -> usize {
-        self.block_caches.iter().map(|c| c.float_count()).sum::<usize>()
+        self.block_caches
+            .iter()
+            .map(|c| c.float_count())
+            .sum::<usize>()
             + self.input.as_ref().map_or(0, Matrix::len)
-            + self.head.as_ref().map_or(0, |h| {
-                h.hidden_final.len() + h.dlogits.len()
-            })
+            + self
+                .head
+                .as_ref()
+                .map_or(0, |h| h.hidden_final.len() + h.dlogits.len())
     }
 }
 
@@ -509,7 +529,7 @@ impl PtdpTrainer {
         schedule.validate().expect("generated schedule is valid");
 
         // --- Process groups ---
-        let timeout = ctl.comm_timeout;
+        let timeout = ctl.comm_timeout.unwrap_or(spec.comm_timeout);
         let tensor_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
             .flat_map(|pi| (0..d).map(move |di| ((pi, di), Group::with_timeout(t, timeout))))
             .collect();
@@ -520,9 +540,8 @@ impl PtdpTrainer {
         // --- Channels (per (di, ti) lane, per stage boundary) ---
         let mut endpoints: HashMap<(usize, usize, usize), Endpoints> = (0..p)
             .flat_map(|pi| {
-                (0..d).flat_map(move |di| {
-                    (0..t).map(move |ti| ((pi, di, ti), Endpoints::default()))
-                })
+                (0..d)
+                    .flat_map(move |di| (0..t).map(move |ti| ((pi, di, ti), Endpoints::default())))
             })
             .collect();
         for di in 0..d {
@@ -582,26 +601,29 @@ impl PtdpTrainer {
                         let master = &self.master;
                         let schedule = &schedule;
                         let ckpts = &ckpts;
-                        handles.push(((pi, di, ti), scope.spawn(move || {
-                            run_thread(ThreadArgs {
-                                pi,
-                                di,
-                                ti,
-                                spec,
-                                master,
-                                schedule,
-                                data,
-                                ep,
-                                tg,
-                                dg,
-                                losses,
-                                final_params,
-                                peak_stash,
-                                step_times,
-                                ctl,
-                                ckpts,
-                            })
-                        })));
+                        handles.push((
+                            (pi, di, ti),
+                            scope.spawn(move || {
+                                run_thread(ThreadArgs {
+                                    pi,
+                                    di,
+                                    ti,
+                                    spec,
+                                    master,
+                                    schedule,
+                                    data,
+                                    ep,
+                                    tg,
+                                    dg,
+                                    losses,
+                                    final_params,
+                                    peak_stash,
+                                    step_times,
+                                    ctl,
+                                    ckpts,
+                                })
+                            }),
+                        ));
                     }
                 }
             }
@@ -619,11 +641,7 @@ impl PtdpTrainer {
                 Err(e @ TrainError::Killed(_)) => Some(e.clone()),
                 _ => None,
             })
-            .or_else(|| {
-                results
-                    .iter()
-                    .find_map(|(_, r)| r.as_ref().err().cloned())
-            });
+            .or_else(|| results.iter().find_map(|(_, r)| r.as_ref().err().cloned()));
 
         let world = p * d * t;
         let snapshot = ckpts
@@ -637,14 +655,8 @@ impl PtdpTrainer {
         TrainOutcome {
             log: TrainLog {
                 losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
-                final_params: Arc::try_unwrap(final_params)
-                    .unwrap()
-                    .into_inner()
-                    .unwrap(),
-                peak_stash_floats: Arc::try_unwrap(peak_stash)
-                    .unwrap()
-                    .into_inner()
-                    .unwrap(),
+                final_params: Arc::try_unwrap(final_params).unwrap().into_inner().unwrap(),
+                peak_stash_floats: Arc::try_unwrap(peak_stash).unwrap().into_inner().unwrap(),
                 step_times: Arc::try_unwrap(step_times).unwrap().into_inner().unwrap(),
             },
             error,
@@ -653,24 +665,21 @@ impl PtdpTrainer {
     }
 }
 
-/// Map a worker panic to a [`TrainError`]. Inner tensor/vocab collectives
-/// surface poisoned groups by panicking; recognize those so survivors of a
-/// killed rank report a clean comm error.
+/// Map a worker panic to a [`TrainError`]. The inner tensor/vocab
+/// collectives surface communicator failures by panicking with a typed
+/// [`CommPanic`] payload; anything else is a genuine bug in the worker.
+/// No string matching: a reworded panic message can never flip the
+/// classification.
 fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError {
+    if let Some(CommPanic(e)) = payload.downcast_ref::<CommPanic>() {
+        return TrainError::Comm(*e);
+    }
     let msg = payload
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "unknown panic".to_string());
-    if msg.contains("Poisoned") || msg.contains("poisoned") {
-        TrainError::Comm(CommError::Poisoned)
-    } else if msg.contains("Timeout") || msg.contains("timed out") {
-        TrainError::Comm(CommError::Timeout)
-    } else if msg.contains("recv") || msg.contains("send") {
-        TrainError::PipelineBroken
-    } else {
-        TrainError::ThreadPanicked(msg)
-    }
+    TrainError::ThreadPanicked(msg)
 }
 
 struct ThreadArgs<'a> {
@@ -716,11 +725,7 @@ pub(crate) fn build_thread_model(
             .collect(),
         embed: (pi == 0).then(|| {
             if vocab_parallel {
-                EmbedShard::VocabParallel(VocabParallelEmbedding::from_serial(
-                    &master.embed,
-                    t,
-                    ti,
-                ))
+                EmbedShard::VocabParallel(VocabParallelEmbedding::from_serial(&master.embed, t, ti))
             } else {
                 EmbedShard::Replicated(master.embed.clone())
             }
@@ -1056,12 +1061,30 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                     params: model.flat_params(),
                     adam: adam.export_state(),
                 };
-                ckpts
-                    .lock()
-                    .unwrap()
-                    .entry(iter + 1)
-                    .or_default()
-                    .insert(key, state);
+                let ckpt_fail = |e: crate::checkpoint::CheckpointError| {
+                    tg.poison();
+                    dg.poison();
+                    TrainError::Checkpoint(e.to_string())
+                };
+                if let Some(store) = &ctl.durable {
+                    store
+                        .write_shard(&spec, key, iter + 1, &state)
+                        .map_err(ckpt_fail)?;
+                }
+                // The thread whose shard completes the generation commits
+                // it (canonical layout + manifest); peers may already be
+                // running the next iteration.
+                let complete = {
+                    let mut map = ckpts.lock().unwrap();
+                    let entry = map.entry(iter + 1).or_default();
+                    entry.insert(key, state);
+                    (entry.len() == spec.world()).then(|| entry.clone())
+                };
+                if let (Some(threads), Some(store)) = (complete, &ctl.durable) {
+                    store
+                        .commit_generation(&spec, cfg, iter + 1, &threads)
+                        .map_err(ckpt_fail)?;
+                }
             }
         }
         step_times
@@ -1072,7 +1095,10 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
             .push(iter_start.elapsed().as_secs_f64());
     }
 
-    final_params.lock().unwrap().insert(key, model.flat_params());
+    final_params
+        .lock()
+        .unwrap()
+        .insert(key, model.flat_params());
     Ok(())
 }
 
@@ -1280,12 +1306,21 @@ mod tests {
         spec.shard_optimizer = true;
         let sharded = PtdpTrainer::new(master, spec).train(&data);
         for (a, b) in replicated.losses.iter().zip(&sharded.losses) {
-            assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", replicated.losses, sharded.losses);
+            assert!(
+                (a - b).abs() < 1e-6,
+                "{:?} vs {:?}",
+                replicated.losses,
+                sharded.losses
+            );
         }
         // Final weights identical too.
         for (k, v) in &replicated.final_params {
             let w = &sharded.final_params[k];
-            let max = v.iter().zip(w).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+            let max = v
+                .iter()
+                .zip(w)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max);
             assert!(max < 1e-6, "thread {k:?} diverged by {max}");
         }
     }
@@ -1419,7 +1454,7 @@ mod tests {
                 thread: (0, 0, 0),
                 iteration: 4,
             }),
-            comm_timeout: Duration::from_secs(5),
+            comm_timeout: Some(Duration::from_secs(5)),
             ..Default::default()
         };
         let b = PtdpTrainer::new(master.clone(), spec).train_with(&data, ctl);
@@ -1486,7 +1521,7 @@ mod tests {
                 next_iter: 1,
                 threads: HashMap::new(),
             }),
-            comm_timeout: Duration::from_millis(200),
+            comm_timeout: Some(Duration::from_millis(200)),
             ..Default::default()
         };
         let out = PtdpTrainer::new(master, spec).train_with(&data, ctl);

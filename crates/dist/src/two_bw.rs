@@ -21,10 +21,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use megatron_tensor::gpt::GptModel;
 use megatron_tensor::layers::cross_entropy;
 use megatron_tensor::{Adam, Matrix};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
 use crate::comm::Group;
 use crate::trainer::{build_thread_model, PtdpSpec, ThreadModel};
@@ -76,15 +76,26 @@ impl StageState {
 
 /// Train with the 2BW no-flush schedule; `data` supplies one (tokens,
 /// targets) pair per *batch* (each `m·b·seq` long).
-pub fn train_2bw(master: &GptModel, spec: TwoBwSpec, data: &[(Vec<usize>, Vec<usize>)]) -> TwoBwLog {
+pub fn train_2bw(
+    master: &GptModel,
+    spec: TwoBwSpec,
+    data: &[(Vec<usize>, Vec<usize>)],
+) -> TwoBwLog {
     let cfg = master.cfg;
     let p = spec.pipeline;
     let m = spec.microbatches_per_batch;
     let b = spec.microbatch;
     let seq = cfg.seq;
-    assert!(cfg.layers.is_multiple_of(p), "layers must divide into p stages");
+    assert!(
+        cfg.layers.is_multiple_of(p),
+        "layers must divide into p stages"
+    );
     for (toks, tgts) in data {
-        assert_eq!(toks.len(), m * b * seq, "each batch must hold m·b·seq tokens");
+        assert_eq!(
+            toks.len(),
+            m * b * seq,
+            "each batch must hold m·b·seq tokens"
+        );
         assert_eq!(tgts.len(), m * b * seq);
     }
     let n_batches = data.len();
@@ -163,9 +174,9 @@ pub fn train_2bw(master: &GptModel, spec: TwoBwSpec, data: &[(Vec<usize>, Vec<us
                 };
 
                 let do_forward = |mb: usize,
-                                      state: &mut StageState,
-                                      stash: &mut HashMap<usize, Stash>,
-                                      batch_loss: &mut Vec<f32>| {
+                                  state: &mut StageState,
+                                  stash: &mut HashMap<usize, Stash>,
+                                  batch_loss: &mut Vec<f32>| {
                     let batch = mb / m;
                     // 2BW: use the latest locally available version; record
                     // staleness relative to the ideal W(batch−1).
@@ -175,8 +186,7 @@ pub fn train_2bw(master: &GptModel, spec: TwoBwSpec, data: &[(Vec<usize>, Vec<us
                     let slot = version % 2;
 
                     // Track distinct in-flight batches (flushlessness).
-                    let mut batches: Vec<usize> =
-                        stash.keys().map(|&k| k / m).collect();
+                    let mut batches: Vec<usize> = stash.keys().map(|&k| k / m).collect();
                     batches.push(batch);
                     batches.sort_unstable();
                     batches.dedup();
@@ -212,10 +222,10 @@ pub fn train_2bw(master: &GptModel, spec: TwoBwSpec, data: &[(Vec<usize>, Vec<us
                 };
 
                 let do_backward = |mb: usize,
-                                       state: &mut StageState,
-                                       stash: &mut HashMap<usize, Stash>,
-                                       done_backwards: &mut HashMap<usize, usize>,
-                                       batch_loss: &Vec<f32>| {
+                                   state: &mut StageState,
+                                   stash: &mut HashMap<usize, Stash>,
+                                   done_backwards: &mut HashMap<usize, usize>,
+                                   batch_loss: &Vec<f32>| {
                     let batch = mb / m;
                     let Stash { slot, input } = stash.remove(&mb).expect("fwd before bwd");
                     // Rebuild activations against the stashed version.
@@ -323,7 +333,10 @@ fn head_loss(
     x: &Matrix,
     targets: &[usize],
     tg: &crate::comm::GroupMember,
-) -> (f32, (megatron_tensor::layers::LayerNormCache, Matrix, Matrix)) {
+) -> (
+    f32,
+    (megatron_tensor::layers::LayerNormCache, Matrix, Matrix),
+) {
     let _ = tg;
     match head {
         crate::trainer::HeadShard::Replicated(ln, lm) => {
@@ -423,8 +436,12 @@ mod tests {
     ) -> Vec<(Vec<usize>, Vec<usize>)> {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(111);
-        let toks: Vec<usize> = (0..m * b * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
-        let tgts: Vec<usize> = (0..m * b * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
+        let toks: Vec<usize> = (0..m * b * c.seq)
+            .map(|_| rng.gen_range(0..c.vocab))
+            .collect();
+        let tgts: Vec<usize> = (0..m * b * c.seq)
+            .map(|_| rng.gen_range(0..c.vocab))
+            .collect();
         (0..batches).map(|_| (toks.clone(), tgts.clone())).collect()
     }
 
@@ -515,11 +532,8 @@ mod tests {
             let mut loss = 0.0;
             for mb in 0..m {
                 let lo = mb * b * c.seq;
-                loss += sync.loss_and_grad(
-                    &toks[lo..lo + b * c.seq],
-                    &tgts[lo..lo + b * c.seq],
-                    b,
-                ) / m as f32;
+                loss += sync.loss_and_grad(&toks[lo..lo + b * c.seq], &tgts[lo..lo + b * c.seq], b)
+                    / m as f32;
             }
             sync.visit(&mut |_, g| {
                 for v in g.iter_mut() {

@@ -77,8 +77,7 @@ impl VocabParallelEmbedding {
                 }
             }
             for (c, &g) in src.iter().enumerate() {
-                self.gpositions
-                    .set(pos, c, self.gpositions.get(pos, c) + g);
+                self.gpositions.set(pos, c, self.gpositions.get(pos, c) + g);
             }
         }
     }
@@ -141,7 +140,12 @@ impl VocabParallelHead {
 
         // Row maxima across the full vocabulary (all-reduce max).
         let mut maxes: Vec<f32> = (0..n)
-            .map(|r| logits.row(r).iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)))
+            .map(|r| {
+                logits
+                    .row(r)
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |a, &b| a.max(b))
+            })
             .collect();
         comm.all_reduce_max(&mut maxes);
 
@@ -166,8 +170,8 @@ impl VocabParallelHead {
             let drow = dlogits.row_mut(r);
             for (c, d) in drow.iter_mut().enumerate() {
                 let p = (logits.get(r, c) - m).exp() / z;
-                let is_target = targets[r] >= self.vocab_start
-                    && targets[r] - self.vocab_start == c;
+                let is_target =
+                    targets[r] >= self.vocab_start && targets[r] - self.vocab_start == c;
                 *d = (p - if is_target { 1.0 } else { 0.0 }) / n as f32;
             }
         }

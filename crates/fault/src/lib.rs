@@ -22,7 +22,7 @@ pub mod goodput;
 pub mod plan;
 pub mod straggler;
 
-pub use goodput::GoodputModel;
+pub use goodput::{GoodputModel, RecoveryMeasurement};
 pub use plan::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, DEATH_FACTOR};
 pub use straggler::{RankStats, StragglerReport};
 
@@ -121,8 +121,12 @@ mod tests {
         let master = GptModel::new(cfg, &mut rng);
         let data: Vec<(Vec<usize>, Vec<usize>)> = (0..3)
             .map(|_| {
-                let toks = (0..4 * cfg.seq).map(|_| rng.gen_range(0..cfg.vocab)).collect();
-                let tgts = (0..4 * cfg.seq).map(|_| rng.gen_range(0..cfg.vocab)).collect();
+                let toks = (0..4 * cfg.seq)
+                    .map(|_| rng.gen_range(0..cfg.vocab))
+                    .collect();
+                let tgts = (0..4 * cfg.seq)
+                    .map(|_| rng.gen_range(0..cfg.vocab))
+                    .collect();
                 (toks, tgts)
             })
             .collect();

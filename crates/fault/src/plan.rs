@@ -414,7 +414,9 @@ mod tests {
     #[test]
     fn node_death_freezes_every_gpu_of_the_node() {
         let mut sim = DagSim::new();
-        let gpus: Vec<_> = (0..4).map(|g| sim.add_resource(format!("gpu{g}"))).collect();
+        let gpus: Vec<_> = (0..4)
+            .map(|g| sim.add_resource(format!("gpu{g}")))
+            .collect();
         let tasks: Vec<_> = gpus
             .iter()
             .map(|&g| sim.add_task(g, secs_to_time(1.0), &[], 1))
@@ -450,7 +452,9 @@ mod tests {
     fn link_faults_hit_network_ports() {
         let mut sim = DagSim::new();
         let cluster = ClusterSpec::selene(16);
-        let gpus: Vec<_> = (0..16).map(|g| sim.add_resource(format!("gpu{g}"))).collect();
+        let gpus: Vec<_> = (0..16)
+            .map(|g| sim.add_resource(format!("gpu{g}")))
+            .collect();
         let net = Network::new(&mut sim, cluster);
         // Degrade gpu 3's IB port 4× for the whole run, then send
         // cross-node traffic from gpu 3 and from gpu 4 (both node 0, peers

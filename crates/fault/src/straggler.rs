@@ -44,7 +44,10 @@ impl StragglerReport {
     /// mean-vs-median ratio above which a rank is flagged (1.2 = 20 %
     /// slower than typical).
     pub fn analyze(step_times: &HashMap<ThreadKey, Vec<f64>>, threshold: f64) -> Self {
-        assert!(threshold >= 1.0, "threshold below 1 flags the median itself");
+        assert!(
+            threshold >= 1.0,
+            "threshold below 1 flags the median itself"
+        );
         let mut means: Vec<(ThreadKey, usize, f64, f64)> = step_times
             .iter()
             .filter(|(_, v)| !v.is_empty())

@@ -1,6 +1,5 @@
 //! GPT model configuration and the paper's closed-form formulas.
 
-
 /// Architecture of a GPT-style decoder-only transformer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GptConfig {
@@ -206,7 +205,10 @@ mod tests {
         let days = secs / 86400.0;
         assert!((days - 34.0).abs() < 2.0, "got {days} days");
         let exact = cfg.training_time_exact(300e9, 1536, 1024.0, 140e12) / 86400.0;
-        assert!((days - exact).abs() / exact < 0.10, "eq4 {days} vs exact {exact}");
+        assert!(
+            (days - exact).abs() / exact < 0.10,
+            "eq4 {days} vs exact {exact}"
+        );
     }
 
     #[test]

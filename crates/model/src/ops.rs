@@ -127,7 +127,9 @@ pub fn layer_forward(cfg: &GptConfig, p: OpListParams) -> Vec<Op> {
     });
     // g operator: all-reduce of the projection output across t ranks.
     if t > 1 {
-        ops.push(Op::TensorAllReduce { bytes: rows * h * e });
+        ops.push(Op::TensorAllReduce {
+            bytes: rows * h * e,
+        });
     }
     // bias + dropout + residual add.
     ops.push(dropout_add(rows * h * e, p.fused));
@@ -164,7 +166,9 @@ pub fn layer_forward(cfg: &GptConfig, p: OpListParams) -> Vec<Op> {
         n: h,
     });
     if t > 1 {
-        ops.push(Op::TensorAllReduce { bytes: rows * h * e });
+        ops.push(Op::TensorAllReduce {
+            bytes: rows * h * e,
+        });
     }
     ops.push(dropout_add(rows * h * e, p.fused));
 
@@ -421,9 +425,7 @@ mod tests {
     fn no_all_reduce_when_serial() {
         let cfg = cfg();
         let ops = layer_forward(&cfg, OpListParams::serial(2));
-        assert!(ops
-            .iter()
-            .all(|o| !matches!(o, Op::TensorAllReduce { .. })));
+        assert!(ops.iter().all(|o| !matches!(o, Op::TensorAllReduce { .. })));
     }
 
     #[test]
@@ -461,7 +463,10 @@ mod tests {
         let total = per_microbatch * (batch / b) as f64;
         let eq3 = cfg.flops_per_iteration_eq3(batch);
         let rel = (total - eq3).abs() / eq3;
-        assert!(rel < 0.01, "op-list {total:.4e} vs eq3 {eq3:.4e} (rel {rel})");
+        assert!(
+            rel < 0.01,
+            "op-list {total:.4e} vs eq3 {eq3:.4e} (rel {rel})"
+        );
     }
 
     #[test]

@@ -38,8 +38,12 @@ pub fn table1() -> Vec<Table1Row> {
         (76.1, 80, 10240, 60, 8, 4, 1024, 1792, 140.0, 45.0, 143.8),
         (145.6, 96, 12288, 80, 8, 8, 1536, 2304, 148.0, 47.0, 227.1),
         (310.1, 128, 16384, 96, 8, 16, 1920, 2160, 155.0, 50.0, 297.4),
-        (529.6, 128, 20480, 105, 8, 35, 2520, 2520, 163.0, 52.0, 410.2),
-        (1008.0, 160, 25600, 128, 8, 64, 3072, 3072, 163.0, 52.0, 502.0),
+        (
+            529.6, 128, 20480, 105, 8, 35, 2520, 2520, 163.0, 52.0, 410.2,
+        ),
+        (
+            1008.0, 160, 25600, 128, 8, 64, 3072, 3072, 163.0, 52.0, 502.0,
+        ),
     ];
     rows.iter()
         .map(|&(b, heads, h, l, t, p, n, batch, tf, pct, pf)| Table1Row {

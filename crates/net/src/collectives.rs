@@ -277,7 +277,10 @@ impl Network {
     ) -> Vec<TaskId> {
         let t = senders.len();
         assert_eq!(t, receivers.len(), "stage groups must have equal size");
-        assert!(deps.is_empty() || deps.len() == t, "deps must be per-sender");
+        assert!(
+            deps.is_empty() || deps.len() == t,
+            "deps must be per-sender"
+        );
         let dep_of = |i: usize| -> Vec<TaskId> {
             if deps.is_empty() {
                 vec![]
@@ -287,9 +290,7 @@ impl Network {
         };
         if !scatter_gather || t == 1 {
             return (0..t)
-                .map(|i| {
-                    self.send(sim, senders[i], receivers[i], total_bytes, &dep_of(i), kind)
-                })
+                .map(|i| self.send(sim, senders[i], receivers[i], total_bytes, &dep_of(i), kind))
                 .collect();
         }
         let chunk = total_bytes.div_ceil(t as u64);
@@ -381,9 +382,7 @@ pub mod analytical {
         let shard = bytes / g;
         let rs = (g - 1.0) * (nv_lat + bytes / (g * nv_bw));
         let ag = rs;
-        let rail: Vec<usize> = (0..nodes)
-            .map(|n| n * cluster.node.gpus_per_node)
-            .collect();
+        let rail: Vec<usize> = (0..nodes).map(|n| n * cluster.node.gpus_per_node).collect();
         let inter = ring_all_reduce_time(cluster, &rail, shard);
         rs + inter + ag
     }
@@ -465,7 +464,10 @@ mod tests {
         net.send(&mut sim, 0, 8, bytes, &[], 0); // IB
         let both = run_secs(sim);
         let ib = c.p2p_time(LinkClass::InfiniBand, bytes as f64);
-        assert!((both - ib).abs() / ib < 1e-6, "IB leg should dominate, not add");
+        assert!(
+            (both - ib).abs() / ib < 1e-6,
+            "IB leg should dominate, not add"
+        );
     }
 
     #[test]

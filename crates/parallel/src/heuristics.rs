@@ -174,7 +174,11 @@ pub fn suggest_config(
 /// Exhaustively enumerate all valid configurations (for the ablation that
 /// checks the heuristic against brute force). Returns configs with b = 1;
 /// microbatch refinement is orthogonal.
-pub fn enumerate_configs(model: &GptConfig, cluster: &ClusterSpec, batch: u64) -> Vec<ParallelConfig> {
+pub fn enumerate_configs(
+    model: &GptConfig,
+    cluster: &ClusterSpec,
+    batch: u64,
+) -> Vec<ParallelConfig> {
     let n = cluster.total_gpus() as u64;
     let capacity = cluster.gpu.mem_capacity;
     let mut out = Vec::new();
@@ -230,14 +234,13 @@ mod tests {
         let cluster = ClusterSpec::selene(row.n_gpus as usize);
         let c = suggest_config(&row.config, &cluster, row.batch_size).unwrap();
         assert_eq!(c.tensor, 8);
-        assert!(c.pipeline >= 4, "expect deep pipeline, got p={}", c.pipeline);
-        c.validate_for_model(
-            &row.config,
-            row.n_gpus,
-            cluster.gpu.mem_capacity,
-            true,
-        )
-        .unwrap();
+        assert!(
+            c.pipeline >= 4,
+            "expect deep pipeline, got p={}",
+            c.pipeline
+        );
+        c.validate_for_model(&row.config, row.n_gpus, cluster.gpu.mem_capacity, true)
+            .unwrap();
     }
 
     #[test]

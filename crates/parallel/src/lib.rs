@@ -21,7 +21,6 @@ mod mapping;
 
 pub use mapping::{Coord, RankMapper};
 
-
 /// A full PTD-P parallelization choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {

@@ -13,7 +13,6 @@
 //! - consecutive pipeline stages occupy different nodes (point-to-point over
 //!   InfiniBand, the cheap kind of cross-node traffic).
 
-
 /// Logical coordinate of a GPU in the PTD-P grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coord {

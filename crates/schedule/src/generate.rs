@@ -1,6 +1,5 @@
 //! Schedule generators.
 
-
 use crate::{Pass, PipeOp, PipelineSchedule};
 
 /// Which pipeline schedule to build.
@@ -197,7 +196,11 @@ mod tests {
         let s = ScheduleKind::OneFOneB.build(4, 6);
         let prog = &s.ops[3];
         for (i, op) in prog.iter().enumerate() {
-            let want = if i % 2 == 0 { Pass::Forward } else { Pass::Backward };
+            let want = if i % 2 == 0 {
+                Pass::Forward
+            } else {
+                Pass::Backward
+            };
             assert_eq!(op.pass, want, "op {i}");
         }
     }
@@ -216,12 +219,12 @@ mod tests {
             assert_eq!(prog.len(), 2 * 8 * 2);
             for c in 0..2 {
                 for mb in 0..8 {
-                    assert!(prog.iter().any(|o| o.microbatch == mb
-                        && o.chunk == c
-                        && o.pass == Pass::Forward));
-                    assert!(prog.iter().any(|o| o.microbatch == mb
-                        && o.chunk == c
-                        && o.pass == Pass::Backward));
+                    assert!(prog
+                        .iter()
+                        .any(|o| o.microbatch == mb && o.chunk == c && o.pass == Pass::Forward));
+                    assert!(prog
+                        .iter()
+                        .any(|o| o.microbatch == mb && o.chunk == c && o.pass == Pass::Backward));
                 }
             }
         }

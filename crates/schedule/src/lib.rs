@@ -24,7 +24,6 @@ mod replay;
 pub use generate::ScheduleKind;
 pub use replay::{render_replay, Replay, ReplayError, ReplaySpan};
 
-
 /// Forward or backward pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pass {

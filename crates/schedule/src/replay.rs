@@ -126,9 +126,7 @@ impl PipelineSchedule {
                 let stage = self.stage_of(d, op.chunk);
                 // Cross-stage dependency key (if any).
                 let dep = match op.pass {
-                    Pass::Forward if stage > 0 => {
-                        Some((Pass::Forward, op.microbatch, stage - 1))
-                    }
+                    Pass::Forward if stage > 0 => Some((Pass::Forward, op.microbatch, stage - 1)),
                     Pass::Backward if stage < last_stage => {
                         Some((Pass::Backward, op.microbatch, stage + 1))
                     }
@@ -156,7 +154,11 @@ impl PipelineSchedule {
                         }
                     }
                 }
-                let dur = if op.pass == Pass::Forward { dur_f } else { dur_b };
+                let dur = if op.pass == Pass::Forward {
+                    dur_f
+                } else {
+                    dur_b
+                };
                 let start = ready_at;
                 let end = start + dur;
                 dev_time[d] = end;
@@ -366,10 +368,7 @@ mod tests {
     fn validate_catches_duplicate() {
         let mut s = ScheduleKind::OneFOneB.build(2, 2);
         s.ops[0][1] = s.ops[0][0];
-        assert!(matches!(
-            s.validate(),
-            Err(ReplayError::DuplicateOp { .. })
-        ));
+        assert!(matches!(s.validate(), Err(ReplayError::DuplicateOp { .. })));
     }
 
     #[test]

@@ -290,7 +290,10 @@ impl DagSim {
         );
         let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
         for &d in deps {
-            assert!(d.index() < self.tasks.len(), "dependency on future task {d:?}");
+            assert!(
+                d.index() < self.tasks.len(),
+                "dependency on future task {d:?}"
+            );
             self.succs[d.index()].push(id);
         }
         self.tasks.push(Task {
@@ -320,9 +323,9 @@ impl DagSim {
         let mut heap: BinaryHeap<Reverse<(Time, u64, Event)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let push = |heap: &mut BinaryHeap<Reverse<(Time, u64, Event)>>,
-                        seq: &mut u64,
-                        t: Time,
-                        e: Event| {
+                    seq: &mut u64,
+                    t: Time,
+                    e: Event| {
             heap.push(Reverse((t, *seq, e)));
             *seq += 1;
         };

@@ -30,12 +30,7 @@ pub enum Json {
 impl Json {
     /// Build an object from key/value pairs.
     pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Borrow as an array.

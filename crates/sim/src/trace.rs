@@ -62,11 +62,7 @@ pub fn chrome_trace_json_with_instants(
 /// character columns spanning the makespan. `glyph` maps a span to the
 /// character drawn for it (e.g. microbatch digit for pipeline schedules);
 /// idle time renders as `.`.
-pub fn render_gantt(
-    result: &SimResult,
-    width: usize,
-    glyph: &dyn Fn(&TaskSpan) -> char,
-) -> String {
+pub fn render_gantt(result: &SimResult, width: usize, glyph: &dyn Fn(&TaskSpan) -> char) -> String {
     let n_res = result.resources.len();
     if result.makespan == 0 || n_res == 0 || width == 0 {
         return String::new();

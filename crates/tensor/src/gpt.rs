@@ -32,7 +32,10 @@ pub struct TinyGptConfig {
 impl TinyGptConfig {
     /// Validate divisibility constraints.
     pub fn validate(&self) {
-        assert!(self.hidden.is_multiple_of(self.heads), "heads must divide hidden");
+        assert!(
+            self.hidden.is_multiple_of(self.heads),
+            "heads must divide hidden"
+        );
         assert!(self.vocab > 0 && self.seq > 0 && self.layers > 0);
     }
 }

@@ -387,8 +387,7 @@ impl Embedding {
             let src = dy.row(r);
             for (c, &g) in src.iter().enumerate() {
                 self.gtokens.set(tok, c, self.gtokens.get(tok, c) + g);
-                self.gpositions
-                    .set(pos, c, self.gpositions.get(pos, c) + g);
+                self.gpositions.set(pos, c, self.gpositions.get(pos, c) + g);
             }
         }
     }
@@ -537,7 +536,12 @@ mod tests {
         let (y, _) = ln.forward(&x);
         for row in 0..4 {
             let mean: f32 = y.row(row).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(row).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(row)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-5, "row {row} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {row} var {var}");
         }
@@ -691,9 +695,7 @@ mod tests {
         assert_eq!((x.rows(), x.cols()), (4, 3));
         // Row 0 = token 1 at position 0.
         for c in 0..3 {
-            assert!(
-                (x.get(0, c) - emb.tokens.get(1, c) - emb.positions.get(0, c)).abs() < 1e-6
-            );
+            assert!((x.get(0, c) - emb.tokens.get(1, c) - emb.positions.get(0, c)).abs() < 1e-6);
         }
         let dy = Matrix::from_fn(4, 3, |_, _| 1.0);
         emb.backward(&toks, 4, &dy);

@@ -185,8 +185,7 @@ impl ZeroRun {
             // node's GPUs share its NVMe bandwidth.
             let g = self.cluster.node.gpus_per_node as f64;
             let param_stream = 2.0 * p_bytes * (g / n as f64);
-            let optim_stream =
-                2.0 * (12.0 * self.model.params_exact() as f64 / n as f64) * g;
+            let optim_stream = 2.0 * (12.0 * self.model.params_exact() as f64 / n as f64) * g;
             comm_time += (param_stream + optim_stream) / self.nvme_bandwidth;
         }
 

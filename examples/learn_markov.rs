@@ -31,10 +31,8 @@ fn main() {
     let batch = 16;
     let iterations = 120;
     let mut loader = ShardedLoader::from_corpus(&mut corpus, batch, cfg.seq, iterations);
-    let data: Vec<(Vec<usize>, Vec<usize>)> = std::iter::from_fn(|| {
-        loader.next_global().map(|b| (b.tokens, b.targets))
-    })
-    .collect();
+    let data: Vec<(Vec<usize>, Vec<usize>)> =
+        std::iter::from_fn(|| loader.next_global().map(|b| (b.tokens, b.targets))).collect();
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let master = GptModel::new(cfg, &mut rng);
@@ -61,7 +59,10 @@ fn main() {
         "\nloss {first:.3} -> {last:.3}; gap to entropy floor: {:.3} nats",
         last - floor
     );
-    assert!(last < first * 0.75, "model should learn the Markov structure");
+    assert!(
+        last < first * 0.75,
+        "model should learn the Markov structure"
+    );
     assert!(
         last > floor - 0.05,
         "no model can beat the source entropy ({floor:.3}); got {last:.3}"

@@ -18,8 +18,14 @@ fn main() {
     println!("p = {p} pipeline stages, m = {m} microbatches, t_b = 2·t_f\n");
 
     for (label, kind) in [
-        ("GPipe — all-forward then all-backward (Figure 3)", ScheduleKind::GPipe),
-        ("1F1B / PipeDream-Flush (Figure 4, top)", ScheduleKind::OneFOneB),
+        (
+            "GPipe — all-forward then all-backward (Figure 3)",
+            ScheduleKind::GPipe,
+        ),
+        (
+            "1F1B / PipeDream-Flush (Figure 4, top)",
+            ScheduleKind::OneFOneB,
+        ),
         (
             "Interleaved 1F1B with v = 2 chunks (Figure 4, bottom)",
             ScheduleKind::Interleaved { chunks: 2 },

@@ -53,10 +53,7 @@ fn main() {
     );
 
     // Eq. 4 training-time estimate for GPT-3's 300B tokens.
-    let days = model.training_time_eq4(
-        300e9,
-        report.n_gpus as f64,
-        report.tflops_per_gpu * 1e12,
-    ) / 86400.0;
+    let days = model.training_time_eq4(300e9, report.n_gpus as f64, report.tflops_per_gpu * 1e12)
+        / 86400.0;
     println!("\nestimated end-to-end training (300B tokens): {days:.0} days (paper: 43)");
 }

@@ -36,8 +36,9 @@ fn main() {
         .enumerate()
         .map(|(i, &t)| if i % cfg.seq == 0 { t } else { tokens[i - 1] })
         .collect();
-    let data: Vec<(Vec<usize>, Vec<usize>)> =
-        (0..iterations).map(|_| (tokens.clone(), targets.clone())).collect();
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..iterations)
+        .map(|_| (tokens.clone(), targets.clone()))
+        .collect();
 
     // Serial reference.
     let mut serial = master.clone();

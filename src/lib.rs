@@ -24,12 +24,16 @@
 //! - [`zero`]: ZeRO-3 baseline cost simulator (§5.2).
 //! - [`tensor`]: real CPU tensor engine with hand-written backward passes.
 //! - [`dist`]: thread-per-GPU distributed runtime running real tensor /
-//!   pipeline / data parallel training.
+//!   pipeline / data parallel training, durable sharded checkpoints, and
+//!   the auto-recovery supervisor.
+//! - [`fault`]: fault injection plans, straggler detection, and the
+//!   Young/Daly goodput model with its empirical cross-check.
 
 pub use megatron_cluster as cluster;
-pub use megatron_data as data;
 pub use megatron_core as core;
+pub use megatron_data as data;
 pub use megatron_dist as dist;
+pub use megatron_fault as fault;
 pub use megatron_model as model;
 pub use megatron_net as net;
 pub use megatron_parallel as parallel;

@@ -27,8 +27,12 @@ fn make_data(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..iterations)
         .map(|_| {
-            let toks: Vec<usize> = (0..batch * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
-            let tgts: Vec<usize> = (0..batch * c.seq).map(|_| rng.gen_range(0..c.vocab)).collect();
+            let toks: Vec<usize> = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            let tgts: Vec<usize> = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
             (toks, tgts)
         })
         .collect()

@@ -197,7 +197,8 @@ fn memory_model_invariants() {
         }
         // Recompute stash ≤ full stash.
         assert!(
-            memory::activation_bytes_recompute(&cfg, b) <= memory::activation_bytes_full(&cfg, b, t)
+            memory::activation_bytes_recompute(&cfg, b)
+                <= memory::activation_bytes_full(&cfg, b, t)
         );
         // Optimal checkpoint count minimizes the §3.5 expression.
         let (ai, am, ll) = (1.0e6, 17.0e6, l_per_stage as f64 * 4.0);

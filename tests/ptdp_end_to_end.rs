@@ -114,7 +114,9 @@ fn interleaving_tradeoff_end_to_end() {
         .simulate()
         .unwrap();
     let int_pc = base_pc.with_chunks(4);
-    let inter = TrainingRun::ptdp(model, cluster, int_pc).simulate().unwrap();
+    let inter = TrainingRun::ptdp(model, cluster, int_pc)
+        .simulate()
+        .unwrap();
     assert!(inter.analytical_bubble_fraction < base.analytical_bubble_fraction);
     let ratio = inter.comm.pipeline_p2p_bytes_per_gpu / base.comm.pipeline_p2p_bytes_per_gpu;
     assert!(
@@ -196,7 +198,10 @@ fn error_paths() {
     );
     run.options.schedule = ScheduleKind::OneFOneB;
     run.options.enforce_memory = false;
-    assert!(matches!(run.simulate(), Err(RunError::ChunkMismatch { .. })));
+    assert!(matches!(
+        run.simulate(),
+        Err(RunError::ChunkMismatch { .. })
+    ));
 }
 
 /// Default options match the paper's best practice.

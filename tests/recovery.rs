@@ -1,0 +1,284 @@
+//! Cross-crate integration: the reliability loop end-to-end — durable
+//! sharded checkpoints on disk, restore across process-lifetime and
+//! topology boundaries, and supervised auto-recovery through injected
+//! rank kills.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use megatron_repro::dist::{
+    CheckpointStore, KillSwitch, PtdpSpec, PtdpTrainer, RunControl, Supervisor, SupervisorConfig,
+};
+use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
+use megatron_repro::tensor::Adam;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cfg() -> TinyGptConfig {
+    TinyGptConfig {
+        vocab: 13,
+        seq: 6,
+        hidden: 8,
+        heads: 4,
+        layers: 2,
+    }
+}
+
+fn make_data(
+    c: TinyGptConfig,
+    batch: usize,
+    iters: usize,
+    seed: u64,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..iters)
+        .map(|_| {
+            let toks: Vec<usize> = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            let tgts: Vec<usize> = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect()
+}
+
+fn tmp_root(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("mgrec-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn fast_sup(checkpoint_every: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        checkpoint_every,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(5),
+        ..SupervisorConfig::default()
+    }
+}
+
+/// Save to disk, drop every piece of in-memory state, restore from the
+/// shard files alone, resume: final weights and the loss tail must match
+/// an uninterrupted run bit-for-bit.
+#[test]
+fn durable_resume_is_bit_identical() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(41);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 8, 410);
+    let spec = PtdpSpec::new(2, 1, 2);
+    let trainer = PtdpTrainer::new(master, spec);
+
+    let clean = trainer.train(&data);
+
+    let root = tmp_root("durable");
+    {
+        // A run that checkpoints durably and dies at iteration 5.
+        let store = CheckpointStore::open(&root).unwrap();
+        let out = trainer.train_with(
+            &data,
+            RunControl {
+                checkpoint_every: Some(2),
+                kill: Some(KillSwitch {
+                    thread: (1, 0, 0),
+                    iteration: 5,
+                }),
+                durable: Some(store),
+                ..RunControl::default()
+            },
+        );
+        assert!(out.error.is_some(), "the kill must abort the run");
+        // `store`, `out`, and every in-memory snapshot drop here; only the
+        // files under `root` survive.
+    }
+
+    let store = CheckpointStore::open(&root).unwrap();
+    let restored = store.load_latest(&spec, c).expect("durable generation");
+    assert_eq!(restored.generation, 4, "newest complete generation");
+    assert!(!restored.cross_topology);
+    let out = trainer.train_with(
+        &data,
+        RunControl {
+            restore: Some(restored.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(out.error.is_none(), "resume failed: {:?}", out.error);
+    assert_eq!(out.log.losses[4..], clean.losses[4..], "loss tail");
+    assert_eq!(out.log.final_params, clean.final_params, "final weights");
+    let _ = fs::remove_dir_all(root);
+}
+
+/// The acceptance scenario: two mid-run rank kills, supervised recovery
+/// with zero manual intervention, and a final state bit-for-bit equal to
+/// the fault-free run after the same iteration count.
+#[test]
+fn supervisor_survives_two_kills_bit_for_bit() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(43);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 10, 430);
+    let spec = PtdpSpec::new(2, 1, 2);
+
+    let clean = PtdpTrainer::new(master.clone(), spec).train(&data);
+
+    let root = tmp_root("twokills");
+    let store = CheckpointStore::open(&root).unwrap();
+    let sup = Supervisor::new(master, spec, store, fast_sup(2));
+    let kills = [
+        KillSwitch {
+            thread: (1, 1, 0),
+            iteration: 3,
+        },
+        KillSwitch {
+            thread: (0, 0, 0),
+            iteration: 7,
+        },
+    ];
+    let report = sup.run(&data, &kills);
+
+    assert!(report.completed(), "gave up: {:?}", report.gave_up);
+    assert_eq!(report.attempts, 3, "one restart per kill");
+    assert_eq!(report.incidents.len(), 2);
+    assert!(report.incidents.iter().all(|i| i.resumed_from > 0));
+    assert_eq!(report.losses, clean.losses, "losses bit-for-bit");
+    assert_eq!(
+        report.final_params.as_ref(),
+        Some(&clean.final_params),
+        "weights bit-for-bit"
+    );
+    let _ = fs::remove_dir_all(root);
+}
+
+/// Elastic restart on a shrunken cluster: a checkpoint taken at
+/// (p=2, t=2, d=2) restores into (p=1, t=2, d=2) via the canonical
+/// layout, and the resumed run tracks serial training end-to-end.
+#[test]
+fn cross_topology_restore_resumes_on_shrunken_cluster() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(47);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 8, 470);
+    let from = PtdpSpec::new(2, 2, 2);
+
+    let root = tmp_root("crosstopo");
+    let store = CheckpointStore::open(&root).unwrap();
+    let out = PtdpTrainer::new(master.clone(), from).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(4),
+            kill: Some(KillSwitch {
+                thread: (1, 1, 1),
+                iteration: 6,
+            }),
+            durable: Some(Arc::clone(&store)),
+            ..RunControl::default()
+        },
+    );
+    assert!(out.error.is_some());
+
+    // "Two GPUs never came back": resume at half the pipeline depth.
+    let to = PtdpSpec::new(1, 2, 2);
+    let restored = store.load_latest(&to, c).expect("canonical layout");
+    assert!(restored.cross_topology);
+    assert_eq!(restored.snapshot.next_iter, 4);
+    let resumed = PtdpTrainer::new(master.clone(), to).train_with(
+        &data,
+        RunControl {
+            restore: Some(restored.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(resumed.error.is_none(), "{:?}", resumed.error);
+
+    // Reference: serial training over all 8 iterations with one continuous
+    // Adam (the checkpoint carries the moments, so the resumed run must
+    // track it within f32 reduction drift — bit-identity is impossible
+    // across topologies because the reduction order changes).
+    let mut serial = master;
+    let mut adam = Adam::new(from.lr);
+    let batch = data[0].0.len() / c.seq;
+    let mut serial_losses = Vec::new();
+    for (toks, tgts) in &data {
+        serial.zero_grads();
+        serial_losses.push(serial.loss_and_grad(toks, tgts, batch));
+        let mut pairs = serial.param_grad_pairs();
+        adam.step(&mut pairs);
+    }
+    for (i, (got, want)) in resumed.log.losses[4..]
+        .iter()
+        .zip(&serial_losses[4..])
+        .enumerate()
+    {
+        assert!(
+            (got - want).abs() < 5e-3,
+            "iteration {}: resumed loss {got} vs serial {want}",
+            i + 4
+        );
+    }
+    let mut assembled = resumed.log.assemble(c, &to);
+    let mut diff = 0.0f32;
+    let mut sv = Vec::new();
+    serial.visit(&mut |p, _| sv.extend_from_slice(p));
+    let mut av = Vec::new();
+    assembled.visit(&mut |p, _| av.extend_from_slice(p));
+    for (a, s) in av.iter().zip(&sv) {
+        diff = diff.max((a - s).abs());
+    }
+    assert!(diff < 5e-3, "resumed model diverged from serial by {diff}");
+    let _ = fs::remove_dir_all(root);
+}
+
+/// Corruption mid-flight: with the newest generation torn on disk, the
+/// loader falls back to the previous complete one and the job still
+/// finishes with the right weights.
+#[test]
+fn corrupt_generation_falls_back_and_completes() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(53);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 8, 530);
+    let spec = PtdpSpec::new(2, 1, 1);
+    let trainer = PtdpTrainer::new(master, spec);
+
+    let clean = trainer.train(&data);
+
+    let root = tmp_root("corrupt");
+    let store = CheckpointStore::open(&root).unwrap();
+    let out = trainer.train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(2),
+            kill: Some(KillSwitch {
+                thread: (0, 0, 0),
+                iteration: 7,
+            }),
+            durable: Some(Arc::clone(&store)),
+            ..RunControl::default()
+        },
+    );
+    assert!(out.error.is_some());
+
+    // Truncate a shard of the newest generation (gen-6): torn write.
+    let victim = root.join("gen-00000006").join("shard-p0-d0-t0.bin");
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+
+    let restored = store.load_latest(&spec, c).expect("older generation");
+    assert_eq!(restored.generation, 4, "fell back over the torn gen-6");
+    assert!(!restored.notes.is_empty());
+    let out = trainer.train_with(
+        &data,
+        RunControl {
+            restore: Some(restored.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(out.error.is_none());
+    assert_eq!(out.log.final_params, clean.final_params);
+    let _ = fs::remove_dir_all(root);
+}
