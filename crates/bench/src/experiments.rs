@@ -173,6 +173,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "Section 5.10 extension: auto-recovery through a seeded fault plan",
             run: recovery,
         },
+        Experiment {
+            name: "timeline",
+            paper_ref: "E31: sim-vs-real per-rank timeline, traces + per-phase drift table",
+            run: crate::timeline::timeline,
+        },
     ]
 }
 
@@ -1165,9 +1170,10 @@ pub fn recovery() -> String {
     let clean = PtdpTrainer::new(master.clone(), spec).train(&data);
     let clean_iter_s = {
         let mut per_iter = vec![0.0f64; iters];
-        for times in clean.step_times.values() {
-            for (slot, t) in per_iter.iter_mut().zip(times) {
-                *slot = slot.max(*t);
+        for samples in clean.step_times.values() {
+            for s in samples {
+                let slot = &mut per_iter[s.iteration];
+                *slot = slot.max(s.seconds);
             }
         }
         per_iter.iter().sum::<f64>() / iters as f64

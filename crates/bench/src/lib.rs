@@ -9,3 +9,4 @@ pub mod experiments;
 pub mod harness;
 pub mod simulate_cli;
 pub mod table;
+pub mod timeline;

@@ -8,6 +8,7 @@ use megatron_model::{memory, GptConfig, BYTES_FP16};
 use megatron_net::analytical;
 use megatron_parallel::{analysis, ConfigError, ParallelConfig, RankMapper};
 use megatron_schedule::{Pass, PipelineSchedule, ScheduleKind};
+use megatron_sim::json::Json;
 use megatron_sim::{secs_to_time, DagSim, TaskId};
 
 use crate::costs::{self, StageCost};
@@ -420,16 +421,31 @@ impl TrainingRun {
                 + peak_chunks * per_chunk_stash
                 + memory::activation_bytes_full(&self.model, pc.microbatch, pc.tensor);
 
-        let trace = megatron_sim::chrome_trace_json(&result, &|k| {
-            match k {
-                kind::FORWARD => "forward",
-                kind::BACKWARD => "backward",
-                kind::P2P => "pipeline-p2p",
-                kind::OPTIMIZER => "grad-allreduce+optimizer",
-                _ => "other",
-            }
-            .to_string()
-        });
+        let trace = megatron_sim::chrome_trace_json_with_args(
+            &result,
+            &|k| {
+                match k {
+                    kind::FORWARD => "forward",
+                    kind::BACKWARD => "backward",
+                    kind::P2P => "pipeline-p2p",
+                    kind::OPTIMIZER => "grad-allreduce+optimizer",
+                    _ => "other",
+                }
+                .to_string()
+            },
+            &|s| {
+                // Attach modeled byte volumes so the sim trace carries the
+                // same `args.bytes` payload as the real-trainer exporter.
+                match s.kind {
+                    kind::P2P => vec![("bytes".to_string(), Json::Num(wire_per_boundary))],
+                    kind::OPTIMIZER => {
+                        vec![("bytes".to_string(), Json::Num(data_parallel_bytes_per_gpu))]
+                    }
+                    _ => Vec::new(),
+                }
+            },
+            &[],
+        );
 
         let report = IterationReport {
             iteration_time,

@@ -15,9 +15,92 @@
 //! [`CommError::Timeout`] in its peers after the group's configured
 //! timeout, which also poisons the group so the failure propagates.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Bytes per element of the real engine's `f32` payloads. (The paper's
+/// analytical formulas in `megatron-parallel` assume fp16, i.e. 2 bytes —
+/// counted volumes are exactly `4 / 2 = 2×` those formulas.)
+pub const BYTES_F32: f64 = 4.0;
+
+/// Per-rank bytes a ring all-reduce of `n` f32 elements moves over `g`
+/// ranks: `2 · (g−1)/g · n` elements (reduce-scatter + all-gather phases,
+/// paper §3.2's `(t−1)/t` factor).
+pub fn ring_all_reduce_bytes(g: usize, n: usize) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    2.0 * (g as f64 - 1.0) / g as f64 * n as f64 * BYTES_F32
+}
+
+/// Per-rank bytes a ring all-gather moves when each rank contributes
+/// `part` f32 elements: `(g−1) · part`.
+pub fn ring_all_gather_bytes(g: usize, part: usize) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    (g as f64 - 1.0) * part as f64 * BYTES_F32
+}
+
+/// Per-rank bytes a ring reduce-scatter of `n` f32 elements moves:
+/// `(g−1)/g · n`.
+pub fn ring_reduce_scatter_bytes(g: usize, n: usize) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    (g as f64 - 1.0) / g as f64 * n as f64 * BYTES_F32
+}
+
+/// Per-rank bytes of a broadcast of `n` f32 elements (each non-root rank
+/// receives the full buffer once under a tree/pipeline schedule).
+pub fn broadcast_bytes(g: usize, n: usize) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    n as f64 * BYTES_F32
+}
+
+/// Running per-member tally of algorithmic communication volume, split by
+/// collective type. Volumes are the ring-algorithm byte counts above — what
+/// this rank's NIC would move on real hardware — not the shared-memory
+/// copies the implementation happens to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommVolume {
+    /// Bytes from all-reduce (sum/max/mean) calls.
+    pub all_reduce_bytes: f64,
+    /// Bytes from all-gather calls.
+    pub all_gather_bytes: f64,
+    /// Bytes from reduce-scatter calls.
+    pub reduce_scatter_bytes: f64,
+    /// Bytes from broadcast calls.
+    pub broadcast_bytes: f64,
+    /// Number of completed collectives (size-1 no-ops excluded).
+    pub ops: u64,
+}
+
+impl CommVolume {
+    /// Total bytes across all collective types.
+    pub fn total_bytes(&self) -> f64 {
+        self.all_reduce_bytes
+            + self.all_gather_bytes
+            + self.reduce_scatter_bytes
+            + self.broadcast_bytes
+    }
+
+    /// Element-wise sum of two tallies.
+    #[must_use]
+    pub fn plus(&self, other: &CommVolume) -> CommVolume {
+        CommVolume {
+            all_reduce_bytes: self.all_reduce_bytes + other.all_reduce_bytes,
+            all_gather_bytes: self.all_gather_bytes + other.all_gather_bytes,
+            reduce_scatter_bytes: self.reduce_scatter_bytes + other.reduce_scatter_bytes,
+            broadcast_bytes: self.broadcast_bytes + other.broadcast_bytes,
+            ops: self.ops + other.ops,
+        }
+    }
+}
 
 /// Default collective timeout; generous next to the microseconds a healthy
 /// shared-memory collective takes, so it only fires on real failures.
@@ -173,6 +256,7 @@ impl Group {
         GroupMember {
             group: Arc::clone(self),
             rank,
+            volume: Cell::new(CommVolume::default()),
         }
     }
 
@@ -192,6 +276,9 @@ impl Group {
 pub struct GroupMember {
     group: Arc<Group>,
     rank: usize,
+    // `Cell`, not atomic: a member belongs to exactly one rank thread, so
+    // volume accounting costs a register copy, never a contended write.
+    volume: Cell<CommVolume>,
 }
 
 impl GroupMember {
@@ -203,6 +290,23 @@ impl GroupMember {
     /// Group size.
     pub fn size(&self) -> usize {
         self.group.size
+    }
+
+    /// The algorithmic communication volume this member has completed.
+    pub fn comm_volume(&self) -> CommVolume {
+        self.volume.get()
+    }
+
+    /// Reset the tally, returning the previous value.
+    pub fn take_comm_volume(&self) -> CommVolume {
+        self.volume.replace(CommVolume::default())
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut CommVolume)) {
+        let mut v = self.volume.get();
+        f(&mut v);
+        v.ops += 1;
+        self.volume.set(v);
     }
 
     /// Poison the group: every peer blocked in — or later entering — a
@@ -227,7 +331,9 @@ impl GroupMember {
             }
             *b = acc;
         }
-        self.try_barrier()
+        self.try_barrier()?;
+        self.bump(|v| v.all_reduce_bytes += ring_all_reduce_bytes(self.group.size, buf.len()));
+        Ok(())
     }
 
     /// Fallible in-place element-wise max all-reduce.
@@ -244,7 +350,9 @@ impl GroupMember {
             }
             *b = acc;
         }
-        self.try_barrier()
+        self.try_barrier()?;
+        self.bump(|v| v.all_reduce_bytes += ring_all_reduce_bytes(self.group.size, buf.len()));
+        Ok(())
     }
 
     /// Fallible in-place mean all-reduce (deterministic, rank-ordered).
@@ -270,6 +378,7 @@ impl GroupMember {
             out.extend_from_slice(&self.group.board[r].lock().unwrap());
         }
         self.try_barrier()?;
+        self.bump(|v| v.all_gather_bytes += ring_all_gather_bytes(self.group.size, part.len()));
         Ok(out)
     }
 
@@ -285,7 +394,9 @@ impl GroupMember {
         if self.rank != root {
             buf.copy_from_slice(&self.group.board[root].lock().unwrap());
         }
-        self.try_barrier()
+        self.try_barrier()?;
+        self.bump(|v| v.broadcast_bytes += broadcast_bytes(self.group.size, buf.len()));
+        Ok(())
     }
 
     /// Fallible reduce-scatter: sum contributions, return this rank's
@@ -310,6 +421,9 @@ impl GroupMember {
             }
         }
         self.try_barrier()?;
+        self.bump(|v| {
+            v.reduce_scatter_bytes += ring_reduce_scatter_bytes(self.group.size, buf.len())
+        });
         Ok(out)
     }
 
@@ -612,6 +726,45 @@ mod tests {
             .expect("panic payload must be a CommPanic, not a string");
         assert_eq!(cp.0, CommError::Poisoned);
         assert!(cp.to_string().contains("poisoned"));
+    }
+
+    #[test]
+    fn comm_volume_counts_ring_bytes() {
+        let results = run_group(4, |m| {
+            let mut buf = vec![1.0f32; 8];
+            m.all_reduce_sum(&mut buf);
+            let _ = m.all_gather(&buf[..2]);
+            let _ = m.reduce_scatter_sum(&buf);
+            m.broadcast(&mut buf, 0);
+            m.barrier(); // pure barriers don't count as volume ops
+            m.comm_volume()
+        });
+        for v in &results {
+            // g=4, n=8 f32: all-reduce 2·(3/4)·8·4 = 48 B; all-gather of
+            // 2-elem parts (4−1)·2·4 = 24 B; reduce-scatter (3/4)·8·4 = 24 B;
+            // broadcast 8·4 = 32 B.
+            assert_eq!(v.all_reduce_bytes, 48.0);
+            assert_eq!(v.all_gather_bytes, 24.0);
+            assert_eq!(v.reduce_scatter_bytes, 24.0);
+            assert_eq!(v.broadcast_bytes, 32.0);
+            assert_eq!(v.total_bytes(), 128.0);
+            assert_eq!(v.ops, 4);
+        }
+    }
+
+    #[test]
+    fn comm_volume_single_rank_is_free_and_take_resets() {
+        let results = run_group(1, |m| {
+            let mut buf = vec![1.0f32; 8];
+            m.all_reduce_sum(&mut buf);
+            let before = m.comm_volume();
+            let taken = m.take_comm_volume();
+            (before, taken, m.comm_volume())
+        });
+        let (before, taken, after) = results[0];
+        assert_eq!(before, CommVolume::default());
+        assert_eq!(taken, before);
+        assert_eq!(after, CommVolume::default());
     }
 
     #[test]

@@ -31,9 +31,12 @@ pub mod two_bw;
 pub mod vocab;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
-pub use comm::{CommError, CommPanic, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
+pub use comm::{
+    broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
+    CommError, CommPanic, CommVolume, Group, GroupMember, BYTES_F32, DEFAULT_COMM_TIMEOUT,
+};
 pub use supervisor::{Incident, Supervisor, SupervisorConfig, SupervisorReport};
 pub use trainer::{
-    KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadState, TrainError, TrainLog, TrainOutcome,
-    TrainSnapshot,
+    KillSwitch, PtdpSpec, PtdpTrainer, RankCommVolume, RunControl, StepSample, ThreadState,
+    TrainError, TrainLog, TrainOutcome, TrainSnapshot,
 };

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use megatron_telemetry::TelemetrySink;
 use megatron_tensor::gpt::{GptModel, TinyGptConfig};
 
 use crate::checkpoint::{CheckpointError, CheckpointStore};
@@ -128,6 +129,7 @@ pub struct Supervisor {
     model_cfg: TinyGptConfig,
     store: Arc<CheckpointStore>,
     cfg: SupervisorConfig,
+    telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl Supervisor {
@@ -147,7 +149,17 @@ impl Supervisor {
             model_cfg,
             store,
             cfg,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry sink: every attempt's rank threads trace into it
+    /// (spans tagged with the attempt as their incident epoch), and the
+    /// supervisor itself publishes `supervisor_incidents` /
+    /// `supervisor_restarts` counters.
+    pub fn with_telemetry(mut self, sink: Arc<TelemetrySink>) -> Supervisor {
+        self.telemetry = Some(sink);
+        self
     }
 
     /// Collective timeout for attempt `n`: halved per retry, floored.
@@ -197,6 +209,11 @@ impl Supervisor {
                 kill,
                 comm_timeout: Some(self.comm_timeout(attempt)),
                 durable: Some(Arc::clone(&self.store)),
+                // The attempt index is the incident epoch: step samples and
+                // spans from a resumed run are distinguishable from the
+                // pre-failure ones even at the same iteration number.
+                epoch: attempt,
+                telemetry: self.telemetry.clone(),
             };
             let attempt_t0 = Instant::now();
             let out = self.trainer.train_with(data, ctl);
@@ -209,10 +226,17 @@ impl Supervisor {
                     losses[start_iter..].copy_from_slice(&out.log.losses[start_iter..]);
                     let executed = data.len() - start_iter;
                     if executed > 0 {
+                        // Samples are keyed by (epoch, iteration), so a
+                        // restarted attempt's timings land in the right
+                        // slot instead of zipping by push order (which
+                        // drifted after a mid-run restore).
                         let mut per_iter = vec![0.0f64; executed];
-                        for times in out.log.step_times.values() {
-                            for (slot, t) in per_iter.iter_mut().zip(times) {
-                                *slot = slot.max(*t);
+                        for samples in out.log.step_times.values() {
+                            for s in samples {
+                                if s.epoch == attempt && s.iteration >= start_iter {
+                                    let slot = &mut per_iter[s.iteration - start_iter];
+                                    *slot = slot.max(s.seconds);
+                                }
                             }
                         }
                         clean_iter_s = per_iter.iter().sum::<f64>() / executed as f64;
@@ -254,6 +278,10 @@ impl Supervisor {
                         .min(self.cfg.backoff_max);
                     std::thread::sleep(backoff);
 
+                    if let Some(sink) = &self.telemetry {
+                        sink.metrics.counter("supervisor_incidents").inc();
+                        sink.metrics.counter("supervisor_restarts").inc();
+                    }
                     incidents.push(Incident {
                         attempt,
                         error: e.clone(),
@@ -269,6 +297,9 @@ impl Supervisor {
                 }
                 Some(e) => {
                     // Non-retryable, or the budget is spent.
+                    if let Some(sink) = &self.telemetry {
+                        sink.metrics.counter("supervisor_incidents").inc();
+                    }
                     incidents.push(Incident {
                         attempt,
                         error: e.clone(),

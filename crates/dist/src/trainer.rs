@@ -29,9 +29,14 @@ use megatron_tensor::layers::{cross_entropy, Embedding, LayerNorm, LayerNormCach
 use megatron_tensor::{Adam, AdamState, Matrix};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 
+use megatron_telemetry::{RankTracer, SpanArgs, SpanKind, TelemetrySink};
+
 use crate::block::{ParallelBlock, ParallelBlockCache};
 use crate::checkpoint::CheckpointStore;
-use crate::comm::{CommError, CommPanic, Group, GroupMember, DEFAULT_COMM_TIMEOUT};
+use crate::comm::{
+    ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes, CommError, CommPanic,
+    CommVolume, Group, GroupMember, BYTES_F32, DEFAULT_COMM_TIMEOUT,
+};
 use crate::vocab::{VocabHeadCache, VocabParallelEmbedding, VocabParallelHead};
 
 /// Parallelization plan for [`PtdpTrainer`].
@@ -112,6 +117,42 @@ pub type ThreadKey = (usize, usize, usize);
 /// Shared per-thread output map.
 type SharedMap<V> = Arc<Mutex<HashMap<ThreadKey, V>>>;
 
+/// One timed training step of one thread. Samples are indexed by
+/// (incident `epoch`, absolute `iteration`), so a run resumed after a
+/// supervisor restart never interleaves its timings with the pre-failure
+/// attempt's — a plain `Vec<f64>` lost that provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepSample {
+    /// Supervisor incident epoch (attempt number; 0 for a clean run). Set
+    /// from [`RunControl::epoch`].
+    pub epoch: usize,
+    /// Absolute iteration index into the run's data.
+    pub iteration: usize,
+    /// Wall-clock seconds the step took on this thread.
+    pub seconds: f64,
+}
+
+/// Per-thread communication totals for one run: tensor-group and
+/// data-parallel-group collective volumes (algorithmic ring bytes, f32)
+/// plus pipeline p2p activation/gradient sends.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankCommVolume {
+    /// Tensor-parallel group collectives (the §3.2 per-layer all-reduces).
+    pub tensor: CommVolume,
+    /// Data-parallel group collectives (gradient averaging / ZeRO).
+    pub data: CommVolume,
+    /// Bytes this thread sent over pipeline stage boundaries (§3.2's
+    /// `bsh`-sized transfers).
+    pub p2p_send_bytes: f64,
+}
+
+impl RankCommVolume {
+    /// Total bytes across all channels.
+    pub fn total_bytes(&self) -> f64 {
+        self.tensor.total_bytes() + self.data.total_bytes() + self.p2p_send_bytes
+    }
+}
+
 /// Result of a training run.
 pub struct TrainLog {
     /// Mean loss per iteration (averaged over microbatches and replicas).
@@ -125,9 +166,12 @@ pub struct TrainLog {
     /// (GPipe stashes m microbatches, 1F1B at most p, recompute only the
     /// chunk inputs).
     pub peak_stash_floats: HashMap<ThreadKey, usize>,
-    /// Wall-clock seconds per executed iteration per thread — the raw
-    /// material for straggler detection (`megatron-fault`).
-    pub step_times: HashMap<ThreadKey, Vec<f64>>,
+    /// Wall-clock step samples per thread, tagged (epoch, iteration) — the
+    /// raw material for straggler detection (`megatron-fault`) and the
+    /// supervisor's goodput accounting.
+    pub step_times: HashMap<ThreadKey, Vec<StepSample>>,
+    /// Communication volume per thread (threads that completed the run).
+    pub comm_volumes: HashMap<ThreadKey, RankCommVolume>,
 }
 
 /// One thread's share of an in-memory checkpoint: its flattened parameters
@@ -178,6 +222,14 @@ pub struct RunControl {
     /// thread writes its own shard and the thread completing a generation
     /// commits it (canonical layout + manifest).
     pub durable: Option<Arc<CheckpointStore>>,
+    /// Incident epoch this run belongs to (the supervisor's attempt
+    /// counter). Tags every [`StepSample`] and telemetry span, so samples
+    /// from different restart attempts never interleave.
+    pub epoch: usize,
+    /// Telemetry sink: when set, every thread records per-microbatch
+    /// fwd/bwd/comm/opt/checkpoint/bubble spans and the run feeds the
+    /// metrics registry (iteration times, comm volume, bubble fraction).
+    pub telemetry: Option<Arc<TelemetrySink>>,
 }
 
 /// Why a thread of a training run stopped early.
@@ -578,7 +630,8 @@ impl PtdpTrainer {
         let losses = Arc::new(Mutex::new(vec![0.0f32; data.len()]));
         let final_params: SharedMap<Vec<f32>> = Arc::new(Mutex::new(HashMap::new()));
         let peak_stash: SharedMap<usize> = Arc::new(Mutex::new(HashMap::new()));
-        let step_times: SharedMap<Vec<f64>> = Arc::new(Mutex::new(HashMap::new()));
+        let step_times: SharedMap<Vec<StepSample>> = Arc::new(Mutex::new(HashMap::new()));
+        let comm_volumes: SharedMap<RankCommVolume> = Arc::new(Mutex::new(HashMap::new()));
         // Checkpoints accumulate per iteration; threads may drift by up to
         // a pipeline flush, so only an iteration every thread finished
         // counts as a restorable snapshot.
@@ -598,6 +651,7 @@ impl PtdpTrainer {
                         let final_params = Arc::clone(&final_params);
                         let peak_stash = Arc::clone(&peak_stash);
                         let step_times = Arc::clone(&step_times);
+                        let comm_volumes = Arc::clone(&comm_volumes);
                         let master = &self.master;
                         let schedule = &schedule;
                         let ckpts = &ckpts;
@@ -619,6 +673,7 @@ impl PtdpTrainer {
                                     final_params,
                                     peak_stash,
                                     step_times,
+                                    comm_volumes,
                                     ctl,
                                     ckpts,
                                 })
@@ -652,12 +707,26 @@ impl PtdpTrainer {
             .max_by_key(|(next_iter, _)| *next_iter)
             .map(|(next_iter, threads)| TrainSnapshot { next_iter, threads });
 
+        let comm_volumes = Arc::try_unwrap(comm_volumes).unwrap().into_inner().unwrap();
+        if let Some(sink) = &ctl.telemetry {
+            let mut total = 0.0f64;
+            for ((cpi, cdi, cti), vol) in &comm_volumes {
+                let bytes = vol.total_bytes();
+                sink.metrics
+                    .counter(&format!("comm_bytes.rank.p{cpi}d{cdi}t{cti}"))
+                    .add(bytes as u64);
+                total += bytes;
+            }
+            sink.metrics.counter("comm_bytes_total").add(total as u64);
+        }
+
         TrainOutcome {
             log: TrainLog {
                 losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
                 final_params: Arc::try_unwrap(final_params).unwrap().into_inner().unwrap(),
                 peak_stash_floats: Arc::try_unwrap(peak_stash).unwrap().into_inner().unwrap(),
                 step_times: Arc::try_unwrap(step_times).unwrap().into_inner().unwrap(),
+                comm_volumes,
             },
             error,
             snapshot,
@@ -696,9 +765,39 @@ struct ThreadArgs<'a> {
     losses: Arc<Mutex<Vec<f32>>>,
     final_params: SharedMap<Vec<f32>>,
     peak_stash: SharedMap<usize>,
-    step_times: SharedMap<Vec<f64>>,
+    step_times: SharedMap<Vec<StepSample>>,
+    comm_volumes: SharedMap<RankCommVolume>,
     ctl: &'a RunControl,
     ckpts: &'a Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>>,
+}
+
+/// Per-iteration context every telemetry span is tagged with.
+#[derive(Clone, Copy)]
+struct SpanCtx {
+    iteration: usize,
+    epoch: usize,
+}
+
+/// Close a telemetry span opened at `start_ns`, if tracing is on. Returns
+/// the span duration in ns (0 when tracing is off), so call sites can
+/// accumulate e.g. bubble time for the metrics counters.
+fn emit(
+    tracer: &mut Option<RankTracer>,
+    ctx: SpanCtx,
+    kind: SpanKind,
+    name: &'static str,
+    start_ns: Option<u64>,
+    args: SpanArgs,
+) -> u64 {
+    match (tracer.as_mut(), start_ns) {
+        (Some(tr), Some(t0)) => tr.close(kind, name, t0, ctx.iteration, ctx.epoch, args),
+        _ => 0,
+    }
+}
+
+/// Current hub time, if tracing is on (span-open helper).
+fn tnow(tracer: &Option<RankTracer>) -> Option<u64> {
+    tracer.as_ref().map(RankTracer::now)
 }
 
 /// Build the shard thread `(pi, ti)` owns from the master weights.
@@ -817,6 +916,7 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         final_params,
         peak_stash,
         step_times,
+        comm_volumes,
         ctl,
         ckpts,
     } = args;
@@ -848,6 +948,19 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     let mut adam = Adam::new(spec.lr);
     let owns_last = model.head.is_some();
 
+    // Telemetry: one single-writer tracer per thread (publishes into the
+    // hub on drop, so spans survive the error paths too), plus cached
+    // handles to the shared bubble/step counters.
+    let flat_rank = pi * (spec.data * spec.tensor) + di * spec.tensor + ti;
+    let mut tracer = ctl.telemetry.as_ref().map(|s| s.hub.tracer(flat_rank, key));
+    let iter_counters = ctl.telemetry.as_ref().map(|s| {
+        (
+            s.metrics.counter(TelemetrySink::BUBBLE_NS),
+            s.metrics.counter(TelemetrySink::STEP_NS),
+        )
+    });
+    let mut p2p_send_bytes = 0.0f64;
+
     let start_iter = if let Some(snap) = &ctl.restore {
         let st = snap.threads.get(&key).ok_or_else(|| {
             tg.poison();
@@ -864,6 +977,11 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
 
     for (iter, (tokens, targets)) in data.iter().enumerate().skip(start_iter) {
         let iter_start = Instant::now();
+        let ctx = SpanCtx {
+            iteration: iter,
+            epoch: ctl.epoch,
+        };
+        let mut bubble_ns = 0u64;
         // This replica's slice.
         let lo = di * per_replica * seq;
         let replica_tokens = &tokens[lo..lo + per_replica * seq];
@@ -888,6 +1006,12 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
             match op.pass {
                 Pass::Forward => {
                     let toks = mb_tokens(op.microbatch);
+                    let mb_args = SpanArgs {
+                        bytes: None,
+                        microbatch: Some(op.microbatch),
+                        chunk: Some(op.chunk),
+                    };
+                    let t_in = tnow(&tracer);
                     let input = if stage == 0 {
                         model
                             .embed
@@ -896,6 +1020,22 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                             .forward(toks, seq, &tg)
                     } else {
                         ep.fwd_in[&stage].recv().map_err(|_| broken())?
+                    };
+                    // For stage 0 the time since t_in is embedding compute
+                    // (part of the forward span); everywhere else it is a
+                    // pipeline wait (bubble).
+                    let t_fwd = if stage == 0 {
+                        t_in
+                    } else {
+                        bubble_ns += emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Bubble,
+                            "pipeline-wait-fwd",
+                            t_in,
+                            mb_args,
+                        );
+                        tnow(&tracer)
                     };
                     let mut x = input.clone();
                     let mut block_caches = Vec::with_capacity(layers_per_stage);
@@ -920,8 +1060,38 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         if !spec.recompute {
                             cache.head = Some(head_cache);
                         }
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "forward",
+                            t_fwd,
+                            mb_args,
+                        );
                     } else {
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "forward",
+                            t_fwd,
+                            mb_args,
+                        );
+                        let send_bytes = x.len() as f64 * BYTES_F32;
+                        let t_send = tnow(&tracer);
                         ep.fwd_out[&stage].send(x).map_err(|_| broken())?;
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Comm,
+                            "p2p-send-fwd",
+                            t_send,
+                            SpanArgs {
+                                bytes: Some(send_bytes),
+                                ..mb_args
+                            },
+                        );
+                        p2p_send_bytes += send_bytes;
                     }
                     stash_floats += cache.float_count();
                     let mut peak = peak_stash.lock().unwrap();
@@ -931,6 +1101,11 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                     stash.insert((op.microbatch, op.chunk), cache);
                 }
                 Pass::Backward => {
+                    let mb_args = SpanArgs {
+                        bytes: None,
+                        microbatch: Some(op.microbatch),
+                        chunk: Some(op.chunk),
+                    };
                     let mut cache = stash
                         .remove(&(op.microbatch, op.chunk))
                         .expect("backward before forward");
@@ -939,6 +1114,7 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         // §3.5: rerun the forward pass from the stashed
                         // input to rebuild all intermediate activations
                         // (bit-identical to the discarded ones).
+                        let t_rc = tnow(&tracer);
                         let mut x = cache.input.take().expect("recompute stash");
                         let mut rebuilt = Vec::with_capacity(layers_per_stage);
                         for blk in &model.chunks[op.chunk] {
@@ -953,13 +1129,32 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                                 head_forward(head, &x, mb_targets(op.microbatch), &tg);
                             cache.head = Some(head_cache);
                         }
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "recompute-forward",
+                            t_rc,
+                            mb_args,
+                        );
                     }
-                    let mut dx = if stage == last_stage {
+                    let (mut dx, t_bwd) = if stage == last_stage {
+                        let t0 = tnow(&tracer);
                         let hc = cache.head.as_ref().expect("head cache");
                         let head = model.head.as_mut().expect("head");
-                        head_backward(head, hc, &tg)
+                        (head_backward(head, hc, &tg), t0)
                     } else {
-                        ep.bwd_in[&stage].recv().map_err(|_| broken())?
+                        let t_wait = tnow(&tracer);
+                        let dx = ep.bwd_in[&stage].recv().map_err(|_| broken())?;
+                        bubble_ns += emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Bubble,
+                            "pipeline-wait-bwd",
+                            t_wait,
+                            mb_args,
+                        );
+                        (dx, tnow(&tracer))
                     };
                     for (blk, c) in model.chunks[op.chunk]
                         .iter_mut()
@@ -969,7 +1164,29 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         dx = blk.backward(c, &dx, b, seq, &tg);
                     }
                     if stage > 0 {
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Backward,
+                            "backward",
+                            t_bwd,
+                            mb_args,
+                        );
+                        let send_bytes = dx.len() as f64 * BYTES_F32;
+                        let t_send = tnow(&tracer);
                         ep.bwd_out[&stage].send(dx).map_err(|_| broken())?;
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Comm,
+                            "p2p-send-bwd",
+                            t_send,
+                            SpanArgs {
+                                bytes: Some(send_bytes),
+                                ..mb_args
+                            },
+                        );
+                        p2p_send_bytes += send_bytes;
                     } else {
                         let toks = cache.tokens.as_ref().expect("stage-0 tokens");
                         model
@@ -977,6 +1194,14 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                             .as_mut()
                             .expect("stage 0 owns embed")
                             .backward(toks, seq, &dx);
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Backward,
+                            "backward",
+                            t_bwd,
+                            mb_args,
+                        );
                     }
                 }
             }
@@ -997,7 +1222,16 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         // over data-parallel replicas.
         if owns_last && ti == 0 {
             let mut l = [loss_sum * inv_m];
+            let t_loss = tnow(&tracer);
             dg.try_all_reduce_mean(&mut l).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "loss-allreduce",
+                t_loss,
+                SpanArgs::bytes(ring_all_reduce_bytes(spec.data, 1)),
+            );
             if di == 0 {
                 losses.lock().unwrap()[iter] = l[0];
             }
@@ -1019,15 +1253,42 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
             flat_g.resize(n0 + pad, 0.0);
             flat_p.resize(n0 + pad, 0.0);
             let chunk = (n0 + pad) / d;
+            let t_rs = tnow(&tracer);
             let mut gshard = dg.try_reduce_scatter_sum(&flat_g).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "grad-reduce-scatter",
+                t_rs,
+                SpanArgs::bytes(ring_reduce_scatter_bytes(d, flat_g.len())),
+            );
             let inv_d = 1.0 / d as f32;
             for x in &mut gshard {
                 *x *= inv_d;
             }
             let lo = di * chunk;
             let mut pshard = flat_p[lo..lo + chunk].to_vec();
+            let t_opt = tnow(&tracer);
             adam.step(&mut [(&mut pshard, &mut gshard)]);
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Optimizer,
+                "adam-step",
+                t_opt,
+                SpanArgs::NONE,
+            );
+            let t_ag = tnow(&tracer);
             let mut gathered = dg.try_all_gather(&pshard).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "param-allgather",
+                t_ag,
+                SpanArgs::bytes(ring_all_gather_bytes(d, pshard.len())),
+            );
             gathered.truncate(n0);
             let mut off = 0;
             model.visit(&mut |pp, _| {
@@ -1038,6 +1299,8 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
             // Data-parallel gradient averaging, parameter by parameter
             // (same order on every member of the group).
             if spec.data > 1 {
+                let t_ar = tnow(&tracer);
+                let ar_before = dg.comm_volume().all_reduce_bytes;
                 let mut comm_err: Option<CommError> = None;
                 model.visit(&mut |_, g| {
                     if comm_err.is_none() {
@@ -1049,14 +1312,32 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                 if let Some(e) = comm_err {
                     return Err(fail(e));
                 }
+                emit(
+                    &mut tracer,
+                    ctx,
+                    SpanKind::Comm,
+                    "grad-allreduce",
+                    t_ar,
+                    SpanArgs::bytes(dg.comm_volume().all_reduce_bytes - ar_before),
+                );
             }
             let mut pairs = model.param_grad_pairs();
+            let t_opt = tnow(&tracer);
             adam.step(&mut pairs);
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Optimizer,
+                "adam-step",
+                t_opt,
+                SpanArgs::NONE,
+            );
         }
 
         // --- Optimizer step done: checkpoint + instrumentation ---
         if let Some(k) = ctl.checkpoint_every {
             if k > 0 && (iter + 1).is_multiple_of(k) {
+                let t_ck = tnow(&tracer);
                 let state = ThreadState {
                     params: model.flat_params(),
                     adam: adam.export_state(),
@@ -1085,16 +1366,49 @@ fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         .commit_generation(&spec, cfg, iter + 1, &threads)
                         .map_err(ckpt_fail)?;
                 }
+                emit(
+                    &mut tracer,
+                    ctx,
+                    SpanKind::Checkpoint,
+                    "checkpoint-save",
+                    t_ck,
+                    SpanArgs::NONE,
+                );
             }
         }
+        let seconds = iter_start.elapsed().as_secs_f64();
+        if let Some((bubble_ctr, step_ctr)) = &iter_counters {
+            bubble_ctr.add(bubble_ns);
+            step_ctr.add((seconds * 1e9).round() as u64);
+        }
+        // Satellite fix: samples carry (incident epoch, iteration) so a
+        // supervisor restart can't interleave its timings with the ones
+        // recorded before the fault (they used to be bare f64 pushes).
         step_times
             .lock()
             .unwrap()
             .entry(key)
             .or_default()
-            .push(iter_start.elapsed().as_secs_f64());
+            .push(StepSample {
+                epoch: ctl.epoch,
+                iteration: iter,
+                seconds,
+            });
+        if owns_last && ti == 0 && di == 0 {
+            if let Some(sink) = &ctl.telemetry {
+                sink.record_iteration(ctl.epoch, iter, seconds);
+            }
+        }
     }
 
+    comm_volumes.lock().unwrap().insert(
+        key,
+        RankCommVolume {
+            tensor: tg.comm_volume(),
+            data: dg.comm_volume(),
+            p2p_send_bytes,
+        },
+    );
     final_params
         .lock()
         .unwrap()
@@ -1445,6 +1759,9 @@ mod tests {
         let a = PtdpTrainer::new(master.clone(), spec).train(&data);
         for v in a.step_times.values() {
             assert_eq!(v.len(), 6, "every thread times every iteration");
+            let iters: Vec<usize> = v.iter().map(|s| s.iteration).collect();
+            assert_eq!(iters, vec![0, 1, 2, 3, 4, 5]);
+            assert!(v.iter().all(|s| s.epoch == 0));
         }
 
         // Run B: checkpoint every 2 iterations, kill a rank during iter 4.
@@ -1463,13 +1780,22 @@ mod tests {
         assert_eq!(snap.next_iter, 4, "latest full checkpoint is after iter 3");
         assert_eq!(snap.threads.len(), spec.world());
 
-        // Run C: resume from the snapshot.
+        // Run C: resume from the snapshot, tagged as incident epoch 1.
+        let resume_iter = snap.next_iter;
         let ctl = RunControl {
             restore: Some(snap),
+            epoch: 1,
             ..Default::default()
         };
         let c = PtdpTrainer::new(master, spec).train_with(&data, ctl);
         assert!(c.error.is_none(), "resume failed: {:?}", c.error);
+        // Satellite fix: step samples keep iteration identity across a
+        // restart, so the resumed run's timings can't be confused with the
+        // pre-kill attempt's.
+        for v in c.log.step_times.values() {
+            assert!(!v.is_empty());
+            assert!(v.iter().all(|s| s.epoch == 1 && s.iteration >= resume_iter));
+        }
         assert_eq!(a.final_params.len(), c.log.final_params.len());
         for (k, v) in &a.final_params {
             assert_eq!(

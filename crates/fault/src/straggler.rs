@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use megatron_dist::trainer::ThreadKey;
+use megatron_dist::StepSample;
 
 /// Summary statistics of one rank's step times.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,7 +44,7 @@ impl StragglerReport {
     /// `megatron_dist::TrainLog::step_times`). `threshold` is the
     /// mean-vs-median ratio above which a rank is flagged (1.2 = 20 %
     /// slower than typical).
-    pub fn analyze(step_times: &HashMap<ThreadKey, Vec<f64>>, threshold: f64) -> Self {
+    pub fn analyze(step_times: &HashMap<ThreadKey, Vec<StepSample>>, threshold: f64) -> Self {
         assert!(
             threshold >= 1.0,
             "threshold below 1 flags the median itself"
@@ -52,8 +53,8 @@ impl StragglerReport {
             .iter()
             .filter(|(_, v)| !v.is_empty())
             .map(|(&k, v)| {
-                let mean = v.iter().sum::<f64>() / v.len() as f64;
-                let max = v.iter().cloned().fold(0.0f64, f64::max);
+                let mean = v.iter().map(|s| s.seconds).sum::<f64>() / v.len() as f64;
+                let max = v.iter().map(|s| s.seconds).fold(0.0f64, f64::max);
                 (k, v.len(), mean, max)
             })
             .collect();
@@ -101,8 +102,22 @@ impl StragglerReport {
 mod tests {
     use super::*;
 
-    fn times(pairs: &[(ThreadKey, &[f64])]) -> HashMap<ThreadKey, Vec<f64>> {
-        pairs.iter().map(|&(k, v)| (k, v.to_vec())).collect()
+    fn times(pairs: &[(ThreadKey, &[f64])]) -> HashMap<ThreadKey, Vec<StepSample>> {
+        pairs
+            .iter()
+            .map(|&(k, v)| {
+                let samples = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &seconds)| StepSample {
+                        epoch: 0,
+                        iteration: i,
+                        seconds,
+                    })
+                    .collect();
+                (k, samples)
+            })
+            .collect()
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub mod json;
 mod trace;
 
 pub use engine::{DagSim, ResourceId, ResourceStats, SimError, SimResult, TaskId, TaskSpan};
-pub use trace::{chrome_trace_json, chrome_trace_json_with_instants, render_gantt, TraceInstant};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_with_args, chrome_trace_json_with_instants, events_json,
+    render_gantt, TraceEvent, TraceInstant,
+};
 
 /// Simulated time in nanoseconds.
 pub type Time = u64;

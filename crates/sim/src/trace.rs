@@ -1,4 +1,9 @@
 //! Trace export and ASCII visualization of simulation results.
+//!
+//! The Chrome `about:tracing` / Perfetto JSON event format is shared by the
+//! simulator and the real trainer (`megatron-telemetry`): both lower their
+//! spans to [`TraceEvent`] and serialize with [`events_json`], so a real run
+//! and its simulated twin can be loaded side by side in one viewer.
 
 use crate::engine::{SimResult, TaskSpan};
 use crate::json::Json;
@@ -17,6 +22,128 @@ pub struct TraceInstant {
     pub category: String,
 }
 
+/// One Chrome-trace event: a complete span (`ph = "X"`), an instant
+/// (`ph = "i"`), or process metadata (`ph = "M"`). The unified event type
+/// both exporters (simulated and real) serialize through, including
+/// per-event `args` (byte volumes, microbatch ids, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (`"sim"`, `"fwd"`, `"comm"`, `"fault"`, ...).
+    pub cat: String,
+    /// Chrome phase: `"X"` complete span, `"i"` instant, `"M"` metadata.
+    pub ph: &'static str,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (spans only).
+    pub dur_us: Option<f64>,
+    /// Process id row group.
+    pub pid: usize,
+    /// Thread id row within the process.
+    pub tid: usize,
+    /// Extra key/value payload rendered under the event in the viewer.
+    pub args: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    /// A complete span (`ph = "X"`).
+    pub fn span(name: impl Into<String>, cat: impl Into<String>, ts_us: f64, dur_us: f64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "X",
+            ts_us,
+            dur_us: Some(dur_us),
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A process-scoped instant event (`ph = "i"`).
+    pub fn instant(name: impl Into<String>, cat: impl Into<String>, ts_us: f64) -> Self {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            ph: "i",
+            ts_us,
+            dur_us: None,
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A `process_name` metadata event labelling `pid` in the viewer.
+    pub fn process_name(pid: usize, label: impl Into<String>) -> Self {
+        TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata".to_string(),
+            ph: "M",
+            ts_us: 0.0,
+            dur_us: None,
+            pid,
+            tid: 0,
+            args: vec![("name".to_string(), Json::from(label.into()))],
+        }
+    }
+
+    /// Set the pid/tid placement.
+    #[must_use]
+    pub fn at(mut self, pid: usize, tid: usize) -> Self {
+        self.pid = pid;
+        self.tid = tid;
+        self
+    }
+
+    /// Append one args entry.
+    #[must_use]
+    pub fn arg(mut self, key: &str, value: Json) -> Self {
+        self.args.push((key.to_string(), value));
+        self
+    }
+
+    /// Lower to the Chrome-trace JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name", Json::from(self.name.as_str())),
+            ("cat", Json::from(self.cat.as_str())),
+            ("ph", Json::from(self.ph)),
+            ("ts", Json::from(self.ts_us)),
+            ("pid", Json::from(self.pid)),
+            ("tid", Json::from(self.tid)),
+        ];
+        if let Some(d) = self.dur_us {
+            obj.push(("dur", Json::from(d)));
+        }
+        if self.ph == "i" {
+            obj.push(("s", Json::from("p"))); // process-scoped instant
+        }
+        if !self.args.is_empty() {
+            obj.push((
+                "args",
+                Json::Obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        let mut map = std::collections::BTreeMap::new();
+        for (k, v) in obj {
+            map.insert(k.to_string(), v);
+        }
+        Json::Obj(map)
+    }
+}
+
+/// Serialize a batch of events as the Chrome JSON array format.
+pub fn events_json(events: &[TraceEvent]) -> String {
+    Json::Arr(events.iter().map(TraceEvent::to_json).collect()).to_string()
+}
+
 /// Serialize spans in the Chrome `about:tracing` / Perfetto JSON array
 /// format. `names` maps each task `kind` code to a display name; unknown
 /// kinds render as `kind-N`.
@@ -31,31 +158,37 @@ pub fn chrome_trace_json_with_instants(
     names: &dyn Fn(u32) -> String,
     instants: &[TraceInstant],
 ) -> String {
+    chrome_trace_json_with_args(result, names, &|_| Vec::new(), instants)
+}
+
+/// Full-control sim export: `args` attaches per-event payload (byte
+/// volumes, microbatch ids, ...) to each task span, keyed off the span
+/// itself. Both the simulator (`megatron-core`) and the real-trainer
+/// exporter (`megatron-telemetry`) feed the same [`TraceEvent`] format.
+pub fn chrome_trace_json_with_args(
+    result: &SimResult,
+    names: &dyn Fn(u32) -> String,
+    args: &dyn Fn(&TaskSpan) -> Vec<(String, Json)>,
+    instants: &[TraceInstant],
+) -> String {
     let mut events = Vec::with_capacity(result.spans.len() + instants.len());
     for s in &result.spans {
-        events.push(Json::obj([
-            ("name", Json::from(names(s.kind))),
-            ("cat", Json::from("sim")),
-            ("ph", Json::from("X")),
-            // chrome trace wants microseconds
-            ("ts", Json::from(s.start as f64 / 1e3)),
-            ("dur", Json::from((s.end - s.start) as f64 / 1e3)),
-            ("pid", Json::from(0usize)),
-            ("tid", Json::from(s.resource.index())),
-        ]));
+        let mut ev = TraceEvent::span(
+            names(s.kind),
+            "sim",
+            s.start as f64 / 1e3, // chrome trace wants microseconds
+            (s.end - s.start) as f64 / 1e3,
+        )
+        .at(0, s.resource.index());
+        ev.args = args(s);
+        events.push(ev);
     }
     for i in instants {
-        events.push(Json::obj([
-            ("name", Json::from(i.name.as_str())),
-            ("cat", Json::from(i.category.as_str())),
-            ("ph", Json::from("i")),
-            ("ts", Json::from(i.time as f64 / 1e3)),
-            ("s", Json::from("p")), // process-scoped instant
-            ("pid", Json::from(0usize)),
-            ("tid", Json::from(0usize)),
-        ]));
+        events.push(
+            TraceEvent::instant(i.name.as_str(), i.category.as_str(), i.time as f64 / 1e3).at(0, 0),
+        );
     }
-    Json::Arr(events).to_string()
+    events_json(&events)
 }
 
 /// Render an ASCII Gantt chart of the run: one row per resource, `width`
@@ -137,6 +270,39 @@ mod tests {
         assert_eq!(inst["ts"].as_f64(), Some(0.075));
         // Span events keep the "sim" category.
         assert_eq!(events[0]["cat"].as_str(), Some("sim"));
+    }
+
+    #[test]
+    fn span_args_reach_the_json() {
+        let r = two_task_result();
+        let s = chrome_trace_json_with_args(
+            &r,
+            &|k| format!("k{k}"),
+            &|span| vec![("bytes".to_string(), Json::from(span.kind as usize * 100))],
+            &[],
+        );
+        let v = Json::parse(&s).unwrap();
+        assert_eq!(v[0]["args"]["bytes"].as_f64(), Some(100.0));
+        assert_eq!(v[1]["args"]["bytes"].as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn trace_event_builder_round_trips() {
+        let ev = TraceEvent::span("fwd", "fwd", 1.5, 2.5)
+            .at(3, 4)
+            .arg("microbatch", Json::from(7usize));
+        let v = Json::parse(&events_json(&[ev.clone()])).unwrap();
+        assert_eq!(v[0]["name"].as_str(), Some("fwd"));
+        assert_eq!(v[0]["ts"].as_f64(), Some(1.5));
+        assert_eq!(v[0]["dur"].as_f64(), Some(2.5));
+        assert_eq!(v[0]["pid"].as_f64(), Some(3.0));
+        assert_eq!(v[0]["tid"].as_f64(), Some(4.0));
+        assert_eq!(v[0]["args"]["microbatch"].as_f64(), Some(7.0));
+        // Metadata events label processes.
+        let m = TraceEvent::process_name(3, "rank 3");
+        let v = Json::parse(&events_json(&[m])).unwrap();
+        assert_eq!(v[0]["ph"].as_str(), Some("M"));
+        assert_eq!(v[0]["args"]["name"].as_str(), Some("rank 3"));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Exporters: Chrome/Perfetto trace JSON and phase-share aggregation.
+//!
+//! The real trainer's trace reuses the simulator's [`TraceEvent`] format so
+//! both open side by side in one viewer. Placement convention:
+//!
+//! * simulator: `pid 0`, `tid = p` index for `dev{p}.compute`, `tid = P + p`
+//!   for `dev{p}.net` (resource insertion order in `megatron-core`);
+//! * real run: `pid = 1 + flat rank`, `tid = p` for compute/optimizer/
+//!   checkpoint/bubble spans and `tid = P + p` for communication spans,
+//!   where `p` is the rank's pipeline-stage index.
+//!
+//! So each real rank's rows line up under the simulated device with the same
+//! pipeline stage, and comm rows sit where the sim's net-port rows sit.
+
+use megatron_sim::json::Json;
+use megatron_sim::{events_json, TraceEvent};
+
+use crate::span::{RankTrace, SpanKind, TraceHub};
+
+/// Pid offset for real ranks (`pid 0` is the simulator's process row).
+pub const REAL_PID_BASE: usize = 1;
+
+/// Chrome trace pid for a flat rank.
+pub fn rank_pid(rank: usize) -> usize {
+    REAL_PID_BASE + rank
+}
+
+/// Lower one rank's spans to trace events.
+fn rank_events(trace: &RankTrace, pipeline_stages: usize, out: &mut Vec<TraceEvent>) {
+    let (pi, di, ti) = trace.key;
+    let pid = rank_pid(trace.rank);
+    out.push(TraceEvent::process_name(
+        pid,
+        format!("rank{} (p{pi},d{di},t{ti})", trace.rank),
+    ));
+    for s in &trace.spans {
+        let tid = match s.kind {
+            SpanKind::Comm => pipeline_stages + pi,
+            _ => pi,
+        };
+        let mut ev = TraceEvent::span(
+            s.name,
+            s.kind.category(),
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+        )
+        .at(pid, tid)
+        .arg("iteration", Json::Num(s.iteration as f64))
+        .arg("epoch", Json::Num(s.epoch as f64));
+        if let Some(b) = s.args.bytes {
+            ev = ev.arg("bytes", Json::Num(b));
+        }
+        if let Some(m) = s.args.microbatch {
+            ev = ev.arg("microbatch", Json::Num(m as f64));
+        }
+        if let Some(c) = s.args.chunk {
+            ev = ev.arg("chunk", Json::Num(c as f64));
+        }
+        out.push(ev);
+    }
+}
+
+/// Export every published rank's spans as Chrome trace JSON.
+/// `pipeline_stages` is the schedule's `p`, used for comm-row tids.
+pub fn chrome_trace_json(hub: &TraceHub, pipeline_stages: usize) -> String {
+    let mut events = Vec::new();
+    for trace in hub.ranks() {
+        rank_events(&trace, pipeline_stages, &mut events);
+    }
+    events_json(&events)
+}
+
+/// Where a run's rank-time went, as fractions of `1.0`. Shares are over
+/// total rank-seconds (sum over ranks of wall time), so a phase that all
+/// ranks spend half their time in has share 0.5.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseShares {
+    /// Forward + backward compute (includes nested tensor-parallel
+    /// all-reduces, matching the simulator's stage pricing).
+    pub compute: f64,
+    /// Explicit communication spans (p2p sends, gradient collectives).
+    pub comm: f64,
+    /// Pipeline wait (bubble) time.
+    pub bubble: f64,
+    /// Optimizer step.
+    pub optimizer: f64,
+    /// Checkpoint saves.
+    pub checkpoint: f64,
+}
+
+impl PhaseShares {
+    /// Sum of all accounted shares (the rest is untraced overhead).
+    pub fn accounted(&self) -> f64 {
+        self.compute + self.comm + self.bubble + self.optimizer + self.checkpoint
+    }
+}
+
+/// Aggregate span durations by phase across all ranks, normalized by
+/// `total_rank_seconds` (e.g. Σ over ranks of Σ per-iteration step time).
+pub fn phase_shares(hub: &TraceHub, total_rank_seconds: f64) -> PhaseShares {
+    let mut sums = PhaseShares::default();
+    for trace in hub.ranks() {
+        for s in &trace.spans {
+            let secs = s.dur_ns as f64 / 1e9;
+            match s.kind {
+                SpanKind::Forward | SpanKind::Backward => sums.compute += secs,
+                SpanKind::Comm => sums.comm += secs,
+                SpanKind::Bubble => sums.bubble += secs,
+                SpanKind::Optimizer => sums.optimizer += secs,
+                SpanKind::Checkpoint => sums.checkpoint += secs,
+            }
+        }
+    }
+    if total_rank_seconds > 0.0 {
+        sums.compute /= total_rank_seconds;
+        sums.comm /= total_rank_seconds;
+        sums.bubble /= total_rank_seconds;
+        sums.optimizer /= total_rank_seconds;
+        sums.checkpoint /= total_rank_seconds;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, SpanArgs};
+
+    fn hub_with_spans() -> std::sync::Arc<TraceHub> {
+        let hub = TraceHub::new();
+        let mut tr = hub.tracer(2, (1, 0, 0));
+        for (kind, name, dur) in [
+            (SpanKind::Forward, "forward", 6u64),
+            (SpanKind::Comm, "p2p-send-fwd", 2),
+            (SpanKind::Bubble, "pipeline-wait", 2),
+        ] {
+            tr.push(Span {
+                kind,
+                name,
+                start_ns: 0,
+                dur_ns: dur * 1_000_000_000,
+                iteration: 1,
+                epoch: 0,
+                args: SpanArgs::bytes(128.0),
+            });
+        }
+        drop(tr);
+        hub
+    }
+
+    #[test]
+    fn chrome_export_places_ranks_as_pids() {
+        let hub = hub_with_spans();
+        let s = chrome_trace_json(&hub, 2);
+        let v = Json::parse(&s).unwrap();
+        let events = v.as_array().unwrap();
+        // metadata + 3 spans
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0]["ph"].as_str(), Some("M"));
+        assert_eq!(events[0]["args"]["name"].as_str(), Some("rank2 (p1,d0,t0)"));
+        let fwd = &events[1];
+        assert_eq!(fwd["pid"].as_f64(), Some(3.0)); // rank 2 → pid 3
+        assert_eq!(fwd["tid"].as_f64(), Some(1.0)); // compute row = pi
+        assert_eq!(fwd["cat"].as_str(), Some("fwd"));
+        assert_eq!(fwd["args"]["bytes"].as_f64(), Some(128.0));
+        let comm = &events[2];
+        assert_eq!(comm["tid"].as_f64(), Some(3.0)); // comm row = P + pi
+    }
+
+    #[test]
+    fn phase_shares_normalize() {
+        let hub = hub_with_spans();
+        // One rank, 10 rank-seconds of wall time.
+        let sh = phase_shares(&hub, 10.0);
+        assert!((sh.compute - 0.6).abs() < 1e-12);
+        assert!((sh.comm - 0.2).abs() < 1e-12);
+        assert!((sh.bubble - 0.2).abs() < 1e-12);
+        assert!((sh.accounted() - 1.0).abs() < 1e-12);
+    }
+}

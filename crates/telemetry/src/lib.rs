@@ -1,0 +1,195 @@
+//! megatron-telemetry: unified observability for the reproduction.
+//!
+//! Three pieces, mirroring what the paper's analysis needs (per-rank
+//! timelines §2.2, comm accounting §3, achieved-TFLOPs tables §5):
+//!
+//! * **span recording** ([`TraceHub`] / [`RankTracer`]): lock-cheap,
+//!   ring-buffered, one writer per GPU thread — the real trainer tags every
+//!   forward/backward microbatch, collective (with byte volume), optimizer
+//!   step, checkpoint save, and pipeline-wait bubble;
+//! * **metrics** ([`MetricsRegistry`]): atomic counters / gauges /
+//!   log-bucket histograms with deterministic JSON snapshots;
+//! * **exporters** ([`chrome_trace_json`], [`TelemetrySink::metrics_jsonl`]):
+//!   Chrome/Perfetto trace JSON sharing `megatron-sim`'s event format so a
+//!   real run and its simulated twin open side by side, plus per-iteration
+//!   JSONL metric snapshots.
+//!
+//! [`TelemetrySink`] bundles all three behind one `Arc` the distributed
+//! runtime threads through `RunControl`.
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{chrome_trace_json, phase_shares, rank_pid, PhaseShares, REAL_PID_BASE};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{RankKey, RankTrace, RankTracer, Span, SpanArgs, SpanKind, TraceHub};
+
+// Re-exported so dependents can build a `SinkConfig` without naming
+// `megatron-cluster` directly.
+pub use megatron_cluster::GpuSpec;
+
+use megatron_sim::json::Json;
+use std::sync::{Arc, Mutex};
+
+/// Static facts the sink needs to turn raw timings into throughput metrics.
+#[derive(Debug, Clone)]
+pub struct SinkConfig {
+    /// World size (number of rank threads).
+    pub world: usize,
+    /// Model FLOPs per training iteration, whole cluster (e.g. from
+    /// `GptConfig::flops_per_iteration`). Zero disables TFLOPs/MFU gauges.
+    pub flops_per_iteration: f64,
+    /// Roofline device the run is measured against; `None` disables MFU.
+    pub gpu: Option<GpuSpec>,
+}
+
+impl Default for SinkConfig {
+    fn default() -> Self {
+        SinkConfig {
+            world: 1,
+            flops_per_iteration: 0.0,
+            gpu: None,
+        }
+    }
+}
+
+/// Everything a run publishes: span hub + metrics registry + the JSONL
+/// iteration log. One `Arc<TelemetrySink>` is shared by all rank threads,
+/// the supervisor, and the exporting caller.
+#[derive(Debug)]
+pub struct TelemetrySink {
+    /// Span collection point (per-rank tracers hang off this).
+    pub hub: Arc<TraceHub>,
+    /// Metrics registry.
+    pub metrics: MetricsRegistry,
+    cfg: SinkConfig,
+    iter_lines: Mutex<Vec<String>>,
+}
+
+impl TelemetrySink {
+    /// Counter name: cumulative pipeline-wait nanoseconds across ranks.
+    pub const BUBBLE_NS: &'static str = "bubble_ns_total";
+    /// Counter name: cumulative per-rank step nanoseconds across ranks.
+    pub const STEP_NS: &'static str = "step_ns_total";
+
+    /// A fresh sink.
+    pub fn new(cfg: SinkConfig) -> Arc<TelemetrySink> {
+        Arc::new(TelemetrySink {
+            hub: TraceHub::new(),
+            metrics: MetricsRegistry::new(),
+            cfg,
+            iter_lines: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The sink's static configuration.
+    pub fn config(&self) -> &SinkConfig {
+        &self.cfg
+    }
+
+    /// Cumulative pipeline-bubble fraction: bubble rank-time over total
+    /// rank step time, from the counters the trainer feeds every iteration.
+    pub fn bubble_fraction(&self) -> f64 {
+        let step = self.metrics.counter(Self::STEP_NS).get();
+        if step == 0 {
+            return 0.0;
+        }
+        self.metrics.counter(Self::BUBBLE_NS).get() as f64 / step as f64
+    }
+
+    /// Called once per iteration by the loss-owning rank: updates the
+    /// iteration-time histogram, throughput/bubble gauges, and appends one
+    /// JSONL metrics snapshot line.
+    pub fn record_iteration(&self, epoch: usize, iteration: usize, seconds: f64) {
+        self.metrics.histogram("iteration_seconds").record(seconds);
+        if self.cfg.flops_per_iteration > 0.0 && seconds > 0.0 && self.cfg.world > 0 {
+            let per_gpu_flops = self.cfg.flops_per_iteration / self.cfg.world as f64;
+            let tflops = per_gpu_flops / seconds / 1e12;
+            self.metrics.gauge("achieved_tflops_per_gpu").set(tflops);
+            if let Some(gpu) = &self.cfg.gpu {
+                self.metrics
+                    .gauge("mfu")
+                    .set(gpu.mfu(per_gpu_flops, seconds));
+            }
+        }
+        self.metrics
+            .gauge("bubble_fraction")
+            .set(self.bubble_fraction());
+
+        let mut obj = match self.metrics.snapshot() {
+            Json::Obj(map) => map,
+            _ => unreachable!("snapshot is always an object"),
+        };
+        obj.insert("epoch".to_string(), Json::Num(epoch as f64));
+        obj.insert("iteration".to_string(), Json::Num(iteration as f64));
+        obj.insert("seconds".to_string(), Json::Num(seconds));
+        self.iter_lines
+            .lock()
+            .unwrap()
+            .push(Json::Obj(obj).to_string());
+    }
+
+    /// The per-iteration metrics stream: one JSON object per line.
+    pub fn metrics_jsonl(&self) -> String {
+        self.iter_lines.lock().unwrap().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_iteration_emits_jsonl_with_throughput() {
+        let sink = TelemetrySink::new(SinkConfig {
+            world: 8,
+            flops_per_iteration: 8.0 * 156e12, // 156 TFLOP per GPU per iter
+            gpu: Some(GpuSpec::a100_80gb()),
+        });
+        // Simulate the trainer's per-iteration counter feed: 8 ranks, 1 s
+        // steps, 0.125 s of bubble each.
+        sink.metrics
+            .counter(TelemetrySink::STEP_NS)
+            .add(8_000_000_000);
+        sink.metrics
+            .counter(TelemetrySink::BUBBLE_NS)
+            .add(1_000_000_000);
+        sink.record_iteration(0, 0, 1.0);
+        sink.record_iteration(0, 1, 2.0);
+
+        let jsonl = sink.metrics_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first["iteration"].as_f64(), Some(0.0));
+        assert_eq!(first["epoch"].as_f64(), Some(0.0));
+        assert_eq!(first["seconds"].as_f64(), Some(1.0));
+        // 156e12 FLOPs in 1 s = 156 TFLOP/s = 50 % of A100 peak.
+        let tf = first["gauges"]["achieved_tflops_per_gpu"].as_f64().unwrap();
+        assert!((tf - 156.0).abs() < 1e-9);
+        let mfu = first["gauges"]["mfu"].as_f64().unwrap();
+        assert!((mfu - 0.5).abs() < 1e-12);
+        let bub = first["gauges"]["bubble_fraction"].as_f64().unwrap();
+        assert!((bub - 0.125).abs() < 1e-12);
+        // Second iteration: half the throughput.
+        let second = Json::parse(lines[1]).unwrap();
+        let tf2 = second["gauges"]["achieved_tflops_per_gpu"]
+            .as_f64()
+            .unwrap();
+        assert!((tf2 - 78.0).abs() < 1e-9);
+        assert_eq!(
+            second["histograms"]["iteration_seconds"]["count"].as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn zero_flops_config_skips_throughput_gauges() {
+        let sink = TelemetrySink::new(SinkConfig::default());
+        sink.record_iteration(0, 0, 0.5);
+        let v = Json::parse(&sink.metrics_jsonl()).unwrap();
+        assert!(v["gauges"]["achieved_tflops_per_gpu"].as_f64().is_none());
+        assert!(v["gauges"]["mfu"].as_f64().is_none());
+    }
+}

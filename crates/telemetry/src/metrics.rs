@@ -1,0 +1,308 @@
+//! Metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! All instruments are atomics, so any number of rank threads can update
+//! them concurrently; `Arc` handles are cached by callers so the registry
+//! lock is only taken on first lookup and at snapshot time. Snapshots are
+//! deterministic: `BTreeMap` ordering plus the in-repo JSON writer's sorted
+//! keys mean the same instrument state always renders the same string.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use megatron_sim::json::Json;
+
+/// Monotonic counter (u64, wrapping add).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram over positive values with fixed log-scale (power-of-two)
+/// buckets: bucket `i` covers `[SMALLEST·2^i, SMALLEST·2^(i+1))`. With
+/// `SMALLEST = 1 µs` and 64 buckets the range spans from microseconds to
+/// ~5·10^5 years, so iteration times never fall off either end.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in nanounits (value × 1e9 rounded) so concurrent adds stay exact
+    /// for the magnitudes we record.
+    sum_nano: AtomicU64,
+}
+
+impl Histogram {
+    /// Lower bound of bucket 0 (seconds, when recording seconds).
+    pub const SMALLEST: f64 = 1e-6;
+    /// Number of buckets.
+    pub const BUCKETS: usize = 64;
+
+    fn new() -> Histogram {
+        Histogram {
+            buckets: (0..Self::BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nano: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: `floor(log2(v / SMALLEST))`, clamped to the
+    /// table. Non-positive and sub-`SMALLEST` values land in bucket 0.
+    pub fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v <= Self::SMALLEST {
+            return 0;
+        }
+        let idx = (v / Self::SMALLEST).log2().floor();
+        // `as usize` saturates, so +inf lands in the last bucket.
+        (idx as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// `(low, high)` bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let lo = Self::SMALLEST * (2f64).powi(i as i32);
+        (lo, lo * 2.0)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let nanos = (v.max(0.0) * 1e9).round() as u64;
+        self.sum_nano.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum_nano.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    fn snapshot_json(&self) -> Json {
+        let mut buckets = BTreeMap::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.insert(format!("b{i:02}"), Json::Num(c as f64));
+            }
+        }
+        Json::obj([
+            ("count", Json::Num(self.count() as f64)),
+            ("sum", Json::Num(self.sum())),
+            ("buckets", Json::Obj(buckets)),
+        ])
+    }
+}
+
+/// Named instrument registry with get-or-create semantics and deterministic
+/// JSON snapshots.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Deterministic JSON snapshot of every instrument, grouped by type.
+    pub fn snapshot(&self) -> Json {
+        let counters: BTreeMap<String, Json> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(v.get() as f64)))
+            .collect();
+        let gauges: BTreeMap<String, Json> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(v.get())))
+            .collect();
+        let histograms: BTreeMap<String, Json> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot_json()))
+            .collect();
+        Json::obj([
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket i covers [1e-6 · 2^i, 1e-6 · 2^(i+1)).
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(0.5e-6), 0);
+        assert_eq!(Histogram::bucket_index(1.5e-6), 0);
+        assert_eq!(Histogram::bucket_index(3e-6), 1); // ratio 3 → floor(log2)=1
+        assert_eq!(Histogram::bucket_index(1e-3), 9); // ratio 1000 → floor(log2)=9
+        assert_eq!(Histogram::bucket_index(1.0), 19); // ratio 1e6 → floor(log2)=19
+        assert_eq!(Histogram::bucket_index(f64::MAX), Histogram::BUCKETS - 1);
+        // Bounds are consistent with the index mapping.
+        for i in [0usize, 1, 9, 19, 40] {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!((hi / lo - 2.0).abs() < 1e-12);
+            // A value strictly inside the bucket maps back to it.
+            assert_eq!(Histogram::bucket_index(lo * 1.5), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("iteration_seconds");
+        h.record(0.25);
+        h.record(0.5);
+        h.record(0.25);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 1.0).abs() < 1e-9);
+        assert_eq!(h.bucket_count(Histogram::bucket_index(0.25)), 2);
+        assert_eq!(h.bucket_count(Histogram::bucket_index(0.5)), 1);
+    }
+
+    #[test]
+    fn concurrent_per_rank_counter_increments() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let shared = reg.counter("comm_ops_total");
+        let mut handles = Vec::new();
+        for rank in 0..8usize {
+            let reg = Arc::clone(&reg);
+            handles.push(thread::spawn(move || {
+                // Each "rank" hammers both a shared counter and its own.
+                let shared = reg.counter("comm_ops_total");
+                let own = reg.counter(&format!("comm_ops.rank{rank}"));
+                for _ in 0..10_000 {
+                    shared.inc();
+                    own.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.get(), 80_000);
+        for rank in 0..8usize {
+            assert_eq!(reg.counter(&format!("comm_ops.rank{rank}")).get(), 10_000);
+        }
+    }
+
+    #[test]
+    fn snapshot_deterministic_under_fixed_interleaving() {
+        // Two registries driven by the same per-thread op sequences must
+        // produce byte-identical snapshots once all threads have joined:
+        // atomics commute, BTreeMap orders names, Json sorts keys.
+        let run = || {
+            let reg = Arc::new(MetricsRegistry::new());
+            let mut handles = Vec::new();
+            for rank in 0..4usize {
+                let reg = Arc::clone(&reg);
+                handles.push(thread::spawn(move || {
+                    reg.counter("steps").add(5);
+                    reg.counter(&format!("rank{rank}.bytes"))
+                        .add(100 * rank as u64);
+                    reg.gauge("bubble_fraction").set(0.125);
+                    reg.histogram("iteration_seconds")
+                        .record(0.01 * (rank + 1) as f64);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            reg.snapshot().to_string()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        let v = Json::parse(&a).unwrap();
+        assert_eq!(v["counters"]["steps"].as_f64(), Some(20.0));
+        assert_eq!(
+            v["histograms"]["iteration_seconds"]["count"].as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::default();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+}

@@ -1,0 +1,362 @@
+//! Lock-cheap per-rank span recording.
+//!
+//! Each GPU thread owns a [`RankTracer`] — a ring-buffered, single-writer
+//! span log. Recording a span is a plain `Vec` write (no atomics, no lock);
+//! the only synchronized operation is publishing the finished buffer into
+//! the shared [`TraceHub`] once, when the thread ends (the tracer's `Drop`
+//! does this, so spans survive error unwinding too).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// (pipeline index, data-parallel index, tensor-parallel index) — mirrors
+/// `megatron_dist::ThreadKey` without depending on that crate.
+pub type RankKey = (usize, usize, usize);
+
+/// Taxonomy of what a rank spends time on. Categories match the Chrome
+/// trace `cat` field, so a viewer can color/filter by phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Forward compute for one microbatch (includes in-layer tensor-parallel
+    /// all-reduces, matching how the simulator prices forward stages).
+    Forward,
+    /// Backward compute for one microbatch (same nesting convention).
+    Backward,
+    /// An explicit communication step: p2p activation send, gradient
+    /// all-reduce / reduce-scatter / all-gather, loss all-reduce.
+    Comm,
+    /// Optimizer (Adam) step.
+    Optimizer,
+    /// Checkpoint save.
+    Checkpoint,
+    /// Pipeline bubble: blocked waiting on an upstream/downstream stage.
+    Bubble,
+}
+
+impl SpanKind {
+    /// Chrome trace category string.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "fwd",
+            SpanKind::Backward => "bwd",
+            SpanKind::Comm => "comm",
+            SpanKind::Optimizer => "opt",
+            SpanKind::Checkpoint => "ckpt",
+            SpanKind::Bubble => "bubble",
+        }
+    }
+
+    /// All categories a complete trace can contain.
+    pub const ALL_CATEGORIES: [&'static str; 6] = ["fwd", "bwd", "comm", "opt", "ckpt", "bubble"];
+}
+
+/// Optional per-span payload, exported as Chrome trace `args`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanArgs {
+    /// Bytes moved, for communication spans.
+    pub bytes: Option<f64>,
+    /// Microbatch index within the iteration.
+    pub microbatch: Option<usize>,
+    /// Virtual-pipeline chunk (interleaved schedule).
+    pub chunk: Option<usize>,
+}
+
+impl SpanArgs {
+    /// No payload.
+    pub const NONE: SpanArgs = SpanArgs {
+        bytes: None,
+        microbatch: None,
+        chunk: None,
+    };
+
+    /// Payload carrying only a byte volume.
+    pub fn bytes(bytes: f64) -> SpanArgs {
+        SpanArgs {
+            bytes: Some(bytes),
+            ..SpanArgs::NONE
+        }
+    }
+}
+
+/// One recorded span. Timestamps are nanoseconds relative to the owning
+/// [`TraceHub`]'s epoch, so spans from all ranks share a clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Phase taxonomy bucket.
+    pub kind: SpanKind,
+    /// Display name (e.g. `"forward"`, `"p2p-send-fwd"`).
+    pub name: &'static str,
+    /// Start, ns since the hub epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Training iteration the span belongs to.
+    pub iteration: usize,
+    /// Supervisor incident epoch (0 for a clean run).
+    pub epoch: usize,
+    /// Optional payload.
+    pub args: SpanArgs,
+}
+
+/// A rank's published span log.
+#[derive(Debug, Clone)]
+pub struct RankTrace {
+    /// Flat rank id.
+    pub rank: usize,
+    /// (pipeline, data, tensor) coordinates.
+    pub key: RankKey,
+    /// Spans in the order recorded (oldest first, post-ring-rotation).
+    pub spans: Vec<Span>,
+    /// Spans overwritten because the ring filled up.
+    pub dropped: u64,
+}
+
+/// Shared collection point for all ranks' span logs, plus the common clock.
+#[derive(Debug)]
+pub struct TraceHub {
+    epoch: Instant,
+    ranks: Mutex<BTreeMap<usize, RankTrace>>,
+}
+
+impl TraceHub {
+    /// Default per-rank ring capacity (spans).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A fresh hub whose clock starts now.
+    pub fn new() -> Arc<TraceHub> {
+        Arc::new(TraceHub {
+            epoch: Instant::now(),
+            ranks: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Nanoseconds since the hub epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Create the single-writer tracer for one rank.
+    pub fn tracer(self: &Arc<Self>, rank: usize, key: RankKey) -> RankTracer {
+        self.tracer_with_capacity(rank, key, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Like [`TraceHub::tracer`] with an explicit ring capacity.
+    pub fn tracer_with_capacity(
+        self: &Arc<Self>,
+        rank: usize,
+        key: RankKey,
+        cap: usize,
+    ) -> RankTracer {
+        RankTracer {
+            hub: Arc::clone(self),
+            rank,
+            key,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Snapshot of every published rank trace, ordered by flat rank.
+    pub fn ranks(&self) -> Vec<RankTrace> {
+        self.ranks.lock().unwrap().values().cloned().collect()
+    }
+
+    fn publish(&self, trace: RankTrace) {
+        let mut ranks = self.ranks.lock().unwrap();
+        // A rank restarted by the supervisor publishes again: append so both
+        // epochs stay visible in one timeline.
+        match ranks.get_mut(&trace.rank) {
+            Some(existing) => {
+                existing.spans.extend(trace.spans);
+                existing.dropped += trace.dropped;
+            }
+            None => {
+                ranks.insert(trace.rank, trace);
+            }
+        }
+    }
+}
+
+/// Single-writer span recorder for one GPU thread. Not `Sync` on purpose:
+/// exactly one thread writes, so `push` is lock-free by construction.
+#[derive(Debug)]
+pub struct RankTracer {
+    hub: Arc<TraceHub>,
+    rank: usize,
+    key: RankKey,
+    buf: Vec<Span>,
+    head: usize,
+    dropped: u64,
+    cap: usize,
+}
+
+impl RankTracer {
+    /// Current time on the hub clock (ns).
+    pub fn now(&self) -> u64 {
+        self.hub.now_ns()
+    }
+
+    /// Record a span. When the ring is full the oldest span is overwritten
+    /// and counted in `dropped` — recent history wins, recording never
+    /// blocks or reallocates past capacity.
+    pub fn push(&mut self, span: Span) {
+        if self.buf.len() < self.cap {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Close a span that started at `start_ns` (from [`RankTracer::now`])
+    /// and ends now. Returns the duration in ns, so callers can accumulate
+    /// e.g. bubble time without re-reading the clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn close(
+        &mut self,
+        kind: SpanKind,
+        name: &'static str,
+        start_ns: u64,
+        iteration: usize,
+        epoch: usize,
+        args: SpanArgs,
+    ) -> u64 {
+        let dur_ns = self.now().saturating_sub(start_ns);
+        self.push(Span {
+            kind,
+            name,
+            start_ns,
+            dur_ns,
+            iteration,
+            epoch,
+            args,
+        });
+        dur_ns
+    }
+
+    fn take(&mut self) -> RankTrace {
+        // Rotate the ring so spans come out oldest-first.
+        let mut spans = self.buf.split_off(self.head);
+        spans.append(&mut self.buf);
+        self.head = 0;
+        RankTrace {
+            rank: self.rank,
+            key: self.key,
+            spans,
+            dropped: std::mem::take(&mut self.dropped),
+        }
+    }
+}
+
+impl Drop for RankTracer {
+    fn drop(&mut self) {
+        let trace = self.take();
+        if !trace.spans.is_empty() || trace.dropped > 0 {
+            self.hub.publish(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start_ns: u64) -> Span {
+        Span {
+            kind,
+            name: "x",
+            start_ns,
+            dur_ns: 1,
+            iteration: 0,
+            epoch: 0,
+            args: SpanArgs::NONE,
+        }
+    }
+
+    #[test]
+    fn tracer_publishes_on_drop() {
+        let hub = TraceHub::new();
+        {
+            let mut tr = hub.tracer(3, (1, 0, 1));
+            tr.push(span(SpanKind::Forward, 10));
+            tr.push(span(SpanKind::Backward, 20));
+        }
+        let ranks = hub.ranks();
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].rank, 3);
+        assert_eq!(ranks[0].key, (1, 0, 1));
+        assert_eq!(ranks[0].spans.len(), 2);
+        assert_eq!(ranks[0].dropped, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let hub = TraceHub::new();
+        {
+            let mut tr = hub.tracer_with_capacity(0, (0, 0, 0), 3);
+            for i in 0..5u64 {
+                tr.push(span(SpanKind::Comm, i));
+            }
+        }
+        let ranks = hub.ranks();
+        assert_eq!(ranks[0].dropped, 2);
+        let starts: Vec<u64> = ranks[0].spans.iter().map(|s| s.start_ns).collect();
+        assert_eq!(starts, vec![2, 3, 4], "oldest spans evicted, order kept");
+    }
+
+    #[test]
+    fn republish_after_restart_appends() {
+        let hub = TraceHub::new();
+        {
+            let mut tr = hub.tracer(1, (0, 0, 1));
+            tr.push(span(SpanKind::Forward, 1));
+        }
+        {
+            let mut tr = hub.tracer(1, (0, 0, 1));
+            tr.push(span(SpanKind::Forward, 2));
+        }
+        let ranks = hub.ranks();
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].spans.len(), 2);
+    }
+
+    #[test]
+    fn close_measures_nonnegative_duration() {
+        let hub = TraceHub::new();
+        let mut tr = hub.tracer(0, (0, 0, 0));
+        let t0 = tr.now();
+        let dur = tr.close(
+            SpanKind::Optimizer,
+            "adam-step",
+            t0,
+            7,
+            2,
+            SpanArgs::bytes(64.0),
+        );
+        drop(tr);
+        let ranks = hub.ranks();
+        let s = ranks[0].spans[0];
+        assert_eq!(s.iteration, 7);
+        assert_eq!(s.epoch, 2);
+        assert_eq!(s.args.bytes, Some(64.0));
+        assert_eq!(s.dur_ns, dur);
+    }
+
+    #[test]
+    fn categories_cover_all_kinds() {
+        for k in [
+            SpanKind::Forward,
+            SpanKind::Backward,
+            SpanKind::Comm,
+            SpanKind::Optimizer,
+            SpanKind::Checkpoint,
+            SpanKind::Bubble,
+        ] {
+            assert!(SpanKind::ALL_CATEGORIES.contains(&k.category()));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Golden-file style checks on the telemetry exporters: a real `(2,2,2)`
+//! run must produce a valid Chrome trace with every expected span category
+//! on every rank, per-iteration JSONL metric snapshots, and comm-volume
+//! counters that match the paper's §3 formulas exactly.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use megatron_dist::{PtdpSpec, PtdpTrainer, RunControl};
+use megatron_model::{GptConfig, BYTES_FP16};
+use megatron_parallel::analysis;
+use megatron_sim::json::Json;
+use megatron_telemetry::{
+    chrome_trace_json, rank_pid, GpuSpec, SinkConfig, SpanKind, TelemetrySink,
+};
+use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CFG: TinyGptConfig = TinyGptConfig {
+    vocab: 11,
+    seq: 6,
+    hidden: 16,
+    heads: 2,
+    layers: 2,
+};
+
+fn mirror() -> GptConfig {
+    GptConfig {
+        name: "telemetry-test".to_string(),
+        num_layers: CFG.layers as u64,
+        hidden_size: CFG.hidden as u64,
+        num_heads: CFG.heads as u64,
+        seq_len: CFG.seq as u64,
+        vocab_size: CFG.vocab as u64,
+    }
+}
+
+fn run_222(
+    iters: usize,
+    batch: usize,
+    checkpoint_every: Option<usize>,
+) -> (Arc<TelemetrySink>, megatron_dist::TrainLog, PtdpSpec) {
+    let spec = PtdpSpec::new(2, 2, 2);
+    let sink = TelemetrySink::new(SinkConfig {
+        world: spec.world(),
+        flops_per_iteration: mirror().flops_per_iteration_eq3(batch as u64),
+        gpu: Some(GpuSpec::a100_80gb()),
+    });
+    let mut rng = StdRng::seed_from_u64(42);
+    let master = GptModel::new(CFG, &mut rng);
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..iters)
+        .map(|_| {
+            let toks = (0..batch * CFG.seq)
+                .map(|_| rng.gen_range(0..CFG.vocab))
+                .collect();
+            let tgts = (0..batch * CFG.seq)
+                .map(|_| rng.gen_range(0..CFG.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect();
+    let ctl = RunControl {
+        checkpoint_every,
+        telemetry: Some(Arc::clone(&sink)),
+        ..Default::default()
+    };
+    let out = PtdpTrainer::new(master, spec).train_with(&data, ctl);
+    assert!(out.error.is_none(), "run failed: {:?}", out.error);
+    (sink, out.log, spec)
+}
+
+#[test]
+fn real_222_trace_has_every_category_on_every_rank() {
+    let (sink, _log, spec) = run_222(3, 8, Some(2));
+    let trace = chrome_trace_json(&sink.hub, 2);
+    let v = Json::parse(&trace).expect("trace is valid JSON");
+    let events = v.as_array().expect("trace is a JSON array");
+
+    // Per-rank category coverage, pids offset past the sim's pid 0.
+    let mut cats: Vec<BTreeSet<String>> = vec![BTreeSet::new(); spec.world()];
+    let mut meta = 0usize;
+    for ev in events {
+        match ev["ph"].as_str() {
+            Some("M") => meta += 1,
+            Some("X") => {
+                let pid = ev["pid"].as_f64().unwrap() as usize;
+                assert!(pid >= rank_pid(0), "real spans must not use the sim pid 0");
+                let rank = pid - rank_pid(0);
+                assert!(rank < spec.world());
+                cats[rank].insert(ev["cat"].as_str().unwrap().to_string());
+                // Every span carries its iteration + incident epoch.
+                assert!(ev["args"]["iteration"].as_f64().is_some());
+                assert!(ev["args"]["epoch"].as_f64().is_some());
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(meta, spec.world(), "one process_name metadata row per rank");
+    for (rank, set) in cats.iter().enumerate() {
+        for want in ["fwd", "bwd", "comm", "opt", "bubble", "ckpt"] {
+            assert!(set.contains(want), "rank {rank} missing '{want}': {set:?}");
+        }
+        for got in set {
+            assert!(
+                SpanKind::ALL_CATEGORIES.contains(&got.as_str()),
+                "unknown category {got}"
+            );
+        }
+    }
+}
+
+#[test]
+fn comm_spans_sit_on_the_net_row_with_byte_args() {
+    let (sink, _log, _spec) = run_222(2, 8, None);
+    let trace = chrome_trace_json(&sink.hub, 2);
+    let v = Json::parse(&trace).unwrap();
+    for ev in v.as_array().unwrap() {
+        if ev["ph"].as_str() != Some("X") {
+            continue;
+        }
+        let tid = ev["tid"].as_f64().unwrap() as usize;
+        if ev["cat"].as_str() == Some("comm") {
+            // Comm rows sit at tid = p + stage, like the sim's net ports;
+            // p2p/collective spans all carry their algorithmic byte volume.
+            assert!((2..4).contains(&tid), "comm tid {tid} outside net rows");
+            assert!(
+                ev["args"]["bytes"].as_f64().is_some(),
+                "comm span without bytes: {ev:?}"
+            );
+        } else {
+            assert!(tid < 2, "compute-side span on a net row: {ev:?}");
+        }
+    }
+}
+
+#[test]
+fn jsonl_snapshots_report_throughput_and_bubble() {
+    let iters = 3;
+    let (sink, _log, _spec) = run_222(iters, 8, None);
+    let jsonl = sink.metrics_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), iters, "one snapshot per iteration");
+    for (i, line) in lines.iter().enumerate() {
+        let v = Json::parse(line).expect("snapshot line parses");
+        assert_eq!(v["iteration"].as_f64(), Some(i as f64));
+        assert_eq!(v["epoch"].as_f64(), Some(0.0));
+        assert!(v["seconds"].as_f64().unwrap() > 0.0);
+        assert!(v["gauges"]["achieved_tflops_per_gpu"].as_f64().unwrap() > 0.0);
+        assert!(v["gauges"]["mfu"].as_f64().unwrap() > 0.0);
+        let bub = v["gauges"]["bubble_fraction"].as_f64().unwrap();
+        assert!((0.0..1.0).contains(&bub), "bubble fraction {bub}");
+        assert_eq!(
+            v["histograms"]["iteration_seconds"]["count"].as_f64(),
+            Some((i + 1) as f64)
+        );
+    }
+    // The aggregate comm counters landed in the registry after the run.
+    assert!(sink.metrics.counter("comm_bytes_total").get() > 0);
+    assert!(sink.metrics.counter("comm_bytes.rank.p0d0t0").get() > 0);
+}
+
+#[test]
+fn comm_counters_match_section3_formulas() {
+    let iters = 2;
+    let batch = 8; // per replica 4 → m = 4 microbatches of b = 1
+    let (_sink, log, spec) = run_222(iters, batch, None);
+    let mirror = mirror();
+    let (p, t, d) = (2u64, 2u64, 2u64);
+    let m = (batch / 2 / spec.microbatch) as f64;
+    let layers_per_stage = (CFG.layers as u64 / p) as f64;
+
+    // Rank (0,0,0): first stage, no LM head, so the tensor group carries
+    // exactly the 4 ring all-reduces of b·s·h per layer per microbatch the
+    // paper counts in §3.2 — in f32, i.e. 2× the fp16 formula.
+    let vol = log.comm_volumes[&(0, 0, 0)];
+    let want_tensor = 2.0
+        * iters as f64
+        * m
+        * layers_per_stage
+        * analysis::tensor_parallel_bytes_per_layer(&mirror, spec.microbatch as u64, t);
+    assert!(
+        (vol.tensor.all_reduce_bytes - want_tensor).abs() < 1e-6,
+        "tensor AR: counted {} want {want_tensor}",
+        vol.tensor.all_reduce_bytes
+    );
+
+    // §3 pipeline p2p: b·s·h words per microbatch per boundary, forward
+    // only for the first stage (it receives, not sends, the backward).
+    let want_p2p = 2.0
+        * iters as f64
+        * m
+        * analysis::pipeline_p2p_bytes(&mirror, spec.microbatch as u64) as f64;
+    assert!(
+        (vol.p2p_send_bytes - want_p2p).abs() < 1e-6,
+        "p2p: counted {} want {want_p2p}",
+        vol.p2p_send_bytes
+    );
+
+    // §3.3.1 data-parallel ring all-reduce over this rank's gradients.
+    let grad_bytes_fp16 = log.final_params[&(0, 0, 0)].len() as u64 * BYTES_FP16;
+    let want_data = 2.0 * iters as f64 * analysis::data_parallel_bytes(grad_bytes_fp16, d);
+    assert!(
+        (vol.data.all_reduce_bytes - want_data).abs() < 1e-6,
+        "data AR: counted {} want {want_data}",
+        vol.data.all_reduce_bytes
+    );
+
+    // A last-stage loss-owning rank additionally all-reduces the scalar
+    // loss over the data group: exactly 2·(d−1)/d·1·4 B per iteration more.
+    let vol_last = log.comm_volumes[&(1, 0, 0)];
+    let grad_last_fp16 = log.final_params[&(1, 0, 0)].len() as u64 * BYTES_FP16;
+    let want_last = 2.0 * iters as f64 * analysis::data_parallel_bytes(grad_last_fp16, d)
+        + iters as f64 * megatron_dist::ring_all_reduce_bytes(d as usize, 1);
+    assert!(
+        (vol_last.data.all_reduce_bytes - want_last).abs() < 1e-6,
+        "last-stage data AR: counted {} want {want_last}",
+        vol_last.data.all_reduce_bytes
+    );
+}
