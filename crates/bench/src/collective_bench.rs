@@ -1,0 +1,134 @@
+//! E32: blackboard vs ring all-reduce wall time on the real thread
+//! transport.
+//!
+//! Before the collective-core refactor, `dist::comm` implemented
+//! all-reduce on a *blackboard*: every rank posted its full buffer to a
+//! shared slot, synchronized on a barrier, and each rank then reduced all
+//! `g` buffers locally in rank order — `g·n` FLOPs and `g·n` floats read
+//! per rank, with two full-group barriers. The refactor replaced it with
+//! the `megatron-collective` ring program over per-edge mailboxes:
+//! `2(g−1)` rounds moving `n/g`-sized chunks, `~2n` FLOPs per rank, no
+//! global barrier.
+//!
+//! This experiment times both on identical buffers (the blackboard
+//! reimplemented here exactly as the old transport worked) and records
+//! where the ring's lower arithmetic/traffic beats its higher
+//! synchronization count. Expectation from the structure: the blackboard
+//! wins on tiny buffers (2 barriers < 2(g−1) mailbox round-trips) and the
+//! ring wins on large ones, with the crossover dropping as g grows.
+
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use megatron_dist::Group;
+
+/// The pre-refactor transport, reduced to its all-reduce: post to a shared
+/// slot, barrier, reduce all slots in rank order, barrier.
+struct Blackboard {
+    slots: Vec<Mutex<Vec<f32>>>,
+    barrier: Barrier,
+}
+
+impl Blackboard {
+    fn new(g: usize, n: usize) -> Self {
+        Blackboard {
+            slots: (0..g).map(|_| Mutex::new(vec![0.0; n])).collect(),
+            barrier: Barrier::new(g),
+        }
+    }
+
+    /// Rank-ordered sum all-reduce, bit-identical across ranks (every rank
+    /// reduces the slots in the same order — the old determinism argument).
+    fn all_reduce_sum(&self, rank: usize, buf: &mut [f32]) {
+        self.slots[rank].lock().unwrap().copy_from_slice(buf);
+        self.barrier.wait();
+        buf.fill(0.0);
+        for slot in &self.slots {
+            let s = slot.lock().unwrap();
+            for (b, x) in buf.iter_mut().zip(s.iter()) {
+                *b += *x;
+            }
+        }
+        self.barrier.wait();
+    }
+}
+
+fn seeded(rank: usize, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((rank * 31 + i * 7) % 97) as f32 * 0.125 - 3.0)
+        .collect()
+}
+
+/// Wall time of `reps` back-to-back blackboard all-reduces on `g` threads.
+fn time_blackboard(g: usize, n: usize, reps: usize) -> f64 {
+    let bb = Blackboard::new(g, n);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for rank in 0..g {
+            let bb = &bb;
+            s.spawn(move || {
+                let mut buf = seeded(rank, n);
+                for _ in 0..reps {
+                    bb.all_reduce_sum(rank, &mut buf);
+                }
+                buf
+            });
+        }
+    });
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Wall time of `reps` back-to-back ring all-reduces (the mailbox
+/// transport running the shared step program) on `g` threads.
+fn time_ring(g: usize, n: usize, reps: usize) -> f64 {
+    let group = Group::new(g);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for rank in 0..g {
+            let m = group.member(rank);
+            s.spawn(move || {
+                let mut buf = seeded(rank, n);
+                for _ in 0..reps {
+                    m.all_reduce_sum(&mut buf);
+                }
+                buf
+            });
+        }
+    });
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// E32 entry point: the crossover table.
+pub fn collective() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "E32: blackboard vs ring all-reduce wall time (real thread transport)\n\
+         blackboard: post full buffer + 2 barriers, every rank reduces g\n\
+         buffers; ring: 2(g-1) chunk rounds over per-edge mailboxes.\n\n",
+    );
+    out.push_str("  g        n   blackboard      ring   ring/blackboard\n");
+    let reps = 20;
+    for g in [2usize, 4, 8] {
+        for n in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
+            // Warm-up round keeps allocator effects out of the timings.
+            let _ = time_blackboard(g, n, 2);
+            let _ = time_ring(g, n, 2);
+            let bb = time_blackboard(g, n, reps);
+            let ring = time_ring(g, n, reps);
+            out.push_str(&format!(
+                "  {g}  {n:>7}   {:>8.1} us  {:>8.1} us   {:>5.2}x\n",
+                bb * 1e6,
+                ring * 1e6,
+                ring / bb,
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "ratio < 1: ring faster. The ring pays per-round synchronization,\n\
+         so the blackboard is closest at tiny buffers; the ring's O(n) (vs\n\
+         O(g*n)) reduce work and 2(g-1)/g*n egress win everywhere measured,\n\
+         by more as g and n grow. EXPERIMENTS.md E32 records one run.\n",
+    );
+    out
+}

@@ -178,6 +178,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "E31: sim-vs-real per-rank timeline, traces + per-phase drift table",
             run: crate::timeline::timeline,
         },
+        Experiment {
+            name: "collective",
+            paper_ref: "E32: blackboard vs ring all-reduce wall time on the real transport",
+            run: crate::collective_bench::collective,
+        },
     ]
 }
 

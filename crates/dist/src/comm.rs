@@ -1,24 +1,40 @@
 //! Shared-memory collectives over thread groups.
 //!
 //! A [`Group`] is the moral equivalent of an NCCL communicator: a fixed set
-//! of ranks that issue the *same sequence* of collective calls (SPMD). Each
-//! collective uses a publish-barrier-combine-barrier protocol on a shared
-//! board. Reductions always iterate contributions in rank order, so every
-//! member computes a bit-identical result — the property the equivalence
-//! tests lean on.
+//! of ranks that issue the *same sequence* of collective calls (SPMD).
+//! Collectives are no longer faked on a shared blackboard: each call builds
+//! the transport-agnostic step [`Program`] from `megatron-collective` (ring
+//! all-reduce / all-gather / reduce-scatter, pipelined ring broadcast,
+//! two-level hierarchical all-reduce) and executes it over per-rank
+//! point-to-point mailboxes, moving actual `f32` chunks between rank
+//! threads. Reduction work is spread across ranks — each combines its own
+//! incoming chunks — instead of serializing on one mutex per buffer, and
+//! every rank still ends bit-identical because the all-gather phase
+//! replicates the very chunks that were reduced.
 //!
-//! Failure handling: the barrier is poisonable. When a member thread
-//! panics (its [`GroupMember`] is dropped mid-unwind) or a rank is
-//! deliberately killed via [`GroupMember::poison`], every peer blocked in —
-//! or later entering — a collective gets [`CommError::Poisoned`] instead of
-//! hanging. A rank that simply stops calling collectives trips
-//! [`CommError::Timeout`] in its peers after the group's configured
-//! timeout, which also poisons the group so the failure propagates.
+//! Per-member [`CommVolume`] tallies accumulate from the transport-level
+//! messages this rank actually sent, so "real bytes == simulated bytes" is
+//! a structural identity with `megatron-net`'s lowering of the same
+//! programs, not a pair of formulas that happen to agree.
+//!
+//! Failure handling: mailboxes and the barrier are poisonable. When a
+//! member thread panics (its [`GroupMember`] is dropped mid-unwind) or a
+//! rank is deliberately killed via [`GroupMember::poison`], every peer
+//! blocked in — or later entering — a collective gets
+//! [`CommError::Poisoned`] instead of hanging. A rank that simply stops
+//! communicating trips [`CommError::Timeout`] in its peers after the
+//! group's configured timeout — now carrying a [`StallContext`] naming the
+//! collective, the step, and the peer that stalled — and poisons the group
+//! so the failure propagates.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use megatron_collective::{self as coll, Program, ReduceOp, Transport};
 
 /// Bytes per element of the real engine's `f32` payloads. (The paper's
 /// analytical formulas in `megatron-parallel` assume fp16, i.e. 2 bytes —
@@ -27,7 +43,8 @@ pub const BYTES_F32: f64 = 4.0;
 
 /// Per-rank bytes a ring all-reduce of `n` f32 elements moves over `g`
 /// ranks: `2 · (g−1)/g · n` elements (reduce-scatter + all-gather phases,
-/// paper §3.2's `(t−1)/t` factor).
+/// paper §3.2's `(t−1)/t` factor). Exact for divisible `n` and for `g = 2`
+/// at any `n`; the measured tallies use the actual chunk ranges.
 pub fn ring_all_reduce_bytes(g: usize, n: usize) -> f64 {
     if g <= 1 {
         return 0.0;
@@ -53,8 +70,9 @@ pub fn ring_reduce_scatter_bytes(g: usize, n: usize) -> f64 {
     (g as f64 - 1.0) / g as f64 * n as f64 * BYTES_F32
 }
 
-/// Per-rank bytes of a broadcast of `n` f32 elements (each non-root rank
-/// receives the full buffer once under a tree/pipeline schedule).
+/// Bytes the *root* sends in a pipelined ring broadcast of `n` f32
+/// elements (the whole buffer streams through the ring once; the last
+/// position sends nothing).
 pub fn broadcast_bytes(g: usize, n: usize) -> f64 {
     if g <= 1 {
         return 0.0;
@@ -63,12 +81,12 @@ pub fn broadcast_bytes(g: usize, n: usize) -> f64 {
 }
 
 /// Running per-member tally of algorithmic communication volume, split by
-/// collective type. Volumes are the ring-algorithm byte counts above — what
-/// this rank's NIC would move on real hardware — not the shared-memory
-/// copies the implementation happens to do.
+/// collective type. Volumes are the bytes this rank's transport actually
+/// sent (egress), accumulated message by message as the step programs
+/// execute — what this rank's NIC would move on real hardware.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CommVolume {
-    /// Bytes from all-reduce (sum/max/mean) calls.
+    /// Bytes from all-reduce (sum/max/mean, flat or hierarchical) calls.
     pub all_reduce_bytes: f64,
     /// Bytes from all-gather calls.
     pub all_gather_bytes: f64,
@@ -102,16 +120,97 @@ impl CommVolume {
     }
 }
 
+/// One collective this member completed, recorded for replay: feeding the
+/// same ops through `megatron-net`'s lowering reproduces, task for task,
+/// the byte flow the real transport just moved (the real-vs-sim identity
+/// test drives exactly this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveOp {
+    /// Which algorithm ran.
+    pub kind: CollectiveKind,
+    /// Buffer elements (for all-gather: the per-rank contribution).
+    pub elems: usize,
+}
+
+/// The algorithm of a recorded [`CollectiveOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Flat ring all-reduce (sum, max, and mean all share the wire shape).
+    AllReduce,
+    /// Ring all-gather (`elems` = per-rank contribution).
+    AllGather,
+    /// Ring reduce-scatter.
+    ReduceScatter,
+    /// Pipelined ring broadcast from `root`.
+    Broadcast {
+        /// Broadcasting rank.
+        root: usize,
+    },
+    /// Two-level hierarchical all-reduce with `local` ranks per node.
+    HierarchicalAllReduce {
+        /// Ranks per node.
+        local: usize,
+    },
+}
+
+impl CollectiveOp {
+    /// The exact step program this op executed over `ranks` ranks.
+    pub fn program(&self, ranks: usize) -> Program {
+        match self.kind {
+            CollectiveKind::AllReduce => coll::ring_all_reduce(ranks, self.elems, ReduceOp::Sum),
+            CollectiveKind::AllGather => coll::ring_all_gather(ranks, self.elems),
+            CollectiveKind::ReduceScatter => {
+                coll::ring_reduce_scatter(ranks, self.elems, ReduceOp::Sum)
+            }
+            CollectiveKind::Broadcast { root } => coll::ring_broadcast(ranks, self.elems, root),
+            CollectiveKind::HierarchicalAllReduce { local } => {
+                coll::hierarchical_all_reduce(ranks, self.elems, local, ReduceOp::Sum)
+            }
+        }
+    }
+}
+
 /// Default collective timeout; generous next to the microseconds a healthy
 /// shared-memory collective takes, so it only fires on real failures.
 pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Where a timed-out collective stalled: which algorithm, which of its
+/// steps, and which peer never delivered (or accepted) a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallContext {
+    /// Collective name (`Program::kind`, or `"barrier"`).
+    pub collective: &'static str,
+    /// Zero-based step that stalled.
+    pub round: usize,
+    /// Total steps in the collective.
+    pub rounds: usize,
+    /// The peer involved in the stalled step; `None` for a bare barrier,
+    /// where any absent rank stalls everyone.
+    pub peer: Option<usize>,
+}
+
+impl fmt::Display for StallContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.peer {
+            Some(p) => write!(
+                f,
+                "{} timed out at step {}/{} waiting on rank {}",
+                self.collective,
+                self.round + 1,
+                self.rounds,
+                p
+            ),
+            None => write!(f, "{} timed out waiting for a peer", self.collective),
+        }
+    }
+}
+
 /// A collective failed instead of hanging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {
-    /// A peer did not reach the barrier within the group timeout. The
-    /// group is poisoned as a side effect.
-    Timeout,
+    /// A peer did not move within the group timeout; the context names the
+    /// stalled step. The group is poisoned as a side effect.
+    Timeout(StallContext),
     /// The group was poisoned: a peer panicked mid-collective, was killed
     /// via [`GroupMember::poison`], or previously timed out.
     Poisoned,
@@ -120,7 +219,7 @@ pub enum CommError {
 impl fmt::Display for CommError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommError::Timeout => write!(f, "collective timed out waiting for a peer"),
+            CommError::Timeout(ctx) => ctx.fmt(f),
             CommError::Poisoned => write!(f, "communicator group is poisoned"),
         }
     }
@@ -147,6 +246,28 @@ fn expect_comm<T>(r: Result<T, CommError>) -> T {
     match r {
         Ok(v) => v,
         Err(e) => std::panic::panic_any(CommPanic(e)),
+    }
+}
+
+/// Transport-level failure, before step context is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RawComm {
+    Timeout,
+    Poisoned,
+}
+
+/// One directed point-to-point channel between two ranks of a group.
+struct Mailbox {
+    q: Mutex<VecDeque<Vec<f32>>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
     }
 }
 
@@ -177,10 +298,10 @@ impl PoisonBarrier {
         }
     }
 
-    fn wait(&self, timeout: Duration) -> Result<(), CommError> {
+    fn wait(&self, timeout: Duration) -> Result<(), RawComm> {
         let mut s = self.state.lock().unwrap();
         if s.poisoned {
-            return Err(CommError::Poisoned);
+            return Err(RawComm::Poisoned);
         }
         s.arrived += 1;
         if s.arrived == self.size {
@@ -198,7 +319,7 @@ impl PoisonBarrier {
                 return Ok(());
             }
             if s.poisoned {
-                return Err(CommError::Poisoned);
+                return Err(RawComm::Poisoned);
             }
             let now = Instant::now();
             if now >= deadline {
@@ -206,7 +327,7 @@ impl PoisonBarrier {
                 // rank, if it ever shows up) fail fast instead of hanging.
                 s.poisoned = true;
                 self.cv.notify_all();
-                return Err(CommError::Timeout);
+                return Err(RawComm::Timeout);
             }
             s = self.cv.wait_timeout(s, deadline - now).unwrap().0;
         }
@@ -223,11 +344,14 @@ impl PoisonBarrier {
     }
 }
 
-/// Shared state of one communicator group.
+/// Shared state of one communicator group: one mailbox per directed rank
+/// pair plus a poisonable barrier for pure synchronization.
 pub struct Group {
     size: usize,
-    board: Vec<Mutex<Vec<f32>>>,
+    // mail[dst * size + src]: chunks in flight from src to dst.
+    mail: Vec<Mailbox>,
     barrier: PoisonBarrier,
+    poisoned: AtomicBool,
     timeout: Duration,
 }
 
@@ -244,8 +368,9 @@ impl Group {
         assert!(size > 0);
         Arc::new(Group {
             size,
-            board: (0..size).map(|_| Mutex::new(Vec::new())).collect(),
+            mail: (0..size * size).map(|_| Mailbox::new()).collect(),
             barrier: PoisonBarrier::new(size),
+            poisoned: AtomicBool::new(false),
             timeout,
         })
     }
@@ -257,6 +382,7 @@ impl Group {
             group: Arc::clone(self),
             rank,
             volume: Cell::new(CommVolume::default()),
+            op_log: RefCell::new(Vec::new()),
         }
     }
 
@@ -267,7 +393,73 @@ impl Group {
 
     /// Whether the group has been poisoned by a failure.
     pub fn is_poisoned(&self) -> bool {
-        self.barrier.is_poisoned()
+        self.poisoned.load(Ordering::Acquire) || self.barrier.is_poisoned()
+    }
+
+    /// Poison everything: flag, every mailbox (waking blocked receivers),
+    /// and the barrier.
+    fn poison_all(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for mb in &self.mail {
+            // Take the lock so a receiver between its poison check and its
+            // condvar wait cannot miss the wakeup.
+            let _q = mb.q.lock().unwrap();
+            mb.cv.notify_all();
+        }
+        self.barrier.poison();
+    }
+
+    /// Enqueue a chunk for `dst` (non-blocking; mailboxes are unbounded).
+    fn post(&self, src: usize, dst: usize, payload: &[f32]) -> Result<(), RawComm> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(RawComm::Poisoned);
+        }
+        let mb = &self.mail[dst * self.size + src];
+        mb.q.lock().unwrap().push_back(payload.to_vec());
+        mb.cv.notify_all();
+        Ok(())
+    }
+
+    /// Dequeue the next chunk sent from `src` to `dst`, waiting until
+    /// `deadline`. Queued data wins over poison (a completed send should
+    /// be consumable), and a deadline miss poisons the whole group.
+    fn fetch(&self, src: usize, dst: usize, deadline: Instant) -> Result<Vec<f32>, RawComm> {
+        let mb = &self.mail[dst * self.size + src];
+        let mut q = mb.q.lock().unwrap();
+        loop {
+            if let Some(data) = q.pop_front() {
+                return Ok(data);
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RawComm::Poisoned);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(q);
+                self.poison_all();
+                return Err(RawComm::Timeout);
+            }
+            q = mb.cv.wait_timeout(q, deadline - now).unwrap().0;
+        }
+    }
+}
+
+/// The mailbox-backed [`Transport`] one rank executes step programs over.
+struct MailTransport<'a> {
+    group: &'a Group,
+    rank: usize,
+    deadline: Instant,
+}
+
+impl Transport for MailTransport<'_> {
+    type Error = RawComm;
+
+    fn send(&mut self, to: usize, payload: &[f32]) -> Result<(), RawComm> {
+        self.group.post(self.rank, to, payload)
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Vec<f32>, RawComm> {
+        self.group.fetch(from, self.rank, self.deadline)
     }
 }
 
@@ -276,9 +468,10 @@ impl Group {
 pub struct GroupMember {
     group: Arc<Group>,
     rank: usize,
-    // `Cell`, not atomic: a member belongs to exactly one rank thread, so
-    // volume accounting costs a register copy, never a contended write.
+    // `Cell`/`RefCell`, not atomics: a member belongs to exactly one rank
+    // thread, so accounting costs a register copy, never a contended write.
     volume: Cell<CommVolume>,
+    op_log: RefCell<Vec<CollectiveOp>>,
 }
 
 impl GroupMember {
@@ -302,60 +495,96 @@ impl GroupMember {
         self.volume.replace(CommVolume::default())
     }
 
-    fn bump(&self, f: impl FnOnce(&mut CommVolume)) {
-        let mut v = self.volume.get();
-        f(&mut v);
-        v.ops += 1;
-        self.volume.set(v);
+    /// Drain the log of collectives this member has completed (size-1
+    /// no-ops excluded), in execution order.
+    pub fn take_op_log(&self) -> Vec<CollectiveOp> {
+        std::mem::take(&mut self.op_log.borrow_mut())
     }
 
     /// Poison the group: every peer blocked in — or later entering — a
     /// collective gets [`CommError::Poisoned`]. Used to simulate killing
     /// this rank; also invoked automatically when a member thread panics.
     pub fn poison(&self) {
-        self.group.barrier.poison();
+        self.group.poison_all();
     }
 
-    /// Fallible in-place sum all-reduce. Deterministic: contributions are
-    /// summed in rank order on every member.
+    /// Execute `prog` over the mailbox transport, tally the measured
+    /// egress into `slot`, and record `op` for replay.
+    fn run_program(
+        &self,
+        prog: &Program,
+        buf: &mut [f32],
+        op: CollectiveOp,
+        slot: fn(&mut CommVolume) -> &mut f64,
+    ) -> Result<(), CommError> {
+        if self.group.is_poisoned() {
+            return Err(CommError::Poisoned);
+        }
+        let mut tp = MailTransport {
+            group: &self.group,
+            rank: self.rank,
+            deadline: Instant::now() + self.group.timeout,
+        };
+        match coll::execute(prog, self.rank, buf, &mut tp) {
+            Ok(report) => {
+                let mut v = self.volume.get();
+                *slot(&mut v) += report.sent_elems as f64 * BYTES_F32;
+                v.ops += 1;
+                self.volume.set(v);
+                self.op_log.borrow_mut().push(op);
+                Ok(())
+            }
+            Err(fail) => Err(match fail.error {
+                RawComm::Poisoned => CommError::Poisoned,
+                RawComm::Timeout => CommError::Timeout(StallContext {
+                    collective: fail.collective,
+                    round: fail.round,
+                    rounds: fail.rounds,
+                    peer: Some(fail.peer),
+                }),
+            }),
+        }
+    }
+
+    /// Fallible in-place sum all-reduce (ring). Every member ends with a
+    /// bit-identical buffer: the all-gather phase replicates the reduced
+    /// chunks themselves.
     pub fn try_all_reduce_sum(&self, buf: &mut [f32]) -> Result<(), CommError> {
-        if self.group.size == 1 {
+        let g = self.group.size;
+        if g == 1 {
             return Ok(());
         }
-        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.try_barrier()?;
-        for (i, b) in buf.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for r in 0..self.group.size {
-                acc += self.group.board[r].lock().unwrap()[i];
-            }
-            *b = acc;
-        }
-        self.try_barrier()?;
-        self.bump(|v| v.all_reduce_bytes += ring_all_reduce_bytes(self.group.size, buf.len()));
-        Ok(())
+        let prog = coll::ring_all_reduce(g, buf.len(), ReduceOp::Sum);
+        self.run_program(
+            &prog,
+            buf,
+            CollectiveOp {
+                kind: CollectiveKind::AllReduce,
+                elems: buf.len(),
+            },
+            |v| &mut v.all_reduce_bytes,
+        )
     }
 
     /// Fallible in-place element-wise max all-reduce.
     pub fn try_all_reduce_max(&self, buf: &mut [f32]) -> Result<(), CommError> {
-        if self.group.size == 1 {
+        let g = self.group.size;
+        if g == 1 {
             return Ok(());
         }
-        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.try_barrier()?;
-        for (i, b) in buf.iter_mut().enumerate() {
-            let mut acc = f32::NEG_INFINITY;
-            for r in 0..self.group.size {
-                acc = acc.max(self.group.board[r].lock().unwrap()[i]);
-            }
-            *b = acc;
-        }
-        self.try_barrier()?;
-        self.bump(|v| v.all_reduce_bytes += ring_all_reduce_bytes(self.group.size, buf.len()));
-        Ok(())
+        let prog = coll::ring_all_reduce(g, buf.len(), ReduceOp::Max);
+        self.run_program(
+            &prog,
+            buf,
+            CollectiveOp {
+                kind: CollectiveKind::AllReduce,
+                elems: buf.len(),
+            },
+            |v| &mut v.all_reduce_bytes,
+        )
     }
 
-    /// Fallible in-place mean all-reduce (deterministic, rank-ordered).
+    /// Fallible in-place mean all-reduce (sum, then scale by `1/size`).
     pub fn try_all_reduce_mean(&self, buf: &mut [f32]) -> Result<(), CommError> {
         self.try_all_reduce_sum(buf)?;
         let k = 1.0 / self.group.size as f32;
@@ -365,71 +594,114 @@ impl GroupMember {
         Ok(())
     }
 
+    /// Fallible two-level hierarchical all-reduce with `local` ranks per
+    /// node (§5.9's multi-rail pattern; `size` must divide by `local`).
+    /// Same result as [`GroupMember::try_all_reduce_sum`] up to float
+    /// reduction order; less inter-node traffic when nodes are real.
+    pub fn try_hierarchical_all_reduce_sum(
+        &self,
+        buf: &mut [f32],
+        local: usize,
+    ) -> Result<(), CommError> {
+        let g = self.group.size;
+        if g == 1 {
+            return Ok(());
+        }
+        let prog = coll::hierarchical_all_reduce(g, buf.len(), local, ReduceOp::Sum);
+        self.run_program(
+            &prog,
+            buf,
+            CollectiveOp {
+                kind: CollectiveKind::HierarchicalAllReduce { local },
+                elems: buf.len(),
+            },
+            |v| &mut v.all_reduce_bytes,
+        )
+    }
+
     /// Fallible all-gather: every rank contributes `part`; returns the
     /// rank-ordered concatenation.
     pub fn try_all_gather(&self, part: &[f32]) -> Result<Vec<f32>, CommError> {
-        if self.group.size == 1 {
+        let g = self.group.size;
+        if g == 1 {
             return Ok(part.to_vec());
         }
-        *self.group.board[self.rank].lock().unwrap() = part.to_vec();
-        self.try_barrier()?;
-        let mut out = Vec::with_capacity(part.len() * self.group.size);
-        for r in 0..self.group.size {
-            out.extend_from_slice(&self.group.board[r].lock().unwrap());
-        }
-        self.try_barrier()?;
-        self.bump(|v| v.all_gather_bytes += ring_all_gather_bytes(self.group.size, part.len()));
-        Ok(out)
+        let mut buf = vec![0.0f32; part.len() * g];
+        buf[self.rank * part.len()..(self.rank + 1) * part.len()].copy_from_slice(part);
+        let prog = coll::ring_all_gather(g, part.len());
+        self.run_program(
+            &prog,
+            &mut buf,
+            CollectiveOp {
+                kind: CollectiveKind::AllGather,
+                elems: part.len(),
+            },
+            |v| &mut v.all_gather_bytes,
+        )?;
+        Ok(buf)
     }
 
-    /// Fallible broadcast of `buf` from `root` to every rank, in place.
+    /// Fallible broadcast of `buf` from `root` to every rank, in place
+    /// (pipelined ring: chunks stream `root → root+1 → …`).
     pub fn try_broadcast(&self, buf: &mut [f32], root: usize) -> Result<(), CommError> {
-        if self.group.size == 1 {
+        let g = self.group.size;
+        if g == 1 {
             return Ok(());
         }
-        if self.rank == root {
-            *self.group.board[root].lock().unwrap() = buf.to_vec();
-        }
-        self.try_barrier()?;
-        if self.rank != root {
-            buf.copy_from_slice(&self.group.board[root].lock().unwrap());
-        }
-        self.try_barrier()?;
-        self.bump(|v| v.broadcast_bytes += broadcast_bytes(self.group.size, buf.len()));
-        Ok(())
+        let prog = coll::ring_broadcast(g, buf.len(), root);
+        self.run_program(
+            &prog,
+            buf,
+            CollectiveOp {
+                kind: CollectiveKind::Broadcast { root },
+                elems: buf.len(),
+            },
+            |v| &mut v.broadcast_bytes,
+        )
     }
 
     /// Fallible reduce-scatter: sum contributions, return this rank's
     /// `1/size` shard (buffer length must divide evenly).
     pub fn try_reduce_scatter_sum(&self, buf: &[f32]) -> Result<Vec<f32>, CommError> {
-        assert!(
-            buf.len().is_multiple_of(self.group.size),
-            "uneven reduce-scatter"
-        );
-        let chunk = buf.len() / self.group.size;
-        if self.group.size == 1 {
+        let g = self.group.size;
+        assert!(buf.len().is_multiple_of(g), "uneven reduce-scatter");
+        if g == 1 {
             return Ok(buf.to_vec());
         }
-        *self.group.board[self.rank].lock().unwrap() = buf.to_vec();
-        self.try_barrier()?;
+        let chunk = buf.len() / g;
+        let mut work = buf.to_vec();
+        let prog = coll::ring_reduce_scatter(g, buf.len(), ReduceOp::Sum);
+        self.run_program(
+            &prog,
+            &mut work,
+            CollectiveOp {
+                kind: CollectiveKind::ReduceScatter,
+                elems: buf.len(),
+            },
+            |v| &mut v.reduce_scatter_bytes,
+        )?;
         let lo = self.rank * chunk;
-        let mut out = vec![0.0f32; chunk];
-        for r in 0..self.group.size {
-            let other = self.group.board[r].lock().unwrap();
-            for (o, v) in out.iter_mut().zip(&other[lo..lo + chunk]) {
-                *o += v;
-            }
-        }
-        self.try_barrier()?;
-        self.bump(|v| {
-            v.reduce_scatter_bytes += ring_reduce_scatter_bytes(self.group.size, buf.len())
-        });
-        Ok(out)
+        Ok(work[lo..lo + chunk].to_vec())
     }
 
     /// Fallible synchronization barrier.
     pub fn try_barrier(&self) -> Result<(), CommError> {
-        self.group.barrier.wait(self.group.timeout)
+        if self.group.is_poisoned() {
+            return Err(CommError::Poisoned);
+        }
+        match self.group.barrier.wait(self.group.timeout) {
+            Ok(()) => Ok(()),
+            Err(RawComm::Poisoned) => Err(CommError::Poisoned),
+            Err(RawComm::Timeout) => {
+                self.group.poison_all();
+                Err(CommError::Timeout(StallContext {
+                    collective: "barrier",
+                    round: 0,
+                    rounds: 1,
+                    peer: None,
+                }))
+            }
+        }
     }
 
     /// In-place sum all-reduce; panics with [`CommPanic`] on failure.
@@ -474,7 +746,7 @@ impl Drop for GroupMember {
         // A member dropped while its thread unwinds means the rank died
         // mid-collective-sequence: poison so peers error instead of hanging.
         if std::thread::panicking() {
-            self.group.barrier.poison();
+            self.group.poison_all();
         }
     }
 }
@@ -568,6 +840,18 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_all_reduce_sums_like_flat() {
+        let results = run_group(6, |m| {
+            let mut buf = vec![m.rank() as f32, 1.0, -(m.rank() as f32)];
+            expect_comm(m.try_hierarchical_all_reduce_sum(&mut buf, 2));
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![15.0, 6.0, -15.0]);
+        }
+    }
+
+    #[test]
     fn single_rank_collectives_are_identity() {
         let results = run_group(1, |m| {
             let mut buf = vec![3.0];
@@ -654,9 +938,10 @@ mod tests {
     }
 
     #[test]
-    fn absent_rank_times_out_survivors() {
+    fn absent_rank_times_out_survivors_with_step_context() {
         // Rank 2 never calls the collective (and never panics): survivors
-        // trip the timeout, which poisons the group.
+        // trip the timeout, which poisons the group. The first rank to
+        // time out learns exactly which step and peer stalled.
         let group = Group::with_timeout(3, Duration::from_millis(100));
         let results = thread::scope(|s| {
             let handles: Vec<_> = (0..3usize)
@@ -668,7 +953,7 @@ mod tests {
                             // so only the timeout can save the peers.
                             return Ok(());
                         }
-                        let mut buf = vec![1.0f32];
+                        let mut buf = vec![1.0f32; 3];
                         m.try_all_reduce_sum(&mut buf)
                     })
                 })
@@ -682,12 +967,25 @@ mod tests {
             assert!(
                 matches!(
                     results[r],
-                    Err(CommError::Timeout) | Err(CommError::Poisoned)
+                    Err(CommError::Timeout(_)) | Err(CommError::Poisoned)
                 ),
                 "rank {r}: {:?}",
                 results[r]
             );
         }
+        // Whichever rank timed out (rather than being poisoned by the
+        // other's timeout) must blame the collective and a concrete peer.
+        let ctx = results
+            .iter()
+            .find_map(|r| match r {
+                Err(CommError::Timeout(ctx)) => Some(*ctx),
+                _ => None,
+            })
+            .expect("at least one rank must report the timeout");
+        assert_eq!(ctx.collective, "ring-all-reduce");
+        assert_eq!(ctx.rounds, 4); // 2(r−1) rounds at r = 3
+        assert!(ctx.round < ctx.rounds);
+        assert!(ctx.peer.is_some());
         assert!(group.is_poisoned());
     }
 
@@ -729,7 +1027,7 @@ mod tests {
     }
 
     #[test]
-    fn comm_volume_counts_ring_bytes() {
+    fn comm_volume_counts_measured_ring_bytes() {
         let results = run_group(4, |m| {
             let mut buf = vec![1.0f32; 8];
             m.all_reduce_sum(&mut buf);
@@ -737,17 +1035,20 @@ mod tests {
             let _ = m.reduce_scatter_sum(&buf);
             m.broadcast(&mut buf, 0);
             m.barrier(); // pure barriers don't count as volume ops
-            m.comm_volume()
+            (m.rank(), m.comm_volume())
         });
-        for v in &results {
+        for (rank, v) in &results {
             // g=4, n=8 f32: all-reduce 2·(3/4)·8·4 = 48 B; all-gather of
-            // 2-elem parts (4−1)·2·4 = 24 B; reduce-scatter (3/4)·8·4 = 24 B;
-            // broadcast 8·4 = 32 B.
-            assert_eq!(v.all_reduce_bytes, 48.0);
-            assert_eq!(v.all_gather_bytes, 24.0);
-            assert_eq!(v.reduce_scatter_bytes, 24.0);
-            assert_eq!(v.broadcast_bytes, 32.0);
-            assert_eq!(v.total_bytes(), 128.0);
+            // 2-elem parts (4−1)·2·4 = 24 B; reduce-scatter (3/4)·8·4 = 24 B.
+            // Broadcast egress is position-dependent: the ring tail
+            // (rank 3 for root 0) forwards nothing, everyone else streams
+            // the full 8·4 = 32 B.
+            assert_eq!(v.all_reduce_bytes, 48.0, "rank {rank}");
+            assert_eq!(v.all_gather_bytes, 24.0, "rank {rank}");
+            assert_eq!(v.reduce_scatter_bytes, 24.0, "rank {rank}");
+            let bcast = if *rank == 3 { 0.0 } else { 32.0 };
+            assert_eq!(v.broadcast_bytes, bcast, "rank {rank}");
+            assert_eq!(v.total_bytes(), 96.0 + bcast, "rank {rank}");
             assert_eq!(v.ops, 4);
         }
     }
@@ -768,8 +1069,54 @@ mod tests {
     }
 
     #[test]
+    fn op_log_records_replayable_collectives() {
+        let results = run_group(3, |m| {
+            let mut buf = vec![1.0f32; 7];
+            m.all_reduce_sum(&mut buf);
+            let _ = m.all_gather(&buf[..2]);
+            m.broadcast(&mut buf, 1);
+            (m.comm_volume(), m.take_op_log(), m.rank())
+        });
+        for (vol, ops, rank) in &results {
+            assert_eq!(
+                ops,
+                &vec![
+                    CollectiveOp {
+                        kind: CollectiveKind::AllReduce,
+                        elems: 7
+                    },
+                    CollectiveOp {
+                        kind: CollectiveKind::AllGather,
+                        elems: 2
+                    },
+                    CollectiveOp {
+                        kind: CollectiveKind::Broadcast { root: 1 },
+                        elems: 7
+                    },
+                ]
+            );
+            // Replaying the logged programs yields exactly the bytes the
+            // transport counted — the identity the sim comparison uses.
+            let replayed: usize = ops.iter().map(|op| op.program(3).sent_elems(*rank)).sum();
+            assert_eq!(replayed as f64 * BYTES_F32, vol.total_bytes());
+        }
+        // The log drains on take.
+        let (_, _, _) = &results[0];
+    }
+
+    #[test]
     fn comm_error_displays() {
-        assert!(CommError::Timeout.to_string().contains("timed out"));
+        let ctx = StallContext {
+            collective: "ring-all-reduce",
+            round: 2,
+            rounds: 4,
+            peer: Some(1),
+        };
+        let msg = CommError::Timeout(ctx).to_string();
+        assert!(msg.contains("timed out"), "{msg}");
+        assert!(msg.contains("ring-all-reduce"), "{msg}");
+        assert!(msg.contains("step 3/4"), "{msg}");
+        assert!(msg.contains("rank 1"), "{msg}");
         assert!(CommError::Poisoned.to_string().contains("poisoned"));
     }
 

@@ -1,9 +1,11 @@
 //! Thread-per-GPU distributed training runtime.
 //!
-//! Every "GPU" is an OS thread; collectives are real algorithms over shared
-//! memory (deterministic rank-ordered reductions, so every member of a
-//! group computes bit-identical results); pipeline stages exchange
-//! activations and gradients over channels. On top of that substrate this
+//! Every "GPU" is an OS thread; collectives are the `megatron-collective`
+//! ring/hierarchical step programs executed over per-edge mailboxes
+//! (deterministic chunk routing, so every member of a group computes
+//! bit-identical results and sends exactly the bytes the simulator
+//! models); pipeline stages exchange activations and gradients over
+//! channels. On top of that substrate this
 //! crate implements the paper's three parallelism axes *for real*:
 //!
 //! - **Tensor model parallelism** (§2.3): column-parallel QKV/fc1 and
@@ -33,10 +35,11 @@ pub mod vocab;
 pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
 pub use comm::{
     broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
-    CommError, CommPanic, CommVolume, Group, GroupMember, BYTES_F32, DEFAULT_COMM_TIMEOUT,
+    CollectiveKind, CollectiveOp, CommError, CommPanic, CommVolume, Group, GroupMember,
+    StallContext, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
 pub use supervisor::{Incident, Supervisor, SupervisorConfig, SupervisorReport};
 pub use trainer::{
-    KillSwitch, PtdpSpec, PtdpTrainer, RankCommVolume, RunControl, StepSample, ThreadState,
-    TrainError, TrainLog, TrainOutcome, TrainSnapshot,
+    KillSwitch, PtdpSpec, PtdpTrainer, RankCommOps, RankCommVolume, RunControl, StepSample,
+    ThreadKey, ThreadState, TrainError, TrainLog, TrainOutcome, TrainSnapshot,
 };

@@ -1,0 +1,284 @@
+//! The PTD-P trainer: real tensor + pipeline + data parallel training over
+//! `p·t·d` threads, with strict optimizer semantics (§2.2's pipeline flush
+//! before every optimizer step).
+//!
+//! Construction mirrors the paper exactly:
+//! - the model's layers are split into `p·v` stages assigned round-robin
+//!   (stage `c·p + device`, §2.2.2);
+//! - each stage's blocks are tensor-parallel shards across `t` threads
+//!   (§2.3);
+//! - the batch is sharded over `d` replicas and each replica's share is cut
+//!   into `m = B/(d·b)` microbatches driven by a
+//!   [`megatron_schedule::ScheduleKind`] program;
+//! - after the flush, gradients are scaled by `1/m`, mean-all-reduced
+//!   across the data group, and stepped with per-thread Adam (identical
+//!   state on every replica — verified in tests).
+//!
+//! The first stage owns the (replicated-across-`t`) embedding; the last
+//! stage owns the final LayerNorm + LM head. That matches Megatron's
+//! placement, minus vocab-parallel embeddings (a documented simplification
+//! — see DESIGN.md).
+//!
+//! The module is split by concern:
+//! - [`spec`](self) — [`PtdpSpec`], the parallelization plan;
+//! - [`logs`](self) — run knobs and outputs ([`RunControl`], [`TrainLog`],
+//!   [`TrainOutcome`], checkpoints, the comm tapes);
+//! - [`model`](self) — the per-thread model shard and forward caches;
+//! - [`worker`](self) — the per-thread training loop;
+//! - this file — the orchestrator that wires groups, channels, and threads
+//!   together.
+
+mod logs;
+mod model;
+mod spec;
+mod worker;
+
+#[cfg(test)]
+mod tests;
+
+pub use logs::{
+    KillSwitch, RankCommOps, RankCommVolume, RunControl, StepSample, ThreadState, TrainError,
+    TrainLog, TrainOutcome, TrainSnapshot,
+};
+pub use spec::{PtdpSpec, ThreadKey};
+
+pub(crate) use model::{build_thread_model, EmbedShard, HeadShard, ThreadModel};
+
+use std::collections::HashMap;
+use std::sync::mpsc::channel as unbounded;
+use std::sync::{Arc, Mutex};
+
+use megatron_tensor::gpt::GptModel;
+
+use crate::comm::Group;
+
+use logs::SharedMap;
+use worker::{classify_panic, run_thread, Endpoints, ThreadArgs};
+
+/// Real PTD-P training over threads.
+pub struct PtdpTrainer {
+    master: GptModel,
+    spec: PtdpSpec,
+}
+
+impl PtdpTrainer {
+    /// Validate the spec against the master model and build the trainer.
+    ///
+    /// # Panics
+    /// On any §3.1-style divisibility violation.
+    pub fn new(master: GptModel, spec: PtdpSpec) -> Self {
+        let cfg = master.cfg;
+        assert!(
+            cfg.heads.is_multiple_of(spec.tensor),
+            "t must divide attention heads"
+        );
+        assert!(
+            cfg.layers.is_multiple_of(spec.pipeline * spec.chunks),
+            "layers must divide into p·v stages"
+        );
+        assert_eq!(
+            spec.schedule.chunks(),
+            spec.chunks,
+            "schedule/spec chunk mismatch"
+        );
+        PtdpTrainer { master, spec }
+    }
+
+    /// Train for one iteration per element of `data`; each element is the
+    /// full global batch (`tokens`, `targets`), both `B·seq` long.
+    ///
+    /// # Panics
+    /// If any worker fails (use [`PtdpTrainer::train_with`] for the
+    /// fallible path).
+    pub fn train(&self, data: &[(Vec<usize>, Vec<usize>)]) -> TrainLog {
+        let out = self.train_with(data, RunControl::default());
+        if let Some(e) = out.error {
+            panic!("training failed: {e}");
+        }
+        out.log
+    }
+
+    /// Like [`PtdpTrainer::train`] with failure handling: periodic
+    /// in-memory checkpoints, restore-from-snapshot, deliberate rank
+    /// kills, and a collective timeout. Never panics on worker failure —
+    /// the first error is reported in the outcome instead.
+    pub fn train_with(&self, data: &[(Vec<usize>, Vec<usize>)], ctl: RunControl) -> TrainOutcome {
+        let spec = self.spec;
+        let cfg = self.master.cfg;
+        let (p, t, d, v) = (spec.pipeline, spec.tensor, spec.data, spec.chunks);
+        let stages = p * v;
+        let seq = cfg.seq;
+
+        assert!(!data.is_empty(), "need at least one iteration of data");
+        let batch_total = data[0].0.len() / seq;
+        for (tok, tgt) in data {
+            assert_eq!(tok.len(), batch_total * seq, "uneven iteration batches");
+            assert_eq!(tgt.len(), batch_total * seq);
+        }
+        assert!(
+            batch_total.is_multiple_of(d * spec.microbatch),
+            "B={batch_total} must divide by d·b = {}",
+            d * spec.microbatch
+        );
+        let per_replica = batch_total / d;
+        let m = per_replica / spec.microbatch;
+        let schedule = spec.schedule.build(p, m);
+        schedule.validate().expect("generated schedule is valid");
+
+        // --- Process groups ---
+        let timeout = ctl.comm_timeout.unwrap_or(spec.comm_timeout);
+        let tensor_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
+            .flat_map(|pi| (0..d).map(move |di| ((pi, di), Group::with_timeout(t, timeout))))
+            .collect();
+        let data_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
+            .flat_map(|pi| (0..t).map(move |ti| ((pi, ti), Group::with_timeout(d, timeout))))
+            .collect();
+
+        // --- Channels (per (di, ti) lane, per stage boundary) ---
+        let mut endpoints: HashMap<(usize, usize, usize), Endpoints> = (0..p)
+            .flat_map(|pi| {
+                (0..d)
+                    .flat_map(move |di| (0..t).map(move |ti| ((pi, di, ti), Endpoints::default())))
+            })
+            .collect();
+        for di in 0..d {
+            for ti in 0..t {
+                for s in 0..stages.saturating_sub(1) {
+                    let from_dev = s % p;
+                    let to_dev = (s + 1) % p;
+                    let (ftx, frx) = unbounded();
+                    let (btx, brx) = unbounded();
+                    endpoints
+                        .get_mut(&(from_dev, di, ti))
+                        .unwrap()
+                        .fwd_out
+                        .insert(s, ftx);
+                    endpoints
+                        .get_mut(&(to_dev, di, ti))
+                        .unwrap()
+                        .fwd_in
+                        .insert(s + 1, frx);
+                    endpoints
+                        .get_mut(&(to_dev, di, ti))
+                        .unwrap()
+                        .bwd_out
+                        .insert(s + 1, btx);
+                    endpoints
+                        .get_mut(&(from_dev, di, ti))
+                        .unwrap()
+                        .bwd_in
+                        .insert(s, brx);
+                }
+            }
+        }
+
+        let losses = Arc::new(Mutex::new(vec![0.0f32; data.len()]));
+        let final_params: SharedMap<Vec<f32>> = Arc::new(Mutex::new(HashMap::new()));
+        let peak_stash: SharedMap<usize> = Arc::new(Mutex::new(HashMap::new()));
+        let step_times: SharedMap<Vec<StepSample>> = Arc::new(Mutex::new(HashMap::new()));
+        let comm_volumes: SharedMap<RankCommVolume> = Arc::new(Mutex::new(HashMap::new()));
+        let comm_ops: SharedMap<RankCommOps> = Arc::new(Mutex::new(HashMap::new()));
+        // Checkpoints accumulate per iteration; threads may drift by up to
+        // a pipeline flush, so only an iteration every thread finished
+        // counts as a restorable snapshot.
+        let ckpts: Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>> =
+            Mutex::new(HashMap::new());
+        let ctl = &ctl;
+
+        let results: Vec<(ThreadKey, Result<(), TrainError>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p * d * t);
+            for pi in 0..p {
+                for di in 0..d {
+                    for ti in 0..t {
+                        let ep = endpoints.remove(&(pi, di, ti)).unwrap();
+                        let tg = tensor_groups[&(pi, di)].member(ti);
+                        let dg = data_groups[&(pi, ti)].member(di);
+                        let losses = Arc::clone(&losses);
+                        let final_params = Arc::clone(&final_params);
+                        let peak_stash = Arc::clone(&peak_stash);
+                        let step_times = Arc::clone(&step_times);
+                        let comm_volumes = Arc::clone(&comm_volumes);
+                        let comm_ops = Arc::clone(&comm_ops);
+                        let master = &self.master;
+                        let schedule = &schedule;
+                        let ckpts = &ckpts;
+                        handles.push((
+                            (pi, di, ti),
+                            scope.spawn(move || {
+                                run_thread(ThreadArgs {
+                                    pi,
+                                    di,
+                                    ti,
+                                    spec,
+                                    master,
+                                    schedule,
+                                    data,
+                                    ep,
+                                    tg,
+                                    dg,
+                                    losses,
+                                    final_params,
+                                    peak_stash,
+                                    step_times,
+                                    comm_volumes,
+                                    comm_ops,
+                                    ctl,
+                                    ckpts,
+                                })
+                            }),
+                        ));
+                    }
+                }
+            }
+            handles
+                .into_iter()
+                .map(|(key, h)| (key, h.join().unwrap_or_else(|p| Err(classify_panic(&p)))))
+                .collect()
+        });
+
+        // Prefer the deliberate kill as the headline error (the comm errors
+        // on the survivors are its consequences).
+        let error = results
+            .iter()
+            .find_map(|(_, r)| match r {
+                Err(e @ TrainError::Killed(_)) => Some(e.clone()),
+                _ => None,
+            })
+            .or_else(|| results.iter().find_map(|(_, r)| r.as_ref().err().cloned()));
+
+        let world = p * d * t;
+        let snapshot = ckpts
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .filter(|(_, threads)| threads.len() == world)
+            .max_by_key(|(next_iter, _)| *next_iter)
+            .map(|(next_iter, threads)| TrainSnapshot { next_iter, threads });
+
+        let comm_volumes = Arc::try_unwrap(comm_volumes).unwrap().into_inner().unwrap();
+        if let Some(sink) = &ctl.telemetry {
+            let mut total = 0.0f64;
+            for ((cpi, cdi, cti), vol) in &comm_volumes {
+                let bytes = vol.total_bytes();
+                sink.metrics
+                    .counter(&format!("comm_bytes.rank.p{cpi}d{cdi}t{cti}"))
+                    .add(bytes as u64);
+                total += bytes;
+            }
+            sink.metrics.counter("comm_bytes_total").add(total as u64);
+        }
+
+        TrainOutcome {
+            log: TrainLog {
+                losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
+                final_params: Arc::try_unwrap(final_params).unwrap().into_inner().unwrap(),
+                peak_stash_floats: Arc::try_unwrap(peak_stash).unwrap().into_inner().unwrap(),
+                step_times: Arc::try_unwrap(step_times).unwrap().into_inner().unwrap(),
+                comm_volumes,
+                comm_ops: Arc::try_unwrap(comm_ops).unwrap().into_inner().unwrap(),
+            },
+            error,
+            snapshot,
+        }
+    }
+}

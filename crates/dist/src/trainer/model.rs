@@ -1,0 +1,277 @@
+//! The model shard one thread owns — embedding / transformer chunks / LM
+//! head in their replicated or vocab-parallel layouts — plus the forward
+//! caches the schedule stashes between a microbatch's forward and
+//! backward passes.
+
+use megatron_tensor::gpt::GptModel;
+use megatron_tensor::layers::{Embedding, LayerNorm, LayerNormCache, Linear};
+use megatron_tensor::Matrix;
+
+use crate::block::{ParallelBlock, ParallelBlockCache};
+use crate::comm::GroupMember;
+use crate::vocab::{VocabHeadCache, VocabParallelEmbedding, VocabParallelHead};
+
+use super::spec::PtdpSpec;
+
+/// Embedding owned by a first-stage thread: replicated or vocab-sharded.
+pub(crate) enum EmbedShard {
+    Replicated(Embedding),
+    VocabParallel(VocabParallelEmbedding),
+}
+
+impl EmbedShard {
+    pub(crate) fn forward(&self, toks: &[usize], seq: usize, tg: &GroupMember) -> Matrix {
+        match self {
+            EmbedShard::Replicated(e) => e.forward(toks, seq),
+            EmbedShard::VocabParallel(e) => e.forward(toks, seq, tg),
+        }
+    }
+
+    pub(crate) fn backward(&mut self, toks: &[usize], seq: usize, dx: &Matrix) {
+        match self {
+            EmbedShard::Replicated(e) => e.backward(toks, seq, dx),
+            EmbedShard::VocabParallel(e) => e.backward(toks, seq, dx),
+        }
+    }
+
+    fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            EmbedShard::Replicated(e) => e.visit(f),
+            EmbedShard::VocabParallel(e) => e.visit(f),
+        }
+    }
+}
+
+impl EmbedShard {
+    /// Merge tensor-group shards back into a serial [`Embedding`].
+    pub(crate) fn assemble(shards: &[&EmbedShard]) -> Embedding {
+        match shards[0] {
+            EmbedShard::Replicated(e) => e.clone(),
+            EmbedShard::VocabParallel(_) => {
+                let parts: Vec<Matrix> = shards
+                    .iter()
+                    .map(|s| match s {
+                        EmbedShard::VocabParallel(e) => e.tokens.clone(),
+                        EmbedShard::Replicated(_) => unreachable!("mixed embed layouts"),
+                    })
+                    .collect();
+                let tokens = Matrix::concat_rows(&parts);
+                let positions = match shards[0] {
+                    EmbedShard::VocabParallel(e) => e.positions.clone(),
+                    EmbedShard::Replicated(_) => unreachable!(),
+                };
+                let (vr, vc) = (tokens.rows(), tokens.cols());
+                let (pr, pc) = (positions.rows(), positions.cols());
+                Embedding {
+                    tokens,
+                    positions,
+                    gtokens: Matrix::zeros(vr, vc),
+                    gpositions: Matrix::zeros(pr, pc),
+                }
+            }
+        }
+    }
+}
+
+/// LM head owned by a last-stage thread: replicated or vocab-sharded.
+pub(crate) enum HeadShard {
+    Replicated(LayerNorm, Linear),
+    VocabParallel(LayerNorm, VocabParallelHead),
+}
+
+impl HeadShard {
+    fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            HeadShard::Replicated(ln, lm) => {
+                ln.visit(f);
+                lm.visit(f);
+            }
+            HeadShard::VocabParallel(ln, hd) => {
+                ln.visit(f);
+                hd.visit(f);
+            }
+        }
+    }
+}
+
+impl HeadShard {
+    /// Merge tensor-group shards back into the serial final LayerNorm + LM
+    /// head pair.
+    pub(crate) fn assemble(shards: &[&HeadShard]) -> (LayerNorm, Linear) {
+        match shards[0] {
+            HeadShard::Replicated(ln, lm) => (ln.clone(), lm.clone()),
+            HeadShard::VocabParallel(ln, _) => {
+                let parts: Vec<Matrix> = shards
+                    .iter()
+                    .map(|s| match s {
+                        HeadShard::VocabParallel(_, hd) => hd.w.w.clone(),
+                        HeadShard::Replicated(..) => unreachable!("mixed head layouts"),
+                    })
+                    .collect();
+                let w = Matrix::concat_cols(&parts);
+                let (r, c) = (w.rows(), w.cols());
+                (
+                    ln.clone(),
+                    Linear {
+                        w,
+                        b: None,
+                        gw: Matrix::zeros(r, c),
+                        gb: vec![0.0; c],
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// The model shard owned by one thread.
+pub(crate) struct ThreadModel {
+    /// Blocks per owned chunk (index = chunk id).
+    pub(crate) chunks: Vec<Vec<ParallelBlock>>,
+    pub(crate) embed: Option<EmbedShard>,
+    pub(crate) head: Option<HeadShard>,
+}
+
+impl ThreadModel {
+    pub(super) fn visit(&mut self, f: &mut impl FnMut(&mut [f32], &mut [f32])) {
+        if let Some(e) = &mut self.embed {
+            e.visit(f);
+        }
+        for chunk in &mut self.chunks {
+            for b in chunk {
+                b.visit(f);
+            }
+        }
+        if let Some(h) = &mut self.head {
+            h.visit(f);
+        }
+    }
+
+    /// Visit parameter slices only (reassembly helper).
+    pub(crate) fn visit_params(&mut self, f: &mut impl FnMut(&mut [f32])) {
+        self.visit(&mut |p, _| f(p));
+    }
+
+    /// Visit gradient slices only (2BW helper).
+    pub(crate) fn visit_grads(&mut self, f: &mut impl FnMut(&mut [f32])) {
+        self.visit(&mut |_, g| f(g));
+    }
+
+    pub(super) fn param_grad_pairs(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
+        let mut raw: Vec<(*mut [f32], *mut [f32])> = Vec::new();
+        self.visit(&mut |p, g| raw.push((p as *mut [f32], g as *mut [f32])));
+        // SAFETY: visit yields disjoint field borrows.
+        raw.into_iter()
+            .map(|(p, g)| unsafe { (&mut *p, &mut *g) })
+            .collect()
+    }
+
+    pub(crate) fn flat_params(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Overwrite every parameter from a flat snapshot (inverse of
+    /// [`ThreadModel::flat_params`]).
+    pub(crate) fn set_flat_params(&mut self, vals: &[f32]) {
+        let mut off = 0;
+        self.visit(&mut |p, _| {
+            p.copy_from_slice(&vals[off..off + p.len()]);
+            off += p.len();
+        });
+        assert_eq!(off, vals.len(), "snapshot parameter count mismatch");
+    }
+}
+
+/// Per-microbatch forward cache for one chunk.
+pub(super) struct ChunkCache {
+    /// Full per-block caches (empty in recompute mode).
+    pub(super) block_caches: Vec<ParallelBlockCache>,
+    /// Recompute mode: the chunk's input activation, stashed instead.
+    pub(super) input: Option<Matrix>,
+    /// Last stage only: loss path (absent in recompute mode — rebuilt).
+    pub(super) head: Option<HeadCache>,
+    /// First stage only: token slice for embedding backward.
+    pub(super) tokens: Option<Vec<usize>>,
+}
+
+impl ChunkCache {
+    /// `f32` values held (activation-memory instrumentation, §3.5).
+    pub(super) fn float_count(&self) -> usize {
+        self.block_caches
+            .iter()
+            .map(|c| c.float_count())
+            .sum::<usize>()
+            + self.input.as_ref().map_or(0, Matrix::len)
+            + self
+                .head
+                .as_ref()
+                .map_or(0, |h| h.hidden_final.len() + h.dlogits.len())
+    }
+}
+
+pub(super) struct HeadCache {
+    pub(super) ln: LayerNormCache,
+    pub(super) hidden_final: Matrix,
+    /// Replicated path: full dlogits; vocab-parallel path: the local shard.
+    pub(super) dlogits: DLogits,
+}
+
+pub(super) enum DLogits {
+    Full(Matrix),
+    Shard(VocabHeadCache),
+}
+
+impl DLogits {
+    pub(super) fn len(&self) -> usize {
+        match self {
+            DLogits::Full(m) => m.len(),
+            DLogits::Shard(c) => c.dlogits.len(),
+        }
+    }
+}
+
+/// Build the shard thread `(pi, ti)` owns from the master weights.
+pub(crate) fn build_thread_model(
+    master: &GptModel,
+    spec: &PtdpSpec,
+    pi: usize,
+    ti: usize,
+) -> ThreadModel {
+    let cfg = master.cfg;
+    let (p, t, v) = (spec.pipeline, spec.tensor, spec.chunks);
+    let stages = p * v;
+    let layers_per_stage = cfg.layers / stages;
+    let vocab_parallel = spec.vocab_parallel && t > 1;
+    ThreadModel {
+        chunks: (0..v)
+            .map(|c| {
+                let stage = c * p + pi;
+                let lo = stage * layers_per_stage;
+                (lo..lo + layers_per_stage)
+                    .map(|l| ParallelBlock::from_serial(&master.blocks[l], cfg.heads, t, ti))
+                    .collect()
+            })
+            .collect(),
+        embed: (pi == 0).then(|| {
+            if vocab_parallel {
+                EmbedShard::VocabParallel(VocabParallelEmbedding::from_serial(&master.embed, t, ti))
+            } else {
+                EmbedShard::Replicated(master.embed.clone())
+            }
+        }),
+        // The last global stage (stages−1) lives on device (stages−1) % p,
+        // which is p−1 (and chunk v−1).
+        head: (pi == (stages - 1) % p).then(|| {
+            if vocab_parallel {
+                HeadShard::VocabParallel(
+                    master.final_ln.clone(),
+                    VocabParallelHead::from_serial(&master.lm_head, t, ti),
+                )
+            } else {
+                HeadShard::Replicated(master.final_ln.clone(), master.lm_head.clone())
+            }
+        }),
+    }
+}

@@ -1,0 +1,84 @@
+//! The parallelization plan: how many ways to split the model and batch,
+//! which pipeline schedule to run, and the optimizer/memory knobs.
+
+use std::time::Duration;
+
+use megatron_schedule::ScheduleKind;
+
+use crate::comm::DEFAULT_COMM_TIMEOUT;
+
+/// Thread coordinate `(pipeline, data, tensor)`.
+pub type ThreadKey = (usize, usize, usize);
+
+/// Parallelization plan for [`PtdpTrainer`](crate::trainer::PtdpTrainer).
+#[derive(Debug, Clone, Copy)]
+pub struct PtdpSpec {
+    /// Pipeline-parallel size `p`.
+    pub pipeline: usize,
+    /// Tensor-parallel size `t`.
+    pub tensor: usize,
+    /// Data-parallel size `d`.
+    pub data: usize,
+    /// Model chunks per device `v` (1 = non-interleaved).
+    pub chunks: usize,
+    /// Microbatch size `b` (samples).
+    pub microbatch: usize,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shard optimizer state across data-parallel ranks (the "sharded data
+    /// parallelism" of the paper's related work / ZeRO stage 1): gradients
+    /// arrive by reduce-scatter, each rank Adam-steps its 1/d slice, and
+    /// updated parameters return by all-gather. Numerically identical to
+    /// replicated Adam; optimizer memory drops by d.
+    pub shard_optimizer: bool,
+    /// §3.5 activation recomputation: stash only each chunk's input during
+    /// the forward pass and rerun the forward just before the backward.
+    /// Numerically identical (the rebuilt caches are bit-equal); activation
+    /// memory drops from full per-layer caches to one input tensor.
+    pub recompute: bool,
+    /// Shard the token-embedding table and LM head over the vocabulary
+    /// dimension across the tensor group (Megatron's layout), with the
+    /// distributed cross-entropy that never materializes full logits.
+    pub vocab_parallel: bool,
+    /// Collective timeout for every process group of a run under this
+    /// spec. [`RunControl::comm_timeout`](crate::trainer::RunControl) can
+    /// override it per run (the supervisor shortens it on retry attempts
+    /// so repeat failures are detected faster).
+    pub comm_timeout: Duration,
+}
+
+impl PtdpSpec {
+    /// A (p, t, d) spec with 1F1B, no interleaving, microbatch 1.
+    pub fn new(pipeline: usize, tensor: usize, data: usize) -> Self {
+        PtdpSpec {
+            pipeline,
+            tensor,
+            data,
+            chunks: 1,
+            microbatch: 1,
+            schedule: ScheduleKind::OneFOneB,
+            lr: 0.01,
+            shard_optimizer: false,
+            recompute: false,
+            vocab_parallel: false,
+            comm_timeout: DEFAULT_COMM_TIMEOUT,
+        }
+    }
+
+    /// Total threads.
+    pub fn world(&self) -> usize {
+        self.pipeline * self.tensor * self.data
+    }
+
+    /// The thread coordinate of a flat rank index, in the trainer's spawn
+    /// order: pipeline outermost, then data, tensor innermost.
+    pub fn thread_key(&self, rank: usize) -> ThreadKey {
+        assert!(rank < self.world(), "rank {rank} out of range");
+        let ti = rank % self.tensor;
+        let di = (rank / self.tensor) % self.data;
+        let pi = rank / (self.tensor * self.data);
+        (pi, di, ti)
+    }
+}

@@ -1,0 +1,690 @@
+//! The per-thread training loop: one OS thread per (pipeline, data,
+//! tensor) coordinate executing its schedule ops — embedding/chunk
+//! forwards, p2p activation exchange, backwards, and the flush-time
+//! optimizer semantics — with telemetry spans and the comm-op tape
+//! recorded along the way.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use megatron_schedule::Pass;
+use megatron_tensor::gpt::GptModel;
+use megatron_tensor::layers::cross_entropy;
+use megatron_tensor::{Adam, Matrix};
+
+use megatron_telemetry::{RankTracer, SpanArgs, SpanKind, TelemetrySink};
+
+use crate::comm::{
+    ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes, CommError, CommPanic,
+    GroupMember, BYTES_F32,
+};
+
+use super::logs::{
+    RankCommOps, RankCommVolume, RunControl, SharedMap, StepSample, ThreadState, TrainError,
+};
+use super::model::{build_thread_model, ChunkCache, DLogits, HeadCache, HeadShard};
+use super::spec::{PtdpSpec, ThreadKey};
+
+/// Map a worker panic to a [`TrainError`]. The inner tensor/vocab
+/// collectives surface communicator failures by panicking with a typed
+/// [`CommPanic`] payload; anything else is a genuine bug in the worker.
+/// No string matching: a reworded panic message can never flip the
+/// classification.
+pub(super) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError {
+    if let Some(CommPanic(e)) = payload.downcast_ref::<CommPanic>() {
+        return TrainError::Comm(*e);
+    }
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    TrainError::ThreadPanicked(msg)
+}
+
+/// Channel endpoints for one thread.
+#[derive(Default)]
+pub(super) struct Endpoints {
+    pub(super) fwd_in: HashMap<usize, Receiver<Matrix>>,
+    pub(super) fwd_out: HashMap<usize, Sender<Matrix>>,
+    pub(super) bwd_in: HashMap<usize, Receiver<Matrix>>,
+    pub(super) bwd_out: HashMap<usize, Sender<Matrix>>,
+}
+
+pub(super) struct ThreadArgs<'a> {
+    pub(super) pi: usize,
+    pub(super) di: usize,
+    pub(super) ti: usize,
+    pub(super) spec: PtdpSpec,
+    pub(super) master: &'a GptModel,
+    pub(super) schedule: &'a megatron_schedule::PipelineSchedule,
+    pub(super) data: &'a [(Vec<usize>, Vec<usize>)],
+    pub(super) ep: Endpoints,
+    pub(super) tg: GroupMember,
+    pub(super) dg: GroupMember,
+    pub(super) losses: Arc<Mutex<Vec<f32>>>,
+    pub(super) final_params: SharedMap<Vec<f32>>,
+    pub(super) peak_stash: SharedMap<usize>,
+    pub(super) step_times: SharedMap<Vec<StepSample>>,
+    pub(super) comm_volumes: SharedMap<RankCommVolume>,
+    pub(super) comm_ops: SharedMap<RankCommOps>,
+    pub(super) ctl: &'a RunControl,
+    pub(super) ckpts: &'a Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>>,
+}
+
+/// Per-iteration context every telemetry span is tagged with.
+#[derive(Clone, Copy)]
+struct SpanCtx {
+    iteration: usize,
+    epoch: usize,
+}
+
+/// Close a telemetry span opened at `start_ns`, if tracing is on. Returns
+/// the span duration in ns (0 when tracing is off), so call sites can
+/// accumulate e.g. bubble time for the metrics counters.
+fn emit(
+    tracer: &mut Option<RankTracer>,
+    ctx: SpanCtx,
+    kind: SpanKind,
+    name: &'static str,
+    start_ns: Option<u64>,
+    args: SpanArgs,
+) -> u64 {
+    match (tracer.as_mut(), start_ns) {
+        (Some(tr), Some(t0)) => tr.close(kind, name, t0, ctx.iteration, ctx.epoch, args),
+        _ => 0,
+    }
+}
+
+/// Current hub time, if tracing is on (span-open helper).
+fn tnow(tracer: &Option<RankTracer>) -> Option<u64> {
+    tracer.as_ref().map(RankTracer::now)
+}
+
+/// Final-LayerNorm → head → loss, for either head layout. Returns the
+/// (replicated) mean loss and the backward cache.
+fn head_forward(
+    head: &HeadShard,
+    x: &Matrix,
+    targets: &[usize],
+    tg: &GroupMember,
+) -> (f32, HeadCache) {
+    match head {
+        HeadShard::Replicated(ln, lm) => {
+            let (hf, ln_cache) = ln.forward(x);
+            let logits = lm.forward(&hf);
+            let (loss, dlogits) = cross_entropy(&logits, targets);
+            (
+                loss,
+                HeadCache {
+                    ln: ln_cache,
+                    hidden_final: hf,
+                    dlogits: DLogits::Full(dlogits),
+                },
+            )
+        }
+        HeadShard::VocabParallel(ln, hd) => {
+            let (hf, ln_cache) = ln.forward(x);
+            let (loss, cache) = hd.forward_loss(&hf, targets, tg);
+            (
+                loss,
+                HeadCache {
+                    ln: ln_cache,
+                    hidden_final: hf,
+                    dlogits: DLogits::Shard(cache),
+                },
+            )
+        }
+    }
+}
+
+/// Head backward for either layout; returns the gradient entering the
+/// final LayerNorm's input.
+fn head_backward(head: &mut HeadShard, hc: &HeadCache, tg: &GroupMember) -> Matrix {
+    match (head, &hc.dlogits) {
+        (HeadShard::Replicated(ln, lm), DLogits::Full(dlogits)) => {
+            let dhf = lm.backward(&hc.hidden_final, dlogits);
+            ln.backward(&hc.ln, &dhf)
+        }
+        (HeadShard::VocabParallel(ln, hd), DLogits::Shard(cache)) => {
+            let mut dhf = hd.backward_partial(&hc.hidden_final, cache);
+            // f operator of the column-parallel head: all-reduce the
+            // partial hidden gradient.
+            tg.all_reduce_sum(dhf.as_mut_slice());
+            ln.backward(&hc.ln, &dhf)
+        }
+        _ => unreachable!("head layout and cache variant always match"),
+    }
+}
+
+pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
+    let ThreadArgs {
+        pi,
+        di,
+        ti,
+        spec,
+        master,
+        schedule,
+        data,
+        ep,
+        tg,
+        dg,
+        losses,
+        final_params,
+        peak_stash,
+        step_times,
+        comm_volumes,
+        comm_ops,
+        ctl,
+        ckpts,
+    } = args;
+    let cfg = master.cfg;
+    let (p, v) = (spec.pipeline, spec.chunks);
+    let stages = p * v;
+    let last_stage = stages - 1;
+    let layers_per_stage = cfg.layers / stages;
+    let seq = cfg.seq;
+    let b = spec.microbatch;
+    let per_replica = data[0].0.len() / seq / spec.data;
+    let m = per_replica / b;
+    let key: ThreadKey = (pi, di, ti);
+
+    // Any early return must poison both groups first, or peers blocked in
+    // a collective would sit out the full timeout instead of failing fast.
+    let fail = |e: CommError| {
+        tg.poison();
+        dg.poison();
+        TrainError::Comm(e)
+    };
+    let broken = || {
+        tg.poison();
+        dg.poison();
+        TrainError::PipelineBroken
+    };
+
+    let mut model = build_thread_model(master, &spec, pi, ti);
+    let mut adam = Adam::new(spec.lr);
+    let owns_last = model.head.is_some();
+
+    // Telemetry: one single-writer tracer per thread (publishes into the
+    // hub on drop, so spans survive the error paths too), plus cached
+    // handles to the shared bubble/step counters.
+    let flat_rank = pi * (spec.data * spec.tensor) + di * spec.tensor + ti;
+    let mut tracer = ctl.telemetry.as_ref().map(|s| s.hub.tracer(flat_rank, key));
+    let iter_counters = ctl.telemetry.as_ref().map(|s| {
+        (
+            s.metrics.counter(TelemetrySink::BUBBLE_NS),
+            s.metrics.counter(TelemetrySink::STEP_NS),
+        )
+    });
+    let mut p2p_send_bytes = 0.0f64;
+    let mut p2p_sends: Vec<(ThreadKey, usize)> = Vec::new();
+
+    let start_iter = if let Some(snap) = &ctl.restore {
+        let st = snap.threads.get(&key).ok_or_else(|| {
+            tg.poison();
+            dg.poison();
+            TrainError::MissingThreadState(key)
+        })?;
+        model.set_flat_params(&st.params);
+        adam.import_state(st.adam.clone());
+        snap.next_iter
+    } else {
+        0
+    };
+    let kill_iter = ctl.kill.filter(|k| k.thread == key).map(|k| k.iteration);
+
+    for (iter, (tokens, targets)) in data.iter().enumerate().skip(start_iter) {
+        let iter_start = Instant::now();
+        let ctx = SpanCtx {
+            iteration: iter,
+            epoch: ctl.epoch,
+        };
+        let mut bubble_ns = 0u64;
+        // This replica's slice.
+        let lo = di * per_replica * seq;
+        let replica_tokens = &tokens[lo..lo + per_replica * seq];
+        let replica_targets = &targets[lo..lo + per_replica * seq];
+        let mb_tokens = |mb: usize| &replica_tokens[mb * b * seq..(mb + 1) * b * seq];
+        let mb_targets = |mb: usize| &replica_targets[mb * b * seq..(mb + 1) * b * seq];
+
+        model.visit(&mut |_, g| g.fill(0.0));
+        let mut stash: HashMap<(usize, usize), ChunkCache> = HashMap::new();
+        let mut stash_floats = 0usize;
+        let mut loss_sum = 0.0f32;
+
+        for (opi, op) in schedule.ops[pi].iter().enumerate() {
+            // Fault-injection hook: die halfway through this iteration's
+            // op list, as if the GPU failed mid-step.
+            if kill_iter == Some(iter) && opi == schedule.ops[pi].len() / 2 {
+                tg.poison();
+                dg.poison();
+                return Err(TrainError::Killed(key));
+            }
+            let stage = schedule.stage_of(pi, op.chunk);
+            match op.pass {
+                Pass::Forward => {
+                    let toks = mb_tokens(op.microbatch);
+                    let mb_args = SpanArgs {
+                        bytes: None,
+                        microbatch: Some(op.microbatch),
+                        chunk: Some(op.chunk),
+                    };
+                    let t_in = tnow(&tracer);
+                    let input = if stage == 0 {
+                        model
+                            .embed
+                            .as_ref()
+                            .expect("stage 0 owns embed")
+                            .forward(toks, seq, &tg)
+                    } else {
+                        ep.fwd_in[&stage].recv().map_err(|_| broken())?
+                    };
+                    // For stage 0 the time since t_in is embedding compute
+                    // (part of the forward span); everywhere else it is a
+                    // pipeline wait (bubble).
+                    let t_fwd = if stage == 0 {
+                        t_in
+                    } else {
+                        bubble_ns += emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Bubble,
+                            "pipeline-wait-fwd",
+                            t_in,
+                            mb_args,
+                        );
+                        tnow(&tracer)
+                    };
+                    let mut x = input.clone();
+                    let mut block_caches = Vec::with_capacity(layers_per_stage);
+                    for blk in &model.chunks[op.chunk] {
+                        let (nx, c) = blk.forward(&x, b, seq, &tg);
+                        x = nx;
+                        if !spec.recompute {
+                            block_caches.push(c);
+                        }
+                    }
+                    let mut cache = ChunkCache {
+                        block_caches,
+                        input: spec.recompute.then_some(input),
+                        head: None,
+                        tokens: (stage == 0).then(|| toks.to_vec()),
+                    };
+                    if stage == last_stage {
+                        let head = model.head.as_ref().expect("last stage owns head");
+                        let targets = mb_targets(op.microbatch);
+                        let (loss, head_cache) = head_forward(head, &x, targets, &tg);
+                        loss_sum += loss;
+                        if !spec.recompute {
+                            cache.head = Some(head_cache);
+                        }
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "forward",
+                            t_fwd,
+                            mb_args,
+                        );
+                    } else {
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "forward",
+                            t_fwd,
+                            mb_args,
+                        );
+                        let send_elems = x.len();
+                        let send_bytes = send_elems as f64 * BYTES_F32;
+                        let t_send = tnow(&tracer);
+                        ep.fwd_out[&stage].send(x).map_err(|_| broken())?;
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Comm,
+                            "p2p-send-fwd",
+                            t_send,
+                            SpanArgs {
+                                bytes: Some(send_bytes),
+                                ..mb_args
+                            },
+                        );
+                        p2p_send_bytes += send_bytes;
+                        p2p_sends.push((((stage + 1) % p, di, ti), send_elems));
+                    }
+                    stash_floats += cache.float_count();
+                    let mut peak = peak_stash.lock().unwrap();
+                    let e = peak.entry((pi, di, ti)).or_insert(0);
+                    *e = (*e).max(stash_floats);
+                    drop(peak);
+                    stash.insert((op.microbatch, op.chunk), cache);
+                }
+                Pass::Backward => {
+                    let mb_args = SpanArgs {
+                        bytes: None,
+                        microbatch: Some(op.microbatch),
+                        chunk: Some(op.chunk),
+                    };
+                    let mut cache = stash
+                        .remove(&(op.microbatch, op.chunk))
+                        .expect("backward before forward");
+                    stash_floats -= cache.float_count();
+                    if spec.recompute {
+                        // §3.5: rerun the forward pass from the stashed
+                        // input to rebuild all intermediate activations
+                        // (bit-identical to the discarded ones).
+                        let t_rc = tnow(&tracer);
+                        let mut x = cache.input.take().expect("recompute stash");
+                        let mut rebuilt = Vec::with_capacity(layers_per_stage);
+                        for blk in &model.chunks[op.chunk] {
+                            let (nx, c) = blk.forward(&x, b, seq, &tg);
+                            x = nx;
+                            rebuilt.push(c);
+                        }
+                        cache.block_caches = rebuilt;
+                        if stage == last_stage {
+                            let head = model.head.as_ref().expect("head");
+                            let (_, head_cache) =
+                                head_forward(head, &x, mb_targets(op.microbatch), &tg);
+                            cache.head = Some(head_cache);
+                        }
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Forward,
+                            "recompute-forward",
+                            t_rc,
+                            mb_args,
+                        );
+                    }
+                    let (mut dx, t_bwd) = if stage == last_stage {
+                        let t0 = tnow(&tracer);
+                        let hc = cache.head.as_ref().expect("head cache");
+                        let head = model.head.as_mut().expect("head");
+                        (head_backward(head, hc, &tg), t0)
+                    } else {
+                        let t_wait = tnow(&tracer);
+                        let dx = ep.bwd_in[&stage].recv().map_err(|_| broken())?;
+                        bubble_ns += emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Bubble,
+                            "pipeline-wait-bwd",
+                            t_wait,
+                            mb_args,
+                        );
+                        (dx, tnow(&tracer))
+                    };
+                    for (blk, c) in model.chunks[op.chunk]
+                        .iter_mut()
+                        .zip(&cache.block_caches)
+                        .rev()
+                    {
+                        dx = blk.backward(c, &dx, b, seq, &tg);
+                    }
+                    if stage > 0 {
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Backward,
+                            "backward",
+                            t_bwd,
+                            mb_args,
+                        );
+                        let send_elems = dx.len();
+                        let send_bytes = send_elems as f64 * BYTES_F32;
+                        let t_send = tnow(&tracer);
+                        ep.bwd_out[&stage].send(dx).map_err(|_| broken())?;
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Comm,
+                            "p2p-send-bwd",
+                            t_send,
+                            SpanArgs {
+                                bytes: Some(send_bytes),
+                                ..mb_args
+                            },
+                        );
+                        p2p_send_bytes += send_bytes;
+                        p2p_sends.push((((stage - 1) % p, di, ti), send_elems));
+                    } else {
+                        let toks = cache.tokens.as_ref().expect("stage-0 tokens");
+                        model
+                            .embed
+                            .as_mut()
+                            .expect("stage 0 owns embed")
+                            .backward(toks, seq, &dx);
+                        emit(
+                            &mut tracer,
+                            ctx,
+                            SpanKind::Backward,
+                            "backward",
+                            t_bwd,
+                            mb_args,
+                        );
+                    }
+                }
+            }
+        }
+        assert!(stash.is_empty(), "flush left microbatches in flight");
+
+        // --- Pipeline flush complete: optimizer semantics ---
+        // Gradients currently hold Σ over microbatches of per-microbatch
+        // means; rescale to the replica mean, then average over replicas.
+        let inv_m = 1.0 / m as f32;
+        model.visit(&mut |_, g| {
+            for x in g.iter_mut() {
+                *x *= inv_m;
+            }
+        });
+
+        // Report loss (last stage, tensor rank 0): replica mean, then mean
+        // over data-parallel replicas.
+        if owns_last && ti == 0 {
+            let mut l = [loss_sum * inv_m];
+            let t_loss = tnow(&tracer);
+            dg.try_all_reduce_mean(&mut l).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "loss-allreduce",
+                t_loss,
+                SpanArgs::bytes(ring_all_reduce_bytes(spec.data, 1)),
+            );
+            if di == 0 {
+                losses.lock().unwrap()[iter] = l[0];
+            }
+        }
+
+        if spec.data > 1 && spec.shard_optimizer {
+            // ZeRO-1 path: reduce-scatter gradients, step the owned slice,
+            // all-gather updated parameters. The rank-ordered reductions
+            // make this bit-identical to the replicated path.
+            let d = spec.data;
+            let mut flat_p = Vec::new();
+            let mut flat_g = Vec::new();
+            model.visit(&mut |pp, gg| {
+                flat_p.extend_from_slice(pp);
+                flat_g.extend_from_slice(gg);
+            });
+            let n0 = flat_g.len();
+            let pad = (d - n0 % d) % d;
+            flat_g.resize(n0 + pad, 0.0);
+            flat_p.resize(n0 + pad, 0.0);
+            let chunk = (n0 + pad) / d;
+            let t_rs = tnow(&tracer);
+            let mut gshard = dg.try_reduce_scatter_sum(&flat_g).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "grad-reduce-scatter",
+                t_rs,
+                SpanArgs::bytes(ring_reduce_scatter_bytes(d, flat_g.len())),
+            );
+            let inv_d = 1.0 / d as f32;
+            for x in &mut gshard {
+                *x *= inv_d;
+            }
+            let lo = di * chunk;
+            let mut pshard = flat_p[lo..lo + chunk].to_vec();
+            let t_opt = tnow(&tracer);
+            adam.step(&mut [(&mut pshard, &mut gshard)]);
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Optimizer,
+                "adam-step",
+                t_opt,
+                SpanArgs::NONE,
+            );
+            let t_ag = tnow(&tracer);
+            let mut gathered = dg.try_all_gather(&pshard).map_err(&fail)?;
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Comm,
+                "param-allgather",
+                t_ag,
+                SpanArgs::bytes(ring_all_gather_bytes(d, pshard.len())),
+            );
+            gathered.truncate(n0);
+            let mut off = 0;
+            model.visit(&mut |pp, _| {
+                pp.copy_from_slice(&gathered[off..off + pp.len()]);
+                off += pp.len();
+            });
+        } else {
+            // Data-parallel gradient averaging, parameter by parameter
+            // (same order on every member of the group).
+            if spec.data > 1 {
+                let t_ar = tnow(&tracer);
+                let ar_before = dg.comm_volume().all_reduce_bytes;
+                let mut comm_err: Option<CommError> = None;
+                model.visit(&mut |_, g| {
+                    if comm_err.is_none() {
+                        if let Err(e) = dg.try_all_reduce_mean(g) {
+                            comm_err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = comm_err {
+                    return Err(fail(e));
+                }
+                emit(
+                    &mut tracer,
+                    ctx,
+                    SpanKind::Comm,
+                    "grad-allreduce",
+                    t_ar,
+                    SpanArgs::bytes(dg.comm_volume().all_reduce_bytes - ar_before),
+                );
+            }
+            let mut pairs = model.param_grad_pairs();
+            let t_opt = tnow(&tracer);
+            adam.step(&mut pairs);
+            emit(
+                &mut tracer,
+                ctx,
+                SpanKind::Optimizer,
+                "adam-step",
+                t_opt,
+                SpanArgs::NONE,
+            );
+        }
+
+        // --- Optimizer step done: checkpoint + instrumentation ---
+        if let Some(k) = ctl.checkpoint_every {
+            if k > 0 && (iter + 1).is_multiple_of(k) {
+                let t_ck = tnow(&tracer);
+                let state = ThreadState {
+                    params: model.flat_params(),
+                    adam: adam.export_state(),
+                };
+                let ckpt_fail = |e: crate::checkpoint::CheckpointError| {
+                    tg.poison();
+                    dg.poison();
+                    TrainError::Checkpoint(e.to_string())
+                };
+                if let Some(store) = &ctl.durable {
+                    store
+                        .write_shard(&spec, key, iter + 1, &state)
+                        .map_err(ckpt_fail)?;
+                }
+                // The thread whose shard completes the generation commits
+                // it (canonical layout + manifest); peers may already be
+                // running the next iteration.
+                let complete = {
+                    let mut map = ckpts.lock().unwrap();
+                    let entry = map.entry(iter + 1).or_default();
+                    entry.insert(key, state);
+                    (entry.len() == spec.world()).then(|| entry.clone())
+                };
+                if let (Some(threads), Some(store)) = (complete, &ctl.durable) {
+                    store
+                        .commit_generation(&spec, cfg, iter + 1, &threads)
+                        .map_err(ckpt_fail)?;
+                }
+                emit(
+                    &mut tracer,
+                    ctx,
+                    SpanKind::Checkpoint,
+                    "checkpoint-save",
+                    t_ck,
+                    SpanArgs::NONE,
+                );
+            }
+        }
+        let seconds = iter_start.elapsed().as_secs_f64();
+        if let Some((bubble_ctr, step_ctr)) = &iter_counters {
+            bubble_ctr.add(bubble_ns);
+            step_ctr.add((seconds * 1e9).round() as u64);
+        }
+        // Satellite fix: samples carry (incident epoch, iteration) so a
+        // supervisor restart can't interleave its timings with the ones
+        // recorded before the fault (they used to be bare f64 pushes).
+        step_times
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(StepSample {
+                epoch: ctl.epoch,
+                iteration: iter,
+                seconds,
+            });
+        if owns_last && ti == 0 && di == 0 {
+            if let Some(sink) = &ctl.telemetry {
+                sink.record_iteration(ctl.epoch, iter, seconds);
+            }
+        }
+    }
+
+    comm_volumes.lock().unwrap().insert(
+        key,
+        RankCommVolume {
+            tensor: tg.comm_volume(),
+            data: dg.comm_volume(),
+            p2p_send_bytes,
+        },
+    );
+    comm_ops.lock().unwrap().insert(
+        key,
+        RankCommOps {
+            tensor: tg.take_op_log(),
+            data: dg.take_op_log(),
+            p2p_sends,
+        },
+    );
+    final_params
+        .lock()
+        .unwrap()
+        .insert(key, model.flat_params());
+    Ok(())
+}

@@ -1,6 +1,15 @@
 //! Point-to-point transfers and collective algorithms over simulated links.
+//!
+//! The collective *algorithms* live in `megatron-collective` as
+//! transport-agnostic step programs; this module only lowers those programs
+//! onto simulated NVLink/InfiniBand links. Each program send step becomes a
+//! discrete-event task on the sender's egress port, so per-rank volumes and
+//! timings emerge from the identical schedule the real runtime executes.
+
+use std::cell::Cell;
 
 use megatron_cluster::{ClusterSpec, LinkClass};
+use megatron_collective::{self as coll, Program, ReduceOp};
 use megatron_sim::{secs_to_time, DagSim, ResourceId, TaskId};
 
 /// Per-GPU network ports registered as simulation resources.
@@ -13,6 +22,9 @@ pub struct Network {
     cluster: ClusterSpec,
     nv_egress: Vec<ResourceId>,
     ib_egress: Vec<ResourceId>,
+    // Exact egress bytes per GPU across every send lowered through this
+    // network — the simulator-side half of the real-vs-sim byte identity.
+    egress_bytes: Vec<Cell<u64>>,
 }
 
 impl Network {
@@ -29,6 +41,7 @@ impl Network {
             cluster,
             nv_egress,
             ib_egress,
+            egress_bytes: (0..n).map(|_| Cell::new(0)).collect(),
         }
     }
 
@@ -45,6 +58,12 @@ impl Network {
     /// The InfiniBand egress resource of one GPU (fault-injection target).
     pub fn ib_port(&self, gpu: usize) -> ResourceId {
         self.ib_egress[gpu]
+    }
+
+    /// Total bytes GPU `gpu` has sent through this network so far (every
+    /// point-to-point transfer plus every collective step it sourced).
+    pub fn sent_bytes(&self, gpu: usize) -> u64 {
+        self.egress_bytes[gpu].get()
     }
 
     /// Egress resource a `from → to` transfer occupies.
@@ -73,7 +92,86 @@ impl Network {
         let class = self.cluster.link_class(from, to);
         let secs = self.cluster.p2p_time(class, bytes as f64);
         let resource = self.egress_for(from, to).unwrap_or(self.nv_egress[from]);
+        self.egress_bytes[from].set(self.egress_bytes[from].get() + bytes);
         sim.add_task(resource, secs_to_time(secs), deps, kind)
+    }
+
+    /// Lower a `megatron-collective` step [`Program`] onto the simulated
+    /// links. `gpus[j]` is the GPU playing program rank `j` (the program is
+    /// expressed in bytes: one program element = one wire byte).
+    ///
+    /// Dependency structure per send: a rank's send in round `s` waits on
+    /// its own previous send (egress port order) and on the send that
+    /// delivered its most recent receive (it cannot forward data that has
+    /// not arrived). First sends gate on the caller's per-rank `deps` for
+    /// both the sender and its round-0 source. Returns one completion task
+    /// per rank: the arrival of its final incoming chunk.
+    pub fn lower_program(
+        &self,
+        sim: &mut DagSim,
+        prog: &Program,
+        gpus: &[usize],
+        deps: &[TaskId],
+        kind: u32,
+    ) -> Vec<TaskId> {
+        let r = prog.ranks;
+        assert_eq!(gpus.len(), r, "one GPU per program rank");
+        assert!(deps.is_empty() || deps.len() == r, "deps must be per-rank");
+        let mut last_send: Vec<Option<TaskId>> = vec![None; r];
+        let mut last_arrival: Vec<Option<TaskId>> = vec![None; r];
+        for round in &prog.rounds {
+            let mut new_sends: Vec<Option<TaskId>> = vec![None; r];
+            for (j, step) in round.steps.iter().enumerate() {
+                let Some(snd) = step.send else { continue };
+                let mut step_deps: Vec<TaskId> = Vec::with_capacity(3);
+                if let Some(t) = last_arrival[j] {
+                    step_deps.push(t);
+                }
+                if let Some(t) = last_send[j] {
+                    step_deps.push(t);
+                }
+                if last_send[j].is_none() && last_arrival[j].is_none() && !deps.is_empty() {
+                    step_deps.push(deps[j]);
+                    if let Some(rcv) = step.recv {
+                        step_deps.push(deps[rcv.from]);
+                    }
+                }
+                new_sends[j] = Some(self.send(
+                    sim,
+                    gpus[j],
+                    gpus[snd.to],
+                    snd.range.len() as u64,
+                    &step_deps,
+                    kind,
+                ));
+            }
+            for (j, t) in new_sends.iter().enumerate() {
+                if t.is_some() {
+                    last_send[j] = *t;
+                }
+            }
+            for (j, step) in round.steps.iter().enumerate() {
+                if let Some(rcv) = step.recv {
+                    if let Some(t) = new_sends[rcv.from] {
+                        last_arrival[j] = Some(t);
+                    }
+                }
+            }
+        }
+        (0..r)
+            .map(|j| {
+                last_arrival[j].or(last_send[j]).unwrap_or_else(|| {
+                    // Degenerate (single-rank / zero-round) program: a
+                    // zero-length task so callers can depend on it.
+                    let d: Vec<TaskId> = if deps.is_empty() {
+                        vec![]
+                    } else {
+                        vec![deps[j]]
+                    };
+                    sim.add_task(self.nv_egress[gpus[j]], 0, &d, kind)
+                })
+            })
+            .collect()
     }
 
     /// Ring all-reduce of `bytes` across `ranks` (reduce-scatter phase then
@@ -89,7 +187,8 @@ impl Network {
         deps: &[TaskId],
         kind: u32,
     ) -> Vec<TaskId> {
-        self.ring_passes(sim, ranks, bytes, deps, kind, 2)
+        let prog = coll::ring_all_reduce(ranks.len(), bytes as usize, ReduceOp::Sum);
+        self.lower_program(sim, &prog, ranks, deps, kind)
     }
 
     /// Ring all-gather: each rank contributes `bytes_per_rank`; after
@@ -103,8 +202,8 @@ impl Network {
         deps: &[TaskId],
         kind: u32,
     ) -> Vec<TaskId> {
-        let r = ranks.len() as u64;
-        self.ring_passes(sim, ranks, bytes_per_rank * r, deps, kind, 1)
+        let prog = coll::ring_all_gather(ranks.len(), bytes_per_rank as usize);
+        self.lower_program(sim, &prog, ranks, deps, kind)
     }
 
     /// Ring reduce-scatter of `bytes` across `ranks`: `r−1` steps of
@@ -117,63 +216,23 @@ impl Network {
         deps: &[TaskId],
         kind: u32,
     ) -> Vec<TaskId> {
-        self.ring_passes(sim, ranks, bytes, deps, kind, 1)
+        let prog = coll::ring_reduce_scatter(ranks.len(), bytes as usize, ReduceOp::Sum);
+        self.lower_program(sim, &prog, ranks, deps, kind)
     }
 
-    /// Shared ring machinery: `passes` ∈ {1, 2} rounds of `r−1` steps, each
-    /// step sending a `bytes/r` chunk to the next rank on the ring.
-    fn ring_passes(
+    /// Pipelined ring broadcast of `bytes` from `ranks[root]` to the whole
+    /// group. Returns one completion task per rank.
+    pub fn ring_broadcast(
         &self,
         sim: &mut DagSim,
         ranks: &[usize],
         bytes: u64,
+        root: usize,
         deps: &[TaskId],
         kind: u32,
-        passes: u32,
     ) -> Vec<TaskId> {
-        let r = ranks.len();
-        assert!(r > 0, "empty rank group");
-        assert!(deps.is_empty() || deps.len() == r, "deps must be per-rank");
-        if r == 1 {
-            // Degenerate group: a zero-length task so callers can depend on it.
-            let t = sim.add_task(self.nv_egress[ranks[0]], 0, deps, kind);
-            return vec![t];
-        }
-        let chunk = bytes.div_ceil(r as u64);
-        let steps = passes as usize * (r - 1);
-        // prev[j] = the send task rank j issued in the previous step.
-        let mut prev: Vec<Option<TaskId>> = vec![None; r];
-        for _step in 0..steps {
-            let mut next: Vec<Option<TaskId>> = vec![None; r];
-            for j in 0..r {
-                let from = ranks[j];
-                let to = ranks[(j + 1) % r];
-                // Rank j forwards the chunk it received from rank j−1 last
-                // step; it also must have finished its own previous send.
-                let mut step_deps: Vec<TaskId> = Vec::with_capacity(3);
-                if let Some(t) = prev[(j + r - 1) % r] {
-                    step_deps.push(t);
-                }
-                if let Some(t) = prev[j] {
-                    step_deps.push(t);
-                }
-                if prev[j].is_none() {
-                    // First step: gate on the caller-provided readiness of
-                    // both the sender and the receiver's chunk source.
-                    if !deps.is_empty() {
-                        step_deps.push(deps[j]);
-                        step_deps.push(deps[(j + r - 1) % r]);
-                    }
-                }
-                next[j] = Some(self.send(sim, from, to, chunk, &step_deps, kind));
-            }
-            prev = next;
-        }
-        // Rank j's result is complete when it receives the final chunk from
-        // rank j−1.
-        (0..r)
-            .map(|j| prev[(j + r - 1) % r].expect("steps >= 1"))
-            .collect()
+        let prog = coll::ring_broadcast(ranks.len(), bytes as usize, root);
+        self.lower_program(sim, &prog, ranks, deps, kind)
     }
 
     /// Hierarchical (multi-rail) all-reduce of `bytes` across `ranks`,
@@ -193,7 +252,9 @@ impl Network {
         deps: &[TaskId],
         kind: u32,
     ) -> Vec<TaskId> {
-        // Group by node, preserving order.
+        // Group by node, preserving order; the shared program's rank space
+        // is [node 0's ranks..., node 1's ranks, ...] which is exactly the
+        // order `ranks` arrives in when nodes are contiguous.
         let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, &r) in ranks.iter().enumerate() {
             let n = self.cluster.node_of(r);
@@ -207,46 +268,24 @@ impl Network {
             nodes.iter().all(|(_, m)| m.len() == local),
             "hierarchical all-reduce needs equal ranks per node"
         );
-        if nodes.len() == 1 || local == 1 {
-            // Degenerates to a flat ring.
-            return self.ring_all_reduce(sim, ranks, bytes, deps, kind);
-        }
-
-        // Phase 1: intra-node reduce-scatter.
-        let mut done: Vec<Option<TaskId>> = vec![None; ranks.len()];
-        for (_, members) in &nodes {
-            let group: Vec<usize> = members.iter().map(|&i| ranks[i]).collect();
-            let gdeps: Vec<TaskId> = if deps.is_empty() {
-                vec![]
-            } else {
-                members.iter().map(|&i| deps[i]).collect()
-            };
-            let fin = self.ring_reduce_scatter(sim, &group, bytes, &gdeps, kind);
-            for (&i, t) in members.iter().zip(fin) {
-                done[i] = Some(t);
-            }
-        }
-
-        // Phase 2: inter-node ring all-reduce per local-rank rail, each on
-        // its own HCA, reducing the bytes/local shard.
-        let shard = bytes.div_ceil(local as u64);
-        for li in 0..local {
-            let rail: Vec<usize> = nodes.iter().map(|(_, m)| ranks[m[li]]).collect();
-            let rail_idx: Vec<usize> = nodes.iter().map(|(_, m)| m[li]).collect();
-            let rdeps: Vec<TaskId> = rail_idx.iter().map(|&i| done[i].unwrap()).collect();
-            let fin = self.ring_all_reduce(sim, &rail, shard, &rdeps, kind);
-            for (&i, t) in rail_idx.iter().zip(fin) {
-                done[i] = Some(t);
-            }
-        }
-
-        // Phase 3: intra-node all-gather of the reduced shards.
+        let gpus: Vec<usize> = nodes
+            .iter()
+            .flat_map(|(_, m)| m.iter().map(|&i| ranks[i]))
+            .collect();
+        let gdeps: Vec<TaskId> = if deps.is_empty() {
+            vec![]
+        } else {
+            nodes
+                .iter()
+                .flat_map(|(_, m)| m.iter().map(|&i| deps[i]))
+                .collect()
+        };
+        let prog = coll::hierarchical_all_reduce(ranks.len(), bytes as usize, local, ReduceOp::Sum);
+        let fin = self.lower_program(sim, &prog, &gpus, &gdeps, kind);
+        // Map completions back to the caller's rank order.
         let mut out: Vec<Option<TaskId>> = vec![None; ranks.len()];
-        for (_, members) in &nodes {
-            let group: Vec<usize> = members.iter().map(|&i| ranks[i]).collect();
-            let gdeps: Vec<TaskId> = members.iter().map(|&i| done[i].unwrap()).collect();
-            let fin = self.ring_all_gather(sim, &group, shard, &gdeps, kind);
-            for (&i, t) in members.iter().zip(fin) {
+        for ((_, m), chunk) in nodes.iter().zip(fin.chunks(local)) {
+            for (&i, &t) in m.iter().zip(chunk) {
                 out[i] = Some(t);
             }
         }
@@ -505,6 +544,36 @@ mod tests {
         let per_device = 6.0 * (bytes as f64 / 4.0);
         let expected = analytical::ring_all_reduce_volume(4, bytes as f64);
         assert!((per_device - expected).abs() < 1.0);
+        // The message-level byte tally agrees with both.
+        for rank in ranks {
+            assert_eq!(net.sent_bytes(rank) as f64, expected);
+        }
+    }
+
+    #[test]
+    fn byte_tally_is_exact_for_non_divisible_buffers() {
+        // Chunks are exact ceil-partitions (no padding on the wire), so at
+        // r = 2 every rank's all-reduce egress is exactly `bytes` even for
+        // odd sizes — the identity the (2,2,2) real-vs-sim test leans on.
+        let bytes = 1_000_003u64;
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, cluster16());
+        net.ring_all_reduce(&mut sim, &[0, 1], bytes, &[], 0);
+        assert_eq!(net.sent_bytes(0), bytes);
+        assert_eq!(net.sent_bytes(1), bytes);
+    }
+
+    #[test]
+    fn broadcast_last_ring_position_sends_nothing() {
+        let bytes = 8 * 1024 * 1024u64;
+        let ranks = [0usize, 1, 2, 3];
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, cluster16());
+        let done = net.ring_broadcast(&mut sim, &ranks, bytes, 0, &[], 0);
+        assert_eq!(done.len(), 4);
+        sim.run().unwrap();
+        assert_eq!(net.sent_bytes(0), bytes); // root streams the full buffer
+        assert_eq!(net.sent_bytes(3), 0); // ring tail only receives
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //! - point-to-point sends ([`Network::send`]) routed over the right link
 //!   class, including the paper's §4.1 scatter/gather-optimized pipeline
 //!   boundary transfer ([`Network::pipeline_p2p`]);
-//! - collective algorithms built *step by step* over the simulated links
-//!   (ring all-reduce, all-gather, reduce-scatter), so communication volumes
-//!   such as the `(t−1)/t` ring factor emerge from the algorithm rather than
-//!   being asserted;
+//! - collective algorithms lowered *step by step* from the shared
+//!   `megatron-collective` programs onto the simulated links
+//!   ([`Network::lower_program`]: ring all-reduce, all-gather,
+//!   reduce-scatter, broadcast, hierarchical all-reduce), so communication
+//!   volumes such as the `(t−1)/t` ring factor emerge from the same step
+//!   sequence the real runtime executes rather than being asserted;
 //! - closed-form cost models ([`analytical`]) for the same collectives, used
 //!   where full event-level simulation would be wastefully fine-grained and
 //!   validated against the simulated versions in tests.

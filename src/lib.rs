@@ -10,8 +10,12 @@
 //! - [`sim`]: deterministic discrete-event simulation kernel.
 //! - [`cluster`]: GPU/node/cluster hardware substrate with a roofline
 //!   compute-time model.
+//! - [`collective`]: transport-agnostic ring/hierarchical collective step
+//!   programs — the single definition both the real runtime and the
+//!   simulator execute.
 //! - [`net`]: network topology and collective algorithms over simulated
-//!   NVLink / InfiniBand links.
+//!   NVLink / InfiniBand links (lowers [`collective`] programs onto
+//!   discrete-event tasks).
 //! - [`model`]: GPT model descriptions — parameter counts (paper Eq. 2),
 //!   FLOPs (Eq. 3), per-layer op lists, memory model.
 //! - [`parallel`]: PTD-P `(p, t, d)` configurations, rank mapping,
@@ -30,6 +34,7 @@
 //!   Young/Daly goodput model with its empirical cross-check.
 
 pub use megatron_cluster as cluster;
+pub use megatron_collective as collective;
 pub use megatron_core as core;
 pub use megatron_data as data;
 pub use megatron_dist as dist;

@@ -1,0 +1,250 @@
+//! Differential conformance suite for the shared collective core: the
+//! same `megatron-collective` step programs run twice — once through the
+//! real mailbox transport (`megatron_dist::comm`, one OS thread per rank)
+//! and once through the serial `reference_run` interpreter — and must
+//! agree **bit for bit** at awkward group sizes and non-divisible buffer
+//! lengths. Measured transport egress must simultaneously equal the
+//! program's `sent_elems` and, at divisible lengths, the closed-form
+//! volume functions the simulator side publishes.
+
+use megatron_repro::collective::{self as coll, reference_run, ReduceOp};
+use megatron_repro::dist::{
+    broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
+    CommVolume, Group, GroupMember, BYTES_F32,
+};
+
+/// Odd group sizes exercised everywhere below.
+const SIZES: [usize; 3] = [3, 5, 7];
+
+/// Deterministic per-rank input that differs across ranks and positions.
+fn seeded(rank: usize, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((rank * 31 + i * 7) % 97) as f32 * 0.125 - 3.0)
+        .collect()
+}
+
+/// Run `f` on every member of a fresh `g`-rank group, one OS thread per
+/// rank, and return the per-rank results in rank order.
+fn with_group<R: Send>(g: usize, f: impl Fn(GroupMember) -> R + Sync) -> Vec<R> {
+    let group = Group::new(g);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..g)
+            .map(|r| {
+                let m = group.member(r);
+                let f = &f;
+                s.spawn(move || f(m))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+#[test]
+fn all_reduce_sum_matches_reference_bitwise() {
+    for g in SIZES {
+        // Lengths that do not divide by g (and one shorter than g).
+        for n in [2usize, 10, 17, 23] {
+            if n.is_multiple_of(g) {
+                continue; // divisible lengths have their own test below
+            }
+            let prog = coll::ring_all_reduce(g, n, ReduceOp::Sum);
+            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+            reference_run(&prog, &mut reference);
+
+            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_all_reduce_sum(&mut buf).unwrap();
+                (buf, m.comm_volume())
+            });
+            for (rank, (buf, vol)) in real.iter().enumerate() {
+                assert_eq!(
+                    buf, &reference[rank],
+                    "g={g} n={n} rank {rank}: transport diverged from reference"
+                );
+                assert_eq!(
+                    vol.all_reduce_bytes,
+                    prog.sent_elems(rank) as f64 * BYTES_F32,
+                    "g={g} n={n} rank {rank}: measured bytes != program egress"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_reduce_max_matches_reference_bitwise() {
+    for g in SIZES {
+        let n = 4 * g + 1; // non-divisible
+        let prog = coll::ring_all_reduce(g, n, ReduceOp::Max);
+        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+        reference_run(&prog, &mut reference);
+
+        let real: Vec<Vec<f32>> = with_group(g, |m| {
+            let mut buf = seeded(m.rank(), n);
+            m.try_all_reduce_max(&mut buf).unwrap();
+            buf
+        });
+        for (rank, buf) in real.iter().enumerate() {
+            assert_eq!(buf, &reference[rank], "g={g} rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn all_gather_matches_reference_bitwise() {
+    for g in SIZES {
+        for part in [1, 5, 9] {
+            let prog = coll::ring_all_gather(g, part);
+            let mut reference: Vec<Vec<f32>> = (0..g)
+                .map(|r| {
+                    let mut buf = vec![0.0f32; part * g];
+                    buf[r * part..(r + 1) * part].copy_from_slice(&seeded(r, part));
+                    buf
+                })
+                .collect();
+            reference_run(&prog, &mut reference);
+
+            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
+                let own = seeded(m.rank(), part);
+                (m.try_all_gather(&own).unwrap(), m.comm_volume())
+            });
+            for (rank, (buf, vol)) in real.iter().enumerate() {
+                assert_eq!(buf, &reference[rank], "g={g} part={part} rank {rank}");
+                // All-gather egress is exact at every length: g−1 rounds of
+                // one `part`-sized chunk each.
+                assert_eq!(vol.all_gather_bytes, ring_all_gather_bytes(g, part));
+                assert_eq!(
+                    vol.all_gather_bytes,
+                    prog.sent_elems(rank) as f64 * BYTES_F32
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_matches_reference_bitwise() {
+    // The group API requires divisible lengths (each rank owns an equal
+    // shard); non-divisible chunking is exercised via all-reduce above,
+    // whose program embeds the same reduce-scatter rounds.
+    for g in SIZES {
+        let n = 6 * g;
+        let prog = coll::ring_reduce_scatter(g, n, ReduceOp::Sum);
+        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+        reference_run(&prog, &mut reference);
+
+        let chunk = n / g;
+        let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
+            let buf = seeded(m.rank(), n);
+            (m.try_reduce_scatter_sum(&buf).unwrap(), m.comm_volume())
+        });
+        for (rank, (shard, vol)) in real.iter().enumerate() {
+            assert_eq!(
+                shard,
+                &reference[rank][rank * chunk..(rank + 1) * chunk],
+                "g={g} rank {rank}: owned shard diverged"
+            );
+            assert_eq!(vol.reduce_scatter_bytes, ring_reduce_scatter_bytes(g, n));
+            assert_eq!(
+                vol.reduce_scatter_bytes,
+                prog.sent_elems(rank) as f64 * BYTES_F32
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcast_matches_reference_bitwise() {
+    for g in SIZES {
+        for root in [0, g - 1] {
+            let n = 3 * g + 2; // non-divisible
+            let prog = coll::ring_broadcast(g, n, root);
+            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+            reference_run(&prog, &mut reference);
+
+            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_broadcast(&mut buf, root).unwrap();
+                (buf, m.comm_volume())
+            });
+            for (rank, (buf, vol)) in real.iter().enumerate() {
+                assert_eq!(buf, &seeded(root, n), "g={g} root={root} rank {rank}");
+                assert_eq!(buf, &reference[rank]);
+                assert_eq!(
+                    vol.broadcast_bytes,
+                    prog.sent_elems(rank) as f64 * BYTES_F32
+                );
+            }
+            // The pipelined ring is per-rank asymmetric: the root (and
+            // every middle position) forwards the whole buffer; the last
+            // ring position sends nothing.
+            let tail = (root + g - 1) % g;
+            assert_eq!(real[root].1.broadcast_bytes, broadcast_bytes(g, n));
+            assert_eq!(real[tail].1.broadcast_bytes, 0.0);
+        }
+    }
+}
+
+#[test]
+fn hierarchical_all_reduce_matches_reference_bitwise() {
+    // Composite size so `local` is a proper divisor: 6 ranks as 3 nodes of
+    // 2 and 2 nodes of 3, at a non-divisible length.
+    let g = 6;
+    for local in [2, 3] {
+        let n = 25;
+        let prog = coll::hierarchical_all_reduce(g, n, local, ReduceOp::Sum);
+        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+        reference_run(&prog, &mut reference);
+
+        let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
+            let mut buf = seeded(m.rank(), n);
+            m.try_hierarchical_all_reduce_sum(&mut buf, local).unwrap();
+            (buf, m.comm_volume())
+        });
+        for (rank, (buf, vol)) in real.iter().enumerate() {
+            assert_eq!(buf, &reference[rank], "local={local} rank {rank}");
+            assert_eq!(
+                vol.all_reduce_bytes,
+                prog.sent_elems(rank) as f64 * BYTES_F32
+            );
+        }
+    }
+}
+
+#[test]
+fn divisible_lengths_match_closed_form_volumes() {
+    // At divisible lengths the measured egress collapses to the familiar
+    // 2(g−1)/g · n closed forms — the same functions the simulator's
+    // analytical model publishes.
+    for g in SIZES {
+        let n = 8 * g;
+        let vols: Vec<CommVolume> = with_group(g, |m| {
+            let mut buf = seeded(m.rank(), n);
+            m.try_all_reduce_sum(&mut buf).unwrap();
+            m.comm_volume()
+        });
+        for vol in vols {
+            assert_eq!(vol.all_reduce_bytes, ring_all_reduce_bytes(g, n));
+        }
+    }
+}
+
+#[test]
+fn size_two_all_reduce_is_exact_at_every_length() {
+    // The g=2 identity the trainer's telemetry cross-checks rely on:
+    // per-rank all-reduce egress is exactly n elements for any n, even
+    // when n doesn't halve evenly.
+    for n in [1, 3, 7, 97] {
+        let vols: Vec<CommVolume> = with_group(2, |m| {
+            let mut buf = seeded(m.rank(), n);
+            m.try_all_reduce_sum(&mut buf).unwrap();
+            m.comm_volume()
+        });
+        for vol in vols {
+            assert_eq!(vol.all_reduce_bytes, n as f64 * BYTES_F32);
+        }
+    }
+}
