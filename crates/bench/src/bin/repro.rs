@@ -1,8 +1,9 @@
 //! Experiment driver: `repro <experiment>` regenerates one paper table or
 //! figure; `repro all` runs everything; `repro list` enumerates;
-//! `repro simulate ...` prices an arbitrary user configuration.
+//! `repro simulate ...` prices an arbitrary user configuration;
+//! `repro chaos ...` runs the seeded chaos sweep with tunable knobs.
 
-use megatron_bench::{experiments, simulate_cli};
+use megatron_bench::{chaos, experiments, simulate_cli};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,7 +15,15 @@ fn main() {
                 println!("  {:<12} {}", e.name, e.paper_ref);
             }
             println!("\n{}", simulate_cli::USAGE);
+            println!("\n{}", chaos::USAGE);
         }
+        Some("chaos") if args.len() > 1 => match chaos::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
         Some("simulate") => match simulate_cli::run(&args[1..]) {
             Ok(report) => println!("{report}"),
             Err(e) => {

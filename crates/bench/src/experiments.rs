@@ -183,6 +183,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "E32: blackboard vs ring all-reduce wall time on the real transport",
             run: crate::collective_bench::collective,
         },
+        Experiment {
+            name: "chaos",
+            paper_ref: "E33: seeded chaos sweep — transient faults retried, fatal ones restored",
+            run: crate::chaos::chaos,
+        },
     ]
 }
 

@@ -5,6 +5,7 @@
 //! available. The `repro` binary dispatches to them by name; `repro all`
 //! runs the full sweep (used to fill `EXPERIMENTS.md`).
 
+pub mod chaos;
 pub mod collective_bench;
 pub mod experiments;
 pub mod harness;

@@ -29,6 +29,12 @@
 
 use std::fmt;
 
+pub mod reliable;
+pub use reliable::{
+    mix_seed, FaultTally, FaultyTransport, PollTransport, ReliableTransport, RetransmitStore,
+    RetryPolicy, RetryStats, TransientFaults, FRAME_HEADER_ELEMS,
+};
+
 /// A contiguous element range `[lo, hi)` of the collective's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkRange {

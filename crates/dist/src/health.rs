@@ -1,0 +1,316 @@
+//! Heartbeat-based rank health monitoring.
+//!
+//! At PTD-P scale the expensive failure-handling question is not "did
+//! something go wrong?" but "is this rank *dead* or merely *slow*?" — the
+//! answers demand responses three orders of magnitude apart in cost
+//! (checkpoint-restore vs. nothing, see `fault::GoodputModel`). The
+//! [`HealthMonitor`] answers it from per-rank liveness beacons: every rank
+//! thread beats once per training iteration (its natural heartbeat
+//! period), and [`HealthMonitor::classify`] splits the world into
+//!
+//! - **dead** — no beat within `dead_after` (default 4× the expected
+//!   period): only these justify the supervisor's fatal-incident path;
+//! - **slow** — beating, but at an interval more than `threshold ×` the
+//!   median rank's: these feed straggler reporting
+//!   (`fault::StragglerReport`) and telemetry, never a restart.
+//!
+//! The monitor is wait-free on the hot path: a beat is two atomic stores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::trainer::{PtdpSpec, ThreadKey};
+
+/// Default multiple of the expected beat period after which a silent rank
+/// is declared dead rather than slow.
+pub const DEAD_AFTER_PERIODS: u32 = 4;
+
+/// One rank's beacon cell.
+#[derive(Debug, Default)]
+struct Beacon {
+    /// Nanoseconds since monitor start of the latest beat (0 = never).
+    last_ns: AtomicU64,
+    /// Total beats observed.
+    beats: AtomicU64,
+}
+
+/// Classification of one rank by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankCondition {
+    /// Beating at a healthy interval.
+    Healthy,
+    /// Beating, but `factor ×` slower than the median rank.
+    Slow {
+        /// Mean beat interval over the median rank's.
+        factor: f64,
+    },
+    /// No beat within the dead-after window (or never beat at all).
+    Dead {
+        /// How long the rank has been silent.
+        silent_for: Duration,
+    },
+}
+
+impl RankCondition {
+    /// Is this rank dead?
+    pub fn is_dead(&self) -> bool {
+        matches!(self, RankCondition::Dead { .. })
+    }
+
+    /// Is this rank slow (but alive)?
+    pub fn is_slow(&self) -> bool {
+        matches!(self, RankCondition::Slow { .. })
+    }
+}
+
+/// Snapshot produced by [`HealthMonitor::classify`].
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Every rank with its condition, in flat-rank order.
+    pub ranks: Vec<(ThreadKey, RankCondition)>,
+    /// Median mean-beat-interval across ranks that have beat at least
+    /// twice (seconds); 0 if no rank qualifies yet.
+    pub median_interval_s: f64,
+}
+
+impl HealthReport {
+    /// Ranks declared dead.
+    pub fn dead(&self) -> Vec<ThreadKey> {
+        self.ranks
+            .iter()
+            .filter(|(_, c)| c.is_dead())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Ranks declared slow.
+    pub fn slow(&self) -> Vec<ThreadKey> {
+        self.ranks
+            .iter()
+            .filter(|(_, c)| c.is_slow())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Is every rank healthy?
+    pub fn all_healthy(&self) -> bool {
+        self.ranks.iter().all(|(_, c)| *c == RankCondition::Healthy)
+    }
+}
+
+/// Wait-free per-rank heartbeat collector for one training world.
+///
+/// Share one monitor (via `Arc`) between the rank threads (each calls
+/// [`HealthMonitor::beat`] once per iteration) and whoever supervises them
+/// (calls [`HealthMonitor::classify`] at leisure).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    started: Instant,
+    period: Duration,
+    dead_after: Duration,
+    keys: Vec<ThreadKey>,
+    beacons: Vec<Beacon>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `spec`'s world with the given expected beat `period`
+    /// (dead-after defaults to [`DEAD_AFTER_PERIODS`] × `period`).
+    pub fn new(spec: &PtdpSpec, period: Duration) -> Arc<HealthMonitor> {
+        Self::with_dead_after(spec, period, period * DEAD_AFTER_PERIODS)
+    }
+
+    /// Like [`HealthMonitor::new`] with an explicit dead-after window.
+    pub fn with_dead_after(
+        spec: &PtdpSpec,
+        period: Duration,
+        dead_after: Duration,
+    ) -> Arc<HealthMonitor> {
+        let world = spec.world();
+        Arc::new(HealthMonitor {
+            started: Instant::now(),
+            period,
+            dead_after,
+            keys: (0..world).map(|r| spec.thread_key(r)).collect(),
+            beacons: (0..world).map(|_| Beacon::default()).collect(),
+        })
+    }
+
+    /// The expected beat period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// World size being monitored.
+    pub fn world(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Record a liveness beacon from `flat_rank`. Wait-free; called from
+    /// the rank's hot loop.
+    pub fn beat(&self, flat_rank: usize) {
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let b = &self.beacons[flat_rank];
+        // `max(1)` so "never beat" (0) stays distinguishable.
+        b.last_ns.store(now_ns.max(1), Ordering::Release);
+        b.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Beats observed from `flat_rank` so far.
+    pub fn beats(&self, flat_rank: usize) -> u64 {
+        self.beacons[flat_rank].beats.load(Ordering::Relaxed)
+    }
+
+    /// Classify every rank as healthy / slow / dead. `slow_threshold` is
+    /// the multiple of the median mean-beat-interval beyond which a living
+    /// rank counts as slow (same convention as `StragglerReport::analyze`;
+    /// must be ≥ 1).
+    pub fn classify(&self, slow_threshold: f64) -> HealthReport {
+        assert!(slow_threshold >= 1.0, "a straggler is ≥ 1× the median");
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let snap: Vec<(u64, u64)> = self
+            .beacons
+            .iter()
+            .map(|b| {
+                (
+                    b.last_ns.load(Ordering::Acquire),
+                    b.beats.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        // Mean interval per rank = last beat time / beats (beats start at
+        // monitor start); only meaningful once a rank has beat twice.
+        let mut intervals: Vec<f64> = snap
+            .iter()
+            .filter(|(last, beats)| *beats >= 2 && *last > 0)
+            .map(|(last, beats)| *last as f64 / *beats as f64 * 1e-9)
+            .collect();
+        intervals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if intervals.is_empty() {
+            0.0
+        } else {
+            intervals[intervals.len() / 2]
+        };
+        let dead_ns = self.dead_after.as_nanos() as u64;
+        let ranks = self
+            .keys
+            .iter()
+            .zip(&snap)
+            .map(|(key, (last, beats))| {
+                let silent_ns = now_ns.saturating_sub(*last);
+                let cond = if silent_ns >= dead_ns {
+                    RankCondition::Dead {
+                        silent_for: Duration::from_nanos(silent_ns),
+                    }
+                } else if median > 0.0 && *beats >= 2 {
+                    let mean = *last as f64 / *beats as f64 * 1e-9;
+                    let factor = mean / median;
+                    if factor > slow_threshold {
+                        RankCondition::Slow { factor }
+                    } else {
+                        RankCondition::Healthy
+                    }
+                } else {
+                    RankCondition::Healthy
+                };
+                (*key, cond)
+            })
+            .collect();
+        HealthReport {
+            ranks,
+            median_interval_s: median,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec222() -> PtdpSpec {
+        PtdpSpec::new(2, 2, 2)
+    }
+
+    #[test]
+    fn silent_world_is_dead_after_window() {
+        let spec = spec222();
+        let mon = HealthMonitor::with_dead_after(
+            &spec,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        let report = mon.classify(1.5);
+        assert_eq!(report.dead().len(), spec.world());
+        assert!(report.slow().is_empty());
+    }
+
+    #[test]
+    fn beating_ranks_are_healthy() {
+        let spec = spec222();
+        let mon = HealthMonitor::with_dead_after(
+            &spec,
+            Duration::from_millis(1),
+            Duration::from_secs(60),
+        );
+        for _ in 0..3 {
+            for r in 0..spec.world() {
+                mon.beat(r);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = mon.classify(3.0);
+        assert!(report.all_healthy(), "{report:?}");
+        assert!(report.median_interval_s > 0.0);
+        assert_eq!(mon.beats(0), 3);
+    }
+
+    #[test]
+    fn one_silent_rank_is_dead_not_slow() {
+        let spec = spec222();
+        let mon = HealthMonitor::with_dead_after(
+            &spec,
+            Duration::from_millis(1),
+            Duration::from_millis(20),
+        );
+        for _ in 0..4 {
+            for r in 1..spec.world() {
+                mon.beat(r);
+            }
+            std::thread::sleep(Duration::from_millis(8));
+        }
+        let report = mon.classify(2.0);
+        assert_eq!(report.dead(), vec![spec.thread_key(0)]);
+        // The beating ranks are alive (healthy or at worst slow).
+        for (key, cond) in &report.ranks {
+            if *key != spec.thread_key(0) {
+                assert!(!cond.is_dead(), "{key:?} wrongly dead");
+            }
+        }
+    }
+
+    #[test]
+    fn lagging_rank_classified_slow_via_median() {
+        let spec = spec222();
+        let mon = HealthMonitor::with_dead_after(
+            &spec,
+            Duration::from_millis(1),
+            Duration::from_secs(60),
+        );
+        // Rank 0 beats once for every 4 beats of the others: its mean
+        // interval is ~4× the median.
+        for i in 0..8 {
+            for r in 1..spec.world() {
+                mon.beat(r);
+            }
+            if i % 4 == 0 {
+                mon.beat(0);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = mon.classify(2.0);
+        let slow = report.slow();
+        assert!(slow.contains(&spec.thread_key(0)), "{report:?}");
+        assert!(report.dead().is_empty());
+    }
+}

@@ -26,6 +26,7 @@ pub mod assemble;
 pub mod block;
 pub mod checkpoint;
 pub mod comm;
+pub mod health;
 pub mod shard;
 pub mod supervisor;
 pub mod trainer;
@@ -35,10 +36,13 @@ pub mod vocab;
 pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
 pub use comm::{
     broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
-    CollectiveKind, CollectiveOp, CommError, CommPanic, CommVolume, Group, GroupMember,
-    StallContext, BYTES_F32, DEFAULT_COMM_TIMEOUT,
+    CollectiveKind, CollectiveOp, CommError, CommPanic, CommVolume, FaultProfile, Group,
+    GroupMember, StallContext, TransportConfig, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
-pub use supervisor::{Incident, Supervisor, SupervisorConfig, SupervisorReport};
+pub use health::{HealthMonitor, HealthReport, RankCondition};
+pub use supervisor::{
+    Incident, IncidentSeverity, Supervisor, SupervisorConfig, SupervisorReport, TransientIncident,
+};
 pub use trainer::{
     KillSwitch, PtdpSpec, PtdpTrainer, RankCommOps, RankCommVolume, RunControl, StepSample,
     ThreadKey, ThreadState, TrainError, TrainLog, TrainOutcome, TrainSnapshot,

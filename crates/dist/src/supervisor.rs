@@ -29,6 +29,8 @@ use megatron_telemetry::TelemetrySink;
 use megatron_tensor::gpt::{GptModel, TinyGptConfig};
 
 use crate::checkpoint::{CheckpointError, CheckpointStore};
+use crate::comm::TransportConfig;
+use crate::health::HealthMonitor;
 use crate::trainer::{
     KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadKey, TrainError, TrainSnapshot,
 };
@@ -62,9 +64,48 @@ impl Default for SupervisorConfig {
     }
 }
 
-/// One failure → recovery cycle, as observed by the supervisor.
+/// The fault taxonomy: what an incident *costs*.
+///
+/// The expensive question at scale is not "did something go wrong?" but
+/// "who pays?". Transient faults — dropped/duplicated/delayed messages, a
+/// briefly degraded link — are absorbed inside the transport's retry layer
+/// (`comm::TransportConfig`) and cost microseconds; the supervisor only
+/// logs them. Fatal faults — a dead rank, an exhausted retransmit budget —
+/// abort the attempt and cost a checkpoint restore plus the lost work
+/// since the last checkpoint (the Young/Daly term in
+/// `fault::GoodputModel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentSeverity {
+    /// Absorbed in-band; training continued, no restore was paid.
+    Transient,
+    /// Aborted the attempt; recovery required checkpoint restore.
+    Fatal,
+}
+
+/// A batch of transient faults one attempt absorbed without restarting,
+/// observed via the transport's telemetry counters. The existence of
+/// these entries alongside a zero restart count is the proof that
+/// transient faults no longer trigger the fatal path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientIncident {
+    /// The attempt during which the faults were absorbed.
+    pub attempt: usize,
+    /// Poll retries the reliable transport performed.
+    pub retries: u64,
+    /// Frames recovered from the retransmit store.
+    pub retransmits: u64,
+    /// Duplicate frames discarded.
+    pub duplicates_dropped: u64,
+}
+
+/// One failure → recovery cycle, as observed by the supervisor. Always
+/// [`IncidentSeverity::Fatal`]: transient faults are absorbed below the
+/// supervisor and logged as [`TransientIncident`]s instead.
 #[derive(Debug, Clone)]
 pub struct Incident {
+    /// Severity under the fault taxonomy (fatal by construction — the
+    /// error reached the supervisor).
+    pub severity: IncidentSeverity,
     /// Which attempt failed (0 = the initial run).
     pub attempt: usize,
     /// The error that ended the attempt.
@@ -84,6 +125,10 @@ pub struct Incident {
     /// Whether the restore had to reshard a canonical layout because the
     /// stored topology differs from the running one.
     pub cross_topology: bool,
+    /// Ranks the health monitor declared dead when the attempt failed
+    /// (empty when health monitoring is off). For a single killed rank
+    /// this names the culprit directly, without log archaeology.
+    pub dead_ranks: Vec<ThreadKey>,
 }
 
 /// Everything a supervised run produced.
@@ -97,8 +142,16 @@ pub struct SupervisorReport {
     pub final_params: Option<HashMap<ThreadKey, Vec<f32>>>,
     /// One entry per failure the supervisor recovered from (or died on).
     pub incidents: Vec<Incident>,
+    /// Transient faults absorbed below the supervisor, one entry per
+    /// attempt that absorbed any (observed via transport telemetry).
+    /// These cost retries, never restarts.
+    pub transient: Vec<TransientIncident>,
     /// Attempts launched (1 = clean run, no failures).
     pub attempts: usize,
+    /// Checkpoint restores actually paid. The chaos harness asserts this
+    /// equals the number of *fatal* faults injected — transient faults
+    /// must leave it untouched.
+    pub restarts: usize,
     /// The error that exhausted the budget or was classified as
     /// non-retryable, if the job did not complete.
     pub gave_up: Option<TrainError>,
@@ -130,6 +183,8 @@ pub struct Supervisor {
     store: Arc<CheckpointStore>,
     cfg: SupervisorConfig,
     telemetry: Option<Arc<TelemetrySink>>,
+    transport: TransportConfig,
+    health_period: Option<Duration>,
 }
 
 impl Supervisor {
@@ -150,6 +205,8 @@ impl Supervisor {
             store,
             cfg,
             telemetry: None,
+            transport: TransportConfig::default(),
+            health_period: None,
         }
     }
 
@@ -159,6 +216,24 @@ impl Supervisor {
     /// `supervisor_restarts` counters.
     pub fn with_telemetry(mut self, sink: Arc<TelemetrySink>) -> Supervisor {
         self.telemetry = Some(sink);
+        self
+    }
+
+    /// Wire configuration for every attempt's communicator groups: the
+    /// reliable retry layer and/or seeded transient-fault injection (the
+    /// chaos harness's lever). Transient faults the retry layer absorbs
+    /// surface as [`TransientIncident`]s, not restarts.
+    pub fn with_transport(mut self, transport: TransportConfig) -> Supervisor {
+        self.transport = transport;
+        self
+    }
+
+    /// Enable heartbeat health monitoring: each attempt gets a fresh
+    /// [`HealthMonitor`] with this expected beat period (one beat per
+    /// training iteration), and failed attempts record which ranks were
+    /// dead in [`Incident::dead_ranks`].
+    pub fn with_health(mut self, period: Duration) -> Supervisor {
+        self.health_period = Some(period);
         self
     }
 
@@ -172,10 +247,26 @@ impl Supervisor {
     }
 
     /// Is this error worth a restart, or is the job structurally broken?
-    fn is_transient(e: &TrainError) -> bool {
+    ///
+    /// Note the name: every error that reaches the supervisor is a *fatal*
+    /// fault under the [`IncidentSeverity`] taxonomy (transient faults are
+    /// absorbed by the transport's retry layer and never surface). This
+    /// predicate decides whether a fatal fault is *restartable* — worth
+    /// paying a checkpoint restore for — or structural.
+    fn is_restartable(e: &TrainError) -> bool {
         matches!(
             e,
-            TrainError::Killed(_) | TrainError::Comm(_) | TrainError::PipelineBroken
+            TrainError::Killed(_) | TrainError::Comm(_) | TrainError::PipelineBroken(_)
+        )
+    }
+
+    /// Transient faults `sink` has tallied so far (retries, retransmits,
+    /// duplicates), for delta-ing around an attempt.
+    fn transient_tally(sink: &TelemetrySink) -> (u64, u64, u64) {
+        (
+            sink.metrics.counter("transport_retries").get(),
+            sink.metrics.counter("transport_retransmits").get(),
+            sink.metrics.counter("transport_duplicates_dropped").get(),
         )
     }
 
@@ -190,6 +281,8 @@ impl Supervisor {
 
         let mut losses = vec![0.0f32; data.len()];
         let mut incidents: Vec<Incident> = Vec::new();
+        let mut transient: Vec<TransientIncident> = Vec::new();
+        let mut restarts = 0usize;
         let mut restore: Option<TrainSnapshot> = None;
         let mut final_params = None;
         let mut gave_up = None;
@@ -203,6 +296,15 @@ impl Supervisor {
             let armed = pending.iter().position(|k| k.iteration >= start_iter);
             let kill = armed.map(|i| pending[i]);
 
+            // Fresh monitor per attempt: a restarted world starts with a
+            // clean liveness slate.
+            let health = self
+                .health_period
+                .map(|p| HealthMonitor::new(&self.spec, p));
+            // Transport counters are cumulative across attempts in the
+            // sink; delta around the attempt to attribute absorbed faults.
+            let tally_before = self.telemetry.as_deref().map(Self::transient_tally);
+
             let ctl = RunControl {
                 checkpoint_every: Some(self.cfg.checkpoint_every),
                 restore: restore.take(),
@@ -214,10 +316,29 @@ impl Supervisor {
                 // pre-failure ones even at the same iteration number.
                 epoch: attempt,
                 telemetry: self.telemetry.clone(),
+                transport: self.transport,
+                health: health.clone(),
             };
             let attempt_t0 = Instant::now();
             let out = self.trainer.train_with(data, ctl);
             let attempt_wall_s = attempt_t0.elapsed().as_secs_f64();
+
+            if let (Some(sink), Some((r0, x0, d0))) = (self.telemetry.as_deref(), tally_before) {
+                let (r1, x1, d1) = Self::transient_tally(sink);
+                if r1 > r0 || x1 > x0 || d1 > d0 {
+                    sink.metrics.counter("supervisor_transient_incidents").inc();
+                    transient.push(TransientIncident {
+                        attempt,
+                        retries: r1 - r0,
+                        retransmits: x1 - x0,
+                        duplicates_dropped: d1 - d0,
+                    });
+                }
+            }
+            let dead_ranks = match (&out.error, &health) {
+                (Some(_), Some(mon)) => mon.classify(1.5).dead(),
+                _ => Vec::new(),
+            };
 
             match out.error {
                 None => {
@@ -244,7 +365,7 @@ impl Supervisor {
                     final_params = Some(out.log.final_params);
                     break;
                 }
-                Some(e) if Self::is_transient(&e) && attempt < self.cfg.max_restarts => {
+                Some(e) if Self::is_restartable(&e) && attempt < self.cfg.max_restarts => {
                     // The armed kill has fired; it must not re-arm after
                     // the restart.
                     if let Some(i) = armed {
@@ -282,7 +403,9 @@ impl Supervisor {
                         sink.metrics.counter("supervisor_incidents").inc();
                         sink.metrics.counter("supervisor_restarts").inc();
                     }
+                    restarts += 1;
                     incidents.push(Incident {
+                        severity: IncidentSeverity::Fatal,
                         attempt,
                         error: e.clone(),
                         attempt_wall_s,
@@ -291,6 +414,7 @@ impl Supervisor {
                         restore_s,
                         backoff_s: backoff.as_secs_f64(),
                         cross_topology,
+                        dead_ranks,
                     });
                     last_error = Some(e);
                     restore = restored.map(|r| r.snapshot);
@@ -301,6 +425,7 @@ impl Supervisor {
                         sink.metrics.counter("supervisor_incidents").inc();
                     }
                     incidents.push(Incident {
+                        severity: IncidentSeverity::Fatal,
                         attempt,
                         error: e.clone(),
                         attempt_wall_s,
@@ -309,6 +434,7 @@ impl Supervisor {
                         restore_s: 0.0,
                         backoff_s: 0.0,
                         cross_topology: false,
+                        dead_ranks,
                     });
                     gave_up = Some(e);
                     break;
@@ -323,7 +449,9 @@ impl Supervisor {
             losses,
             final_params,
             incidents,
+            transient,
             attempts,
+            restarts,
             gave_up,
             wall_s: t0.elapsed().as_secs_f64(),
             clean_iter_s,
@@ -405,8 +533,10 @@ mod tests {
         assert!(report.completed(), "gave up: {:?}", report.gave_up);
         assert_eq!(report.attempts, 2);
         assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.restarts, 1, "exactly one restore paid");
         let inc = &report.incidents[0];
-        assert!(Supervisor::is_transient(&inc.error));
+        assert!(Supervisor::is_restartable(&inc.error));
+        assert_eq!(inc.severity, IncidentSeverity::Fatal);
         assert_eq!(inc.resumed_from, 4, "checkpoint_every=2, killed at 5");
         assert_eq!(inc.lost_iterations, 1);
         assert_eq!(report.losses, clean.losses, "losses must be bit-identical");

@@ -11,7 +11,8 @@ use megatron_telemetry::TelemetrySink;
 use megatron_tensor::AdamState;
 
 use crate::checkpoint::CheckpointStore;
-use crate::comm::{CollectiveOp, CommError, CommVolume};
+use crate::comm::{CollectiveOp, CommError, CommVolume, StallContext, TransportConfig};
+use crate::health::HealthMonitor;
 
 use super::spec::ThreadKey;
 
@@ -180,6 +181,14 @@ pub struct RunControl {
     /// fwd/bwd/comm/opt/checkpoint/bubble spans and the run feeds the
     /// metrics registry (iteration times, comm volume, bubble fraction).
     pub telemetry: Option<Arc<TelemetrySink>>,
+    /// Wire configuration for every communicator group of the run:
+    /// seeded transient-fault injection and/or the reliable retry layer
+    /// (see `comm::TransportConfig`). Each group derives its own fault
+    /// stream from the base seed, so runs stay deterministic.
+    pub transport: TransportConfig,
+    /// Heartbeat collector: when set, every rank thread beats once per
+    /// iteration, enabling dead-vs-slow classification.
+    pub health: Option<Arc<HealthMonitor>>,
 }
 
 /// Why a thread of a training run stopped early.
@@ -189,8 +198,10 @@ pub enum TrainError {
     Killed(ThreadKey),
     /// A collective failed (peer died or timed out).
     Comm(CommError),
-    /// A pipeline channel closed because a peer exited early.
-    PipelineBroken,
+    /// A pipeline channel closed because a peer exited early. The
+    /// [`StallContext`] names the boundary (as a pseudo-collective) and
+    /// the stage peer's flat rank, mirroring group-collective stalls.
+    PipelineBroken(StallContext),
     /// The restore snapshot has no state for this thread.
     MissingThreadState(ThreadKey),
     /// Writing a durable checkpoint shard or committing a generation
@@ -206,7 +217,21 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::Killed(k) => write!(f, "rank {k:?} was killed"),
             TrainError::Comm(e) => write!(f, "collective failed: {e}"),
-            TrainError::PipelineBroken => write!(f, "pipeline channel closed by a dead peer"),
+            TrainError::PipelineBroken(ctx) => match ctx.peer {
+                Some(p) => write!(
+                    f,
+                    "pipeline channel closed by a dead peer: {} at op {}/{}, stage peer rank {}",
+                    ctx.collective,
+                    ctx.round + 1,
+                    ctx.rounds,
+                    p
+                ),
+                None => write!(
+                    f,
+                    "pipeline channel closed by a dead peer: {}",
+                    ctx.collective
+                ),
+            },
             TrainError::MissingThreadState(k) => {
                 write!(f, "snapshot has no state for thread {k:?}")
             }

@@ -127,11 +127,40 @@ impl PtdpTrainer {
 
         // --- Process groups ---
         let timeout = ctl.comm_timeout.unwrap_or(spec.comm_timeout);
+        // Each group gets its own fault stream, derived deterministically
+        // from the base chaos seed and the group's coordinates (family
+        // word 1 = tensor, 2 = data), so two runs with the same seed see
+        // identical faults while no two groups share a stream.
+        let transport = ctl.transport;
+        let group_cfg = move |family: u64, a: usize, b: usize| {
+            let mut cfg = transport;
+            if let Some(fp) = &mut cfg.faults {
+                fp.seed = megatron_collective::mix_seed(
+                    fp.seed,
+                    family << 32 | (a as u64) << 16 | b as u64,
+                );
+            }
+            cfg
+        };
         let tensor_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
-            .flat_map(|pi| (0..d).map(move |di| ((pi, di), Group::with_timeout(t, timeout))))
+            .flat_map(|pi| {
+                (0..d).map(move |di| {
+                    (
+                        (pi, di),
+                        Group::with_config(t, timeout, group_cfg(1, pi, di)),
+                    )
+                })
+            })
             .collect();
         let data_groups: HashMap<(usize, usize), Arc<Group>> = (0..p)
-            .flat_map(|pi| (0..t).map(move |ti| ((pi, ti), Group::with_timeout(d, timeout))))
+            .flat_map(|pi| {
+                (0..t).map(move |ti| {
+                    (
+                        (pi, ti),
+                        Group::with_config(d, timeout, group_cfg(2, pi, ti)),
+                    )
+                })
+            })
             .collect();
 
         // --- Channels (per (di, ti) lane, per stage boundary) ---

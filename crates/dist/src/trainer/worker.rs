@@ -18,7 +18,7 @@ use megatron_telemetry::{RankTracer, SpanArgs, SpanKind, TelemetrySink};
 
 use crate::comm::{
     ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes, CommError, CommPanic,
-    GroupMember, BYTES_F32,
+    GroupMember, StallContext, BYTES_F32,
 };
 
 use super::logs::{
@@ -42,6 +42,42 @@ pub(super) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError
         .or_else(|| payload.downcast_ref::<String>().cloned())
         .unwrap_or_else(|| "unknown panic".to_string());
     TrainError::ThreadPanicked(msg)
+}
+
+/// Publishes the thread's transport retry/fault counters into the
+/// telemetry metrics on scope exit — including the error paths, so
+/// transient faults absorbed before a later fatal failure still show up
+/// (the supervisor reads these to log `Transient` incidents).
+struct TransportStatsFlush<'a> {
+    tg: &'a GroupMember,
+    dg: &'a GroupMember,
+    sink: Option<Arc<TelemetrySink>>,
+}
+
+impl Drop for TransportStatsFlush<'_> {
+    fn drop(&mut self) {
+        let Some(sink) = &self.sink else { return };
+        let rs = self.tg.retry_stats().plus(&self.dg.retry_stats());
+        let ft = self.tg.fault_tally().plus(&self.dg.fault_tally());
+        if rs.retries > 0 {
+            sink.metrics.counter("transport_retries").add(rs.retries);
+        }
+        if rs.retransmits > 0 {
+            sink.metrics
+                .counter("transport_retransmits")
+                .add(rs.retransmits);
+        }
+        if rs.duplicates_dropped > 0 {
+            sink.metrics
+                .counter("transport_duplicates_dropped")
+                .add(rs.duplicates_dropped);
+        }
+        if ft.total() > 0 {
+            sink.metrics
+                .counter("transport_faults_injected")
+                .add(ft.total());
+        }
+    }
 }
 
 /// Channel endpoints for one thread.
@@ -198,10 +234,20 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         dg.poison();
         TrainError::Comm(e)
     };
-    let broken = || {
+    // Pipeline p2p failures carry the same StallContext shape as group
+    // collectives: the boundary as a pseudo-collective, the schedule op
+    // as the step, and the stage peer's flat rank — so a stalled pipeline
+    // names exactly which neighbor died, not just "a peer".
+    let ops_total = schedule.ops[pi].len();
+    let broken = |boundary: &'static str, opi: usize, peer_pi: usize| {
         tg.poison();
         dg.poison();
-        TrainError::PipelineBroken
+        TrainError::PipelineBroken(StallContext {
+            collective: boundary,
+            round: opi,
+            rounds: ops_total,
+            peer: Some(peer_pi * (spec.data * spec.tensor) + di * spec.tensor + ti),
+        })
     };
 
     let mut model = build_thread_model(master, &spec, pi, ti);
@@ -213,6 +259,11 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     // handles to the shared bubble/step counters.
     let flat_rank = pi * (spec.data * spec.tensor) + di * spec.tensor + ti;
     let mut tracer = ctl.telemetry.as_ref().map(|s| s.hub.tracer(flat_rank, key));
+    let _stats_flush = TransportStatsFlush {
+        tg: &tg,
+        dg: &dg,
+        sink: ctl.telemetry.clone(),
+    };
     let iter_counters = ctl.telemetry.as_ref().map(|s| {
         (
             s.metrics.counter(TelemetrySink::BUBBLE_NS),
@@ -280,7 +331,9 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                             .expect("stage 0 owns embed")
                             .forward(toks, seq, &tg)
                     } else {
-                        ep.fwd_in[&stage].recv().map_err(|_| broken())?
+                        ep.fwd_in[&stage]
+                            .recv()
+                            .map_err(|_| broken("pipeline-recv-fwd", opi, (stage - 1) % p))?
                     };
                     // For stage 0 the time since t_in is embedding compute
                     // (part of the forward span); everywhere else it is a
@@ -341,7 +394,9 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         let send_elems = x.len();
                         let send_bytes = send_elems as f64 * BYTES_F32;
                         let t_send = tnow(&tracer);
-                        ep.fwd_out[&stage].send(x).map_err(|_| broken())?;
+                        ep.fwd_out[&stage]
+                            .send(x)
+                            .map_err(|_| broken("pipeline-send-fwd", opi, (stage + 1) % p))?;
                         emit(
                             &mut tracer,
                             ctx,
@@ -408,7 +463,9 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         (head_backward(head, hc, &tg), t0)
                     } else {
                         let t_wait = tnow(&tracer);
-                        let dx = ep.bwd_in[&stage].recv().map_err(|_| broken())?;
+                        let dx = ep.bwd_in[&stage]
+                            .recv()
+                            .map_err(|_| broken("pipeline-recv-bwd", opi, (stage + 1) % p))?;
                         bubble_ns += emit(
                             &mut tracer,
                             ctx,
@@ -438,7 +495,9 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         let send_elems = dx.len();
                         let send_bytes = send_elems as f64 * BYTES_F32;
                         let t_send = tnow(&tracer);
-                        ep.bwd_out[&stage].send(dx).map_err(|_| broken())?;
+                        ep.bwd_out[&stage]
+                            .send(dx)
+                            .map_err(|_| broken("pipeline-send-bwd", opi, (stage - 1) % p))?;
                         emit(
                             &mut tracer,
                             ctx,
@@ -659,6 +718,11 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                 iteration: iter,
                 seconds,
             });
+        // Liveness beacon: one beat per completed iteration (the natural
+        // heartbeat period of a training rank).
+        if let Some(mon) = &ctl.health {
+            mon.beat(flat_rank);
+        }
         if owns_last && ti == 0 && di == 0 {
             if let Some(sink) = &ctl.telemetry {
                 sink.record_iteration(ctl.epoch, iter, seconds);

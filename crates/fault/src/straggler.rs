@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use megatron_dist::trainer::ThreadKey;
-use megatron_dist::StepSample;
+use megatron_dist::{HealthReport, StepSample};
 
 /// Summary statistics of one rank's step times.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +37,11 @@ pub struct StragglerReport {
     /// Flagging threshold: ranks with `mean > threshold · median` are
     /// stragglers.
     pub threshold: f64,
+    /// Ranks the heartbeat monitor declared dead (see
+    /// [`StragglerReport::with_liveness`]). Dead ranks are removed from
+    /// the straggler ranking — they need a restart, not a slow-rank
+    /// diagnosis. Empty when no liveness data was fused.
+    pub dead: Vec<ThreadKey>,
 }
 
 impl StragglerReport {
@@ -86,7 +91,40 @@ impl StragglerReport {
             ranks,
             median_mean_s,
             threshold,
+            dead: Vec::new(),
         }
+    }
+
+    /// Fuse a heartbeat-based liveness classification
+    /// (`megatron_dist::HealthMonitor::classify`) into the report: ranks
+    /// the monitor declared *dead* move out of the straggler ranking into
+    /// [`StragglerReport::dead`] — the two conditions demand responses
+    /// three orders of magnitude apart in cost (checkpoint restore vs.
+    /// nothing), so conflating them in one "slow" list would mislead the
+    /// operator the report exists to inform.
+    pub fn with_liveness(mut self, health: &HealthReport) -> Self {
+        let dead = health.dead();
+        self.ranks.retain(|r| !dead.contains(&r.thread));
+        // A dead rank's garbage timings must not skew the baseline either:
+        // recompute the median and ratios over the survivors.
+        let mut sorted: Vec<f64> = self.ranks.iter().map(|r| r.mean_s).collect();
+        sorted.sort_by(f64::total_cmp);
+        self.median_mean_s = if sorted.is_empty() {
+            0.0
+        } else if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        for r in &mut self.ranks {
+            r.vs_median = if self.median_mean_s > 0.0 {
+                r.mean_s / self.median_mean_s
+            } else {
+                1.0
+            };
+        }
+        self.dead = dead;
+        self
     }
 
     /// The flagged stragglers (slowest first).
@@ -147,6 +185,44 @@ mod tests {
         let report = StragglerReport::analyze(&st, 1.2);
         assert!(report.stragglers().is_empty());
         assert!((report.median_mean_s - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn liveness_fusion_separates_dead_from_slow() {
+        use megatron_dist::{HealthMonitor, PtdpSpec};
+        use std::time::Duration;
+
+        // Rank (1,0,0) records huge step times AND stops beating: after
+        // fusion it must be reported dead, not merely slow — while the
+        // genuinely slow-but-alive rank (1,0,1) stays a straggler.
+        let st = times(&[
+            ((0, 0, 0), &[1.0, 1.0]),
+            ((0, 0, 1), &[1.0, 1.0]),
+            ((1, 0, 0), &[9.0, 9.0]),
+            ((1, 0, 1), &[2.0, 2.1]),
+        ]);
+        let spec = PtdpSpec::new(2, 1, 2);
+        let mon = HealthMonitor::with_dead_after(
+            &spec,
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+        );
+        // Flat rank order for (p,d,t)=(2,1,2): (0,0,0)=0, (0,0,1)=1,
+        // (1,0,0)=2, (1,0,1)=3. Everyone but rank 2 keeps beating.
+        for _ in 0..3 {
+            for r in [0usize, 1, 3] {
+                mon.beat(r);
+            }
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        for r in [0usize, 1, 3] {
+            mon.beat(r);
+        }
+        let report = StragglerReport::analyze(&st, 1.5).with_liveness(&mon.classify(1.5));
+        assert_eq!(report.dead, vec![(1, 0, 0)]);
+        let flagged: Vec<ThreadKey> = report.stragglers().iter().map(|r| r.thread).collect();
+        assert_eq!(flagged, vec![(1, 0, 1)], "dead rank must not be ranked");
     }
 
     #[test]

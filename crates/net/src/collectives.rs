@@ -12,6 +12,49 @@ use megatron_cluster::{ClusterSpec, LinkClass};
 use megatron_collective::{self as coll, Program, ReduceOp};
 use megatron_sim::{secs_to_time, DagSim, ResourceId, TaskId};
 
+/// Steady-state transient impairment of one GPU's egress links — the
+/// simulator's mirror of the real transport's fault injection
+/// (`megatron_collective::TransientFaults`). A lossy wire forces
+/// retransmits: at drop probability `p` the expected transmissions per
+/// frame are `1/(1−p)`; a degraded link (`FaultKind::LinkDegrade`)
+/// multiplies wire time by `degrade_factor`. Both compose into a single
+/// work-time inflation on the victim's sends, so simulated goodput under
+/// transient faults can be cross-checked against `GoodputModel`: absorbed
+/// faults stretch communication time but never add a restart term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkImpairment {
+    /// Probability a frame is dropped and must be retransmitted (< 1).
+    pub loss_prob: f64,
+    /// Wire-time multiplier while degraded (≥ 1).
+    pub degrade_factor: f64,
+}
+
+impl LinkImpairment {
+    /// A healthy link.
+    pub fn none() -> Self {
+        LinkImpairment {
+            loss_prob: 0.0,
+            degrade_factor: 1.0,
+        }
+    }
+
+    /// Expected wire-time multiplier: `degrade_factor / (1 − loss_prob)`.
+    pub fn inflation(&self) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&self.loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        assert!(self.degrade_factor >= 1.0, "degrade factor must be ≥ 1");
+        self.degrade_factor / (1.0 - self.loss_prob)
+    }
+}
+
+impl Default for LinkImpairment {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Per-GPU network ports registered as simulation resources.
 ///
 /// One NVLink egress port and one InfiniBand HCA share per GPU. A transfer
@@ -25,6 +68,11 @@ pub struct Network {
     // Exact egress bytes per GPU across every send lowered through this
     // network — the simulator-side half of the real-vs-sim byte identity.
     egress_bytes: Vec<Cell<u64>>,
+    // Per-GPU transient link impairment (loss → retransmit expectation,
+    // degrade → wire-time multiplier). Inflates send *time* only: logical
+    // egress bytes stay exact, mirroring the real transport where
+    // retransmits are below the byte-accounting layer.
+    impairments: Vec<Cell<LinkImpairment>>,
 }
 
 impl Network {
@@ -42,7 +90,22 @@ impl Network {
             nv_egress,
             ib_egress,
             egress_bytes: (0..n).map(|_| Cell::new(0)).collect(),
+            impairments: (0..n).map(|_| Cell::new(LinkImpairment::none())).collect(),
         }
+    }
+
+    /// Impair every egress send of `gpu` (steady-state loss/degrade, the
+    /// chaos harness's sim mirror). Subsequent sends from `gpu` take
+    /// [`LinkImpairment::inflation`] times longer; pass
+    /// [`LinkImpairment::none`] to heal.
+    pub fn impair(&self, gpu: usize, imp: LinkImpairment) {
+        imp.inflation(); // validate eagerly
+        self.impairments[gpu].set(imp);
+    }
+
+    /// The current impairment of `gpu`'s egress links.
+    pub fn impairment(&self, gpu: usize) -> LinkImpairment {
+        self.impairments[gpu].get()
     }
 
     /// The cluster this network was built for.
@@ -90,7 +153,8 @@ impl Network {
         kind: u32,
     ) -> TaskId {
         let class = self.cluster.link_class(from, to);
-        let secs = self.cluster.p2p_time(class, bytes as f64);
+        let secs =
+            self.cluster.p2p_time(class, bytes as f64) * self.impairments[from].get().inflation();
         let resource = self.egress_for(from, to).unwrap_or(self.nv_egress[from]);
         self.egress_bytes[from].set(self.egress_bytes[from].get() + bytes);
         sim.add_task(resource, secs_to_time(secs), deps, kind)
@@ -703,6 +767,84 @@ mod tests {
         let net = Network::new(&mut sim, c);
         // 3 GPUs on node 0, 1 on node 1.
         net.hierarchical_all_reduce(&mut sim, &[0, 1, 2, 8], 1 << 20, &[], 0);
+    }
+
+    #[test]
+    fn impaired_link_inflates_send_time_by_expected_retransmits() {
+        let c = cluster16();
+        let bytes = 8 * 1024 * 1024u64;
+        let imp = LinkImpairment {
+            loss_prob: 0.2,
+            degrade_factor: 3.0,
+        };
+
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, c.clone());
+        net.send(&mut sim, 0, 8, bytes, &[], 0);
+        let clean = run_secs(sim);
+
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, c);
+        net.impair(0, imp);
+        assert_eq!(net.impairment(0), imp);
+        net.send(&mut sim, 0, 8, bytes, &[], 0);
+        let lossy = run_secs(sim);
+
+        // factor / (1 − p) = 3 / 0.8 = 3.75 (up to clock quantization).
+        assert!(
+            (lossy / clean - imp.inflation()).abs() < 1e-4,
+            "inflation {} expected {}",
+            lossy / clean,
+            imp.inflation()
+        );
+    }
+
+    #[test]
+    fn impairment_slows_time_but_never_logical_bytes() {
+        // Retransmits live below the byte-accounting layer, exactly like
+        // the real transport: CommVolume stays the clean-wire volume.
+        let bytes = 4 * 1024 * 1024u64;
+        let ranks = [0usize, 1, 2, 3];
+
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, cluster16());
+        net.ring_all_reduce(&mut sim, &ranks, bytes, &[], 0);
+        let clean_t = run_secs(sim);
+
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, cluster16());
+        net.impair(
+            2,
+            LinkImpairment {
+                loss_prob: 0.5,
+                degrade_factor: 1.0,
+            },
+        );
+        net.ring_all_reduce(&mut sim, &ranks, bytes, &[], 0);
+        let lossy_t = run_secs(sim);
+
+        for rank in ranks {
+            assert_eq!(
+                net.sent_bytes(rank) as f64,
+                analytical::ring_all_reduce_volume(4, bytes as f64)
+            );
+        }
+        // One rank retransmitting 2× stretches the synchronous ring.
+        assert!(lossy_t > clean_t * 1.5, "clean {clean_t} lossy {lossy_t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn impairment_rejects_certain_loss() {
+        let mut sim = DagSim::new();
+        let net = Network::new(&mut sim, cluster16());
+        net.impair(
+            0,
+            LinkImpairment {
+                loss_prob: 1.0,
+                degrade_factor: 1.0,
+            },
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 mod collectives;
 
-pub use collectives::{analytical, Network};
+pub use collectives::{analytical, LinkImpairment, Network};
 
 #[cfg(test)]
 mod tests {
