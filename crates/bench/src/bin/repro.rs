@@ -1,9 +1,10 @@
 //! Experiment driver: `repro <experiment>` regenerates one paper table or
 //! figure; `repro all` runs everything; `repro list` enumerates;
 //! `repro simulate ...` prices an arbitrary user configuration;
-//! `repro chaos ...` runs the seeded chaos sweep with tunable knobs.
+//! `repro chaos ...` runs the seeded chaos sweep with tunable knobs;
+//! `repro serving ...` / `repro collective ...` take benchmark flags.
 
-use megatron_bench::{chaos, experiments, simulate_cli};
+use megatron_bench::{chaos, collective_bench, experiments, serving, simulate_cli};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,8 +17,24 @@ fn main() {
             }
             println!("\n{}", simulate_cli::USAGE);
             println!("\n{}", chaos::USAGE);
+            println!("\n{}", serving::USAGE);
+            println!("\n{}", collective_bench::USAGE);
         }
         Some("chaos") if args.len() > 1 => match chaos::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        Some("serving") if args.len() > 1 => match serving::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        Some("collective") if args.len() > 1 => match collective_bench::run(&args[1..]) {
             Ok(report) => println!("{report}"),
             Err(e) => {
                 eprintln!("{e}");

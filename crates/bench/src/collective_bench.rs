@@ -98,8 +98,76 @@ fn time_ring(g: usize, n: usize, reps: usize) -> f64 {
     start.elapsed().as_secs_f64() / reps as f64
 }
 
-/// E32 entry point: the crossover table.
+/// One (g, n) timing pair of the sweep.
+struct Measurement {
+    g: usize,
+    n: usize,
+    blackboard_s: f64,
+    ring_s: f64,
+}
+
+fn measure(reps: usize) -> Vec<Measurement> {
+    let mut rows = Vec::new();
+    for g in [2usize, 4, 8] {
+        for n in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
+            // Warm-up round keeps allocator effects out of the timings.
+            let _ = time_blackboard(g, n, 2);
+            let _ = time_ring(g, n, 2);
+            rows.push(Measurement {
+                g,
+                n,
+                blackboard_s: time_blackboard(g, n, reps),
+                ring_s: time_ring(g, n, reps),
+            });
+        }
+    }
+    rows
+}
+
+/// `repro collective` usage string.
+pub const USAGE: &str = "repro collective [--reps N] [--bench-json PATH]
+  E32: blackboard vs ring all-reduce sweep; --bench-json writes the
+  timings as BENCH_collective.json in the shared perf-history schema";
+
+/// CLI entry: `repro collective [--reps N] [--bench-json PATH]`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut reps = 20usize;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--reps" => {
+                reps = it
+                    .next()
+                    .ok_or_else(|| format!("--reps needs a value\n{USAGE}"))?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}\n{USAGE}"))?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--bench-json" => {
+                json_path = Some(
+                    it.next()
+                        .ok_or_else(|| format!("--bench-json needs a path\n{USAGE}"))?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(report(&measure(reps), reps, json_path.as_deref()))
+}
+
+/// E32 registry entry: the crossover table at default settings.
 pub fn collective() -> String {
+    let reps = 20;
+    report(&measure(reps), reps, None)
+}
+
+fn report(rows: &[Measurement], reps: usize, json_path: Option<&str>) -> String {
+    use megatron_sim::json::Json;
+
     let mut out = String::new();
     out.push_str(
         "E32: blackboard vs ring all-reduce wall time (real thread transport)\n\
@@ -107,28 +175,43 @@ pub fn collective() -> String {
          buffers; ring: 2(g-1) chunk rounds over per-edge mailboxes.\n\n",
     );
     out.push_str("  g        n   blackboard      ring   ring/blackboard\n");
-    let reps = 20;
-    for g in [2usize, 4, 8] {
-        for n in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
-            // Warm-up round keeps allocator effects out of the timings.
-            let _ = time_blackboard(g, n, 2);
-            let _ = time_ring(g, n, 2);
-            let bb = time_blackboard(g, n, reps);
-            let ring = time_ring(g, n, reps);
-            out.push_str(&format!(
-                "  {g}  {n:>7}   {:>8.1} us  {:>8.1} us   {:>5.2}x\n",
-                bb * 1e6,
-                ring * 1e6,
-                ring / bb,
-            ));
+    let mut last_g = rows.first().map_or(0, |m| m.g);
+    for m in rows {
+        if m.g != last_g {
+            out.push('\n');
+            last_g = m.g;
         }
-        out.push('\n');
+        out.push_str(&format!(
+            "  {}  {:>7}   {:>8.1} us  {:>8.1} us   {:>5.2}x\n",
+            m.g,
+            m.n,
+            m.blackboard_s * 1e6,
+            m.ring_s * 1e6,
+            m.ring_s / m.blackboard_s,
+        ));
     }
     out.push_str(
-        "ratio < 1: ring faster. The ring pays per-round synchronization,\n\
+        "\nratio < 1: ring faster. The ring pays per-round synchronization,\n\
          so the blackboard is closest at tiny buffers; the ring's O(n) (vs\n\
          O(g*n)) reduce work and 2(g-1)/g*n egress win everywhere measured,\n\
          by more as g and n grow. EXPERIMENTS.md E32 records one run.\n",
     );
+    if let Some(path) = json_path {
+        let mut metrics = Vec::new();
+        for m in rows {
+            metrics.push((
+                format!("g{}_n{}_blackboard_us", m.g, m.n),
+                m.blackboard_s * 1e6,
+            ));
+            metrics.push((format!("g{}_n{}_ring_us", m.g, m.n), m.ring_s * 1e6));
+        }
+        let record = crate::perf::bench_json(
+            "collective",
+            vec![("reps".to_string(), Json::Num(reps as f64))],
+            metrics,
+        );
+        out.push_str(&crate::perf::write_bench_json(path, &record));
+        out.push('\n');
+    }
     out
 }

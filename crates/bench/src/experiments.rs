@@ -188,6 +188,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "E33: seeded chaos sweep — transient faults retried, fatal ones restored",
             run: crate::chaos::chaos,
         },
+        Experiment {
+            name: "serving",
+            paper_ref: "E34: continuous-batched KV-cached serving over a real tensor group",
+            run: crate::serving::serving,
+        },
     ]
 }
 

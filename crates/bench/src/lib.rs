@@ -9,6 +9,8 @@ pub mod chaos;
 pub mod collective_bench;
 pub mod experiments;
 pub mod harness;
+pub mod perf;
+pub mod serving;
 pub mod simulate_cli;
 pub mod table;
 pub mod timeline;

@@ -1,0 +1,572 @@
+//! E34: tensor-parallel autoregressive serving — KV-cached continuous
+//! batching under synthetic Poisson traffic.
+//!
+//! The benchmark drives seeded traffic through the real `megatron-serve`
+//! engine on a `t`-way tensor group and reports tokens/sec, TTFT, and
+//! p50/p95/p99 request latency — the exact order statistics from the
+//! run's summary side by side with the log-bucket estimates from the
+//! `megatron-telemetry` histograms.
+//!
+//! Three cross-checks ride along:
+//!
+//! 1. **bit identity** — one request decoded incrementally through the KV
+//!    cache is compared token-by-token and bit-by-bit against a
+//!    full-prefix recompute (fresh caches every step);
+//! 2. **sim mirror** — a linear per-step cost model is fitted on a
+//!    *separate calibration run* (different seed), then the discrete-event
+//!    mirror replays the benchmark traffic on it; its throughput must land
+//!    within 10% of the real engine (fitting on the same run would make
+//!    the check circular — least squares zeroes its own residuals). Both
+//!    sides are measured best-of-k over identical deterministic step
+//!    sequences, so OS scheduling spikes cannot bend the comparison;
+//! 3. **FLOP accounting** — the run's aggregate FLOP/s from the model
+//!    crate's decode/prefill formulas, tying serving throughput back to
+//!    the paper's compute arithmetic.
+//!
+//! A simulated policy sweep (admission caps × chunked prefill) closes the
+//! report: the mirror explores schedules the real run didn't execute.
+
+use megatron_dist::Group;
+use megatron_model::GptConfig;
+use megatron_serve::{generate, TrafficConfig};
+use megatron_serve::{serve, RankEngine, SeqBatchEntry, ServeConfig, ServeRequest};
+use megatron_sim::json::Json;
+use megatron_sim::serving::{percentile, simulate, BatchPolicy, CostModel, Request};
+use megatron_telemetry::MetricsRegistry;
+use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::perf;
+use crate::table::Table;
+
+/// CLI-tunable serving knobs (`repro serving [flags]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingKnobs {
+    /// Benchmark traffic size.
+    pub requests: usize,
+    /// Benchmark traffic seed (calibration uses `seed + 1`).
+    pub seed: u64,
+    /// Tensor-parallel degree (bit-identical decode holds for 1 and 2).
+    pub tensor_parallel: usize,
+    /// Admission cap: concurrent sequences.
+    pub max_seqs: usize,
+    /// Admission cap: live KV rows across running sequences.
+    pub max_live_tokens: usize,
+    /// Prefill chunk rows (0 = whole prompt in one step).
+    pub prefill_chunk: usize,
+    /// Mean inter-arrival gap in virtual cost units.
+    pub mean_interarrival: f64,
+    /// Requests in the simulated policy sweep.
+    pub sweep_requests: usize,
+    /// Measurement repetitions (best-of-k; see [`report`] for why).
+    pub reps: usize,
+    /// Output path for the machine-readable record.
+    pub bench_json: String,
+}
+
+impl Default for ServingKnobs {
+    fn default() -> Self {
+        ServingKnobs {
+            requests: 80,
+            seed: 0x5e34,
+            tensor_parallel: 2,
+            max_seqs: 6,
+            max_live_tokens: 160,
+            prefill_chunk: 0,
+            mean_interarrival: 24.0,
+            sweep_requests: 1500,
+            reps: 4,
+            bench_json: "BENCH_serving.json".to_string(),
+        }
+    }
+}
+
+/// `repro serving` usage string.
+pub const USAGE: &str = "repro serving [--requests N] [--seed N] [--tensor N] [--max-seqs N]
+             [--max-live-tokens N] [--prefill-chunk N] [--mean-gap X]
+             [--sweep-requests N] [--reps N] [--bench-json PATH]
+  E34: continuous-batched KV-cached decoding over a real tensor group:
+  tokens/sec + TTFT/latency percentiles, bit-identity spot check, and the
+  calibrated sim-mirror cross-check; writes BENCH_serving.json";
+
+/// Parse CLI flags into [`ServingKnobs`].
+pub fn parse_knobs(args: &[String]) -> Result<ServingKnobs, String> {
+    let mut knobs = ServingKnobs::default();
+    fn val<'a>(flag: &str, v: Option<&'a String>) -> Result<&'a String, String> {
+        v.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |v| val(flag, v);
+        match flag.as_str() {
+            "--requests" => knobs.requests = parse(val(it.next())?)?,
+            "--seed" => knobs.seed = parse(val(it.next())?)?,
+            "--tensor" => knobs.tensor_parallel = parse(val(it.next())?)?,
+            "--max-seqs" => knobs.max_seqs = parse(val(it.next())?)?,
+            "--max-live-tokens" => knobs.max_live_tokens = parse(val(it.next())?)?,
+            "--prefill-chunk" => knobs.prefill_chunk = parse(val(it.next())?)?,
+            "--mean-gap" => knobs.mean_interarrival = parse(val(it.next())?)?,
+            "--sweep-requests" => knobs.sweep_requests = parse(val(it.next())?)?,
+            "--reps" => knobs.reps = parse(val(it.next())?)?,
+            "--bench-json" => knobs.bench_json = val(it.next())?.clone(),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if knobs.requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    if ![1usize, 2].contains(&knobs.tensor_parallel) {
+        return Err("--tensor must be 1 or 2 (bit-identical all-reduce range)".into());
+    }
+    if knobs.max_seqs == 0 || knobs.max_live_tokens == 0 {
+        return Err("--max-seqs and --max-live-tokens must be at least 1".into());
+    }
+    if knobs.mean_interarrival < 0.0 {
+        return Err("--mean-gap must be non-negative".into());
+    }
+    if knobs.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(knobs)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
+}
+
+/// CLI entry: parse flags, run the benchmark.
+pub fn run(args: &[String]) -> Result<String, String> {
+    parse_knobs(args).map(|knobs| report(&knobs))
+}
+
+/// E34 registry entry: the default benchmark.
+pub fn serving() -> String {
+    report(&ServingKnobs::default())
+}
+
+/// The benchmark model: big enough that a decode step does real tensor
+/// work, small enough for CI.
+fn bench_model() -> (TinyGptConfig, GptModel) {
+    let cfg = TinyGptConfig {
+        vocab: 64,
+        seq: 96,
+        hidden: 48,
+        heads: 6,
+        layers: 4,
+    };
+    let model = GptModel::new(cfg, &mut StdRng::seed_from_u64(0x5e34_0de1));
+    (cfg, model)
+}
+
+fn traffic(knobs: &ServingKnobs, seed: u64, requests: usize, vocab: usize) -> Vec<ServeRequest> {
+    generate(&TrafficConfig {
+        requests,
+        seed,
+        mean_interarrival: knobs.mean_interarrival,
+        prompt_len: (8, 24),
+        max_new: (4, 16),
+        vocab,
+    })
+}
+
+/// Decode `max_new` tokens from `prompt` on a single rank, either reusing
+/// the KV cache between steps (incremental) or rebuilding it from the full
+/// prefix at every step (recompute). Returns the sampled tokens and the
+/// final step's logits row.
+fn greedy_decode(
+    model: &GptModel,
+    prompt: &[usize],
+    max_new: usize,
+    incremental: bool,
+) -> (Vec<usize>, Vec<f32>) {
+    let group = Group::new(1);
+    let member = group.member(0);
+    let engine = RankEngine::from_serial(model, 1, 0);
+    let mut tokens = prompt.to_vec();
+    let mut caches = engine.new_cache();
+    let mut out = Vec::new();
+    let mut last_row = Vec::new();
+    for step in 0..max_new {
+        let start = if incremental && step > 0 {
+            tokens.len() - 1
+        } else {
+            0
+        };
+        if !incremental {
+            caches = engine.new_cache();
+        }
+        let mut entries = [SeqBatchEntry {
+            tokens: &tokens[start..],
+            start_pos: start,
+            caches: &mut caches,
+        }];
+        let logits = engine.forward_step(&mut entries, &member);
+        let row = logits.row(logits.rows() - 1).to_vec();
+        let tok = megatron_serve::engine::argmax(&row);
+        last_row = row;
+        tokens.push(tok);
+        out.push(tok);
+    }
+    (out, last_row)
+}
+
+/// Fold `next` into `acc` taking the per-step minimum of the measured
+/// seconds. The deterministic scheduler guarantees every rep runs the
+/// identical (rows, attended) sequence, so samples align index-by-index
+/// and the minimum strips additive OS-scheduling noise.
+fn elementwise_min(acc: &mut Vec<(usize, usize, f64)>, next: &[(usize, usize, f64)]) {
+    if acc.is_empty() {
+        acc.extend_from_slice(next);
+        return;
+    }
+    assert_eq!(acc.len(), next.len(), "step plan drifted between reps");
+    for (a, n) in acc.iter_mut().zip(next) {
+        assert_eq!((a.0, a.1), (n.0, n.1), "step plan drifted between reps");
+        a.2 = a.2.min(n.2);
+    }
+}
+
+fn fmt_pcts(sorted: &[f64]) -> String {
+    format!(
+        "{:7.2} / {:7.2} / {:7.2} ms",
+        1e3 * percentile(sorted, 0.50),
+        1e3 * percentile(sorted, 0.95),
+        1e3 * percentile(sorted, 0.99),
+    )
+}
+
+/// Aggregate inference FLOPs of a finished request set under the model
+/// crate's decode/prefill formulas.
+fn total_flops(cfg: &GptConfig, reqs: &[Request]) -> f64 {
+    reqs.iter()
+        .map(|r| {
+            let decode: f64 = (1..r.max_new)
+                .map(|i| cfg.flops_per_decode_token((r.prompt + i - 1) as u64))
+                .sum();
+            cfg.flops_prefill(r.prompt as u64) + decode
+        })
+        .sum()
+}
+
+fn report(knobs: &ServingKnobs) -> String {
+    let (tiny, model) = bench_model();
+    let policy = BatchPolicy {
+        max_seqs: knobs.max_seqs,
+        max_live_tokens: knobs.max_live_tokens,
+        prefill_chunk: knobs.prefill_chunk,
+    };
+    let gcfg = GptConfig {
+        name: "serving-bench".to_string(),
+        num_layers: tiny.layers as u64,
+        hidden_size: tiny.hidden as u64,
+        num_heads: tiny.heads as u64,
+        seq_len: tiny.seq as u64,
+        vocab_size: tiny.vocab as u64,
+    };
+    gcfg.validate();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E34: continuous-batched serving over a real t={} tensor group\n\
+         model: {} layers, hidden {}, {} heads, seq {}, vocab {}\n\
+         traffic: {} requests, seed {:#x}, mean gap {:.1} vunits, prompt 8..=24, new 4..=16\n\
+         policy: max_seqs {}, max_live_tokens {}, prefill_chunk {}\n\n",
+        knobs.tensor_parallel,
+        tiny.layers,
+        tiny.hidden,
+        tiny.heads,
+        tiny.seq,
+        tiny.vocab,
+        knobs.requests,
+        knobs.seed,
+        knobs.mean_interarrival,
+        knobs.max_seqs,
+        knobs.max_live_tokens,
+        knobs.prefill_chunk,
+    ));
+
+    // 1. KV-cache spot check: incremental vs full-prefix recompute on the
+    //    first benchmark request must agree to the bit. The full suite
+    //    (t ∈ {1,2}, odd splits) lives in tests/serving.rs and the dist
+    //    crate's block tests; this inline check keeps the benchmark
+    //    honest about the engine it is timing.
+    let reqs = traffic(knobs, knobs.seed, knobs.requests, tiny.vocab);
+    let probe = &reqs[0];
+    let (inc_toks, inc_row) =
+        greedy_decode(&model, &probe.prompt_tokens, probe.request.max_new, true);
+    let (full_toks, full_row) =
+        greedy_decode(&model, &probe.prompt_tokens, probe.request.max_new, false);
+    let identical = inc_toks == full_toks
+        && inc_row.len() == full_row.len()
+        && inc_row
+            .iter()
+            .zip(&full_row)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    out.push_str(&format!(
+        "KV-cache spot check (request 0, {} prompt + {} decode): incremental vs\n\
+         full-prefix recompute bit-identical: {}\n\n",
+        probe.request.prompt,
+        probe.request.max_new,
+        if identical { "yes" } else { "NO" },
+    ));
+    assert!(
+        identical,
+        "incremental KV-cache decode drifted from recompute"
+    );
+
+    // 2. The real benchmark run, instrumented. The scheduler is
+    //    deterministic, so every rep executes the identical step
+    //    sequence; one warm-up run pays the thread-pool/allocator/page
+    //    costs, then the fastest of `reps` measured runs is reported —
+    //    OS noise only ever adds time, so best-of-k is the least noisy
+    //    estimate of what the steps actually cost.
+    let cfg = ServeConfig {
+        tensor_parallel: knobs.tensor_parallel,
+        policy,
+    };
+    let _warmup = serve(&model, &cfg, &reqs, None);
+    // Benchmark and calibration reps are *interleaved* so a load shift on
+    // the host machine inflates both sides of the cross-check alike
+    // instead of biasing whichever phase it happened to overlap.
+    let calib_reqs = traffic(knobs, knobs.seed + 1, knobs.requests.max(24), tiny.vocab);
+    let mut min_steps: Vec<(usize, usize, f64)> = Vec::new();
+    let mut calib_samples: Vec<(usize, usize, f64)> = Vec::new();
+    let mut best: Option<(megatron_serve::ServeOutcome, MetricsRegistry)> = None;
+    for _ in 0..knobs.reps {
+        let m = MetricsRegistry::new();
+        let r = serve(&model, &cfg, &reqs, Some(&m));
+        elementwise_min(&mut min_steps, &r.step_samples);
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| r.summary.total_s < b.summary.total_s)
+        {
+            best = Some((r, m));
+        }
+        let calib = serve(&model, &cfg, &calib_reqs, None);
+        elementwise_min(&mut calib_samples, &calib.step_samples);
+    }
+    let (real, metrics) = best.expect("reps >= 1");
+    let s = &real.summary;
+    // The throughput the mirror is checked against sums the per-step
+    // minima — the same noise-free quantity the calibration fit below
+    // estimates. (Latency percentiles stay per-run: they are wall-clock
+    // decorations of the best rep, not cross-checked against the model.)
+    let total_min_s: f64 = min_steps.iter().map(|&(_, _, secs)| secs).sum();
+    let tokens_per_sec = s.generated_tokens as f64 / total_min_s;
+    let ttfts = s.ttfts();
+    let lats = s.latencies();
+    let ttft_h = metrics.histogram("serve.ttft_seconds");
+    let lat_h = metrics.histogram("serve.latency_seconds");
+    let (hp50, hp95, hp99) = lat_h.percentiles();
+    let (tp50, tp95, tp99) = ttft_h.percentiles();
+    let flops = total_flops(
+        &gcfg,
+        &s.requests
+            .iter()
+            .map(|r| Request {
+                id: r.id,
+                arrival: 0.0,
+                prompt: r.prompt,
+                max_new: r.generated,
+            })
+            .collect::<Vec<_>>(),
+    );
+    out.push_str(&format!(
+        "real engine ({} reps, Σ per-step minima): {} steps, {} generated + {} prefill tokens in {:.3} s\n\
+         tokens/sec (generated):        {tokens_per_sec:8.1}\n\
+         TTFT    p50/p95/p99 exact:     {}\n\
+         latency p50/p95/p99 exact:     {}\n\
+         TTFT    p50/p95/p99 histogram: {:7.2} / {:7.2} / {:7.2} ms\n\
+         latency p50/p95/p99 histogram: {:7.2} / {:7.2} / {:7.2} ms\n\
+         peak running seqs: {}, peak KV floats: {} ({:.2} MiB at f32)\n\
+         aggregate inference rate: {:.2} GFLOP/s (model-crate decode/prefill formulas)\n\n",
+        knobs.reps,
+        s.steps,
+        s.generated_tokens,
+        s.prefill_tokens,
+        total_min_s,
+        fmt_pcts(&ttfts),
+        fmt_pcts(&lats),
+        1e3 * tp50,
+        1e3 * tp95,
+        1e3 * tp99,
+        1e3 * hp50,
+        1e3 * hp95,
+        1e3 * hp99,
+        s.peak_running,
+        real.kv_peak_floats,
+        real.kv_peak_floats as f64 * 4.0 / (1 << 20) as f64,
+        flops / total_min_s / 1e9,
+    ));
+
+    // 3. Sim-mirror cross-check, calibrated on a *different* run: fit the
+    //    per-step cost model on seed+1 traffic, then let the mirror replay
+    //    the benchmark traffic it has never timed. The fit runs on the
+    //    elementwise minimum of the reps' step samples (same deterministic
+    //    plan → samples align index-by-index), which strips the scheduling
+    //    spikes that would otherwise bend the least-squares coefficients.
+    let cost = CostModel::fit(&calib_samples);
+    let mirrored = simulate(
+        policy,
+        &reqs.iter().map(|r| r.request.clone()).collect::<Vec<_>>(),
+        &cost,
+    );
+    assert_eq!(
+        mirrored.admission_order, s.admission_order,
+        "mirror must replay the real engine's admission schedule"
+    );
+    let sim_tps = mirrored.tokens_per_sec();
+    let ratio = sim_tps / tokens_per_sec;
+    let pass = (ratio - 1.0).abs() <= 0.10;
+    out.push_str(&format!(
+        "sim mirror (cost model fitted on separate calibration run, seed {:#x}, {} requests, min over {} reps):\n\
+         cost model: c0 {:.3e} s, {:.3e} s/row, {:.3e} s/attended\n\
+         real {tokens_per_sec:.1} tok/s vs mirrored {sim_tps:.1} tok/s — ratio {ratio:.3}\n\
+         cross-check: {} (|ratio - 1| <= 0.10)\n\n",
+        knobs.seed + 1,
+        calib_reqs.len(),
+        knobs.reps,
+        cost.c0,
+        cost.c_row,
+        cost.c_att,
+        if pass { "PASS" } else { "FAIL" },
+    ));
+
+    // 4. Policy sweep on the mirror: schedules the real run never
+    //    executed, priced with the calibrated cost model.
+    let sweep_reqs: Vec<Request> = traffic(knobs, knobs.seed + 2, knobs.sweep_requests, tiny.vocab)
+        .into_iter()
+        .map(|r| r.request)
+        .collect();
+    let mut t = Table::new([
+        "max_seqs",
+        "prefill_chunk",
+        "tok/s",
+        "p50 lat ms",
+        "p95 lat ms",
+        "peak seqs",
+    ]);
+    for max_seqs in [1usize, 2, 4, 8, 16] {
+        for chunk in [0usize, 8] {
+            let p = BatchPolicy {
+                max_seqs,
+                max_live_tokens: knobs.max_live_tokens,
+                prefill_chunk: chunk,
+            };
+            let r = simulate(p, &sweep_reqs, &cost);
+            let lat = r.latencies();
+            t.row([
+                max_seqs.to_string(),
+                chunk.to_string(),
+                format!("{:.1}", r.tokens_per_sec()),
+                format!("{:.2}", 1e3 * percentile(&lat, 0.50)),
+                format!("{:.2}", 1e3 * percentile(&lat, 0.95)),
+                r.peak_running.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&format!(
+        "simulated policy sweep ({} requests, calibrated cost model):\n{}\
+         batching wins throughput until the admission cap stops binding;\n\
+         chunked prefill trades a little throughput for shorter head-of-line\n\
+         stalls (lower p95) once prompts no longer monopolize whole steps\n\n",
+        sweep_reqs.len(),
+        t.render(),
+    ));
+
+    // 5. Machine-readable record in the shared BENCH schema.
+    let record = perf::bench_json(
+        "serving",
+        vec![
+            ("requests".into(), Json::Num(knobs.requests as f64)),
+            ("seed".into(), Json::Num(knobs.seed as f64)),
+            (
+                "tensor_parallel".into(),
+                Json::Num(knobs.tensor_parallel as f64),
+            ),
+            ("max_seqs".into(), Json::Num(knobs.max_seqs as f64)),
+            (
+                "max_live_tokens".into(),
+                Json::Num(knobs.max_live_tokens as f64),
+            ),
+            (
+                "prefill_chunk".into(),
+                Json::Num(knobs.prefill_chunk as f64),
+            ),
+            (
+                "mean_interarrival".into(),
+                Json::Num(knobs.mean_interarrival),
+            ),
+        ],
+        vec![
+            ("tokens_per_sec".into(), tokens_per_sec),
+            ("total_s".into(), total_min_s),
+            ("steps".into(), s.steps as f64),
+            ("generated_tokens".into(), s.generated_tokens as f64),
+            ("prefill_tokens".into(), s.prefill_tokens as f64),
+            ("ttft_p50_s".into(), percentile(&ttfts, 0.50)),
+            ("ttft_p95_s".into(), percentile(&ttfts, 0.95)),
+            ("ttft_p99_s".into(), percentile(&ttfts, 0.99)),
+            ("latency_p50_s".into(), percentile(&lats, 0.50)),
+            ("latency_p95_s".into(), percentile(&lats, 0.95)),
+            ("latency_p99_s".into(), percentile(&lats, 0.99)),
+            ("peak_running_seqs".into(), s.peak_running as f64),
+            ("kv_peak_floats".into(), real.kv_peak_floats as f64),
+            ("mirror_ratio".into(), ratio),
+            ("gflops_per_sec".into(), flops / total_min_s / 1e9),
+        ],
+    );
+    out.push_str(&perf::write_bench_json(&knobs.bench_json, &record));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_flags_parse_and_validate() {
+        let to_args =
+            |flags: &[&str]| -> Vec<String> { flags.iter().map(|s| s.to_string()).collect() };
+        let knobs = parse_knobs(&to_args(&[
+            "--requests",
+            "40",
+            "--tensor",
+            "1",
+            "--max-seqs",
+            "4",
+            "--bench-json",
+            "/tmp/out.json",
+        ]))
+        .unwrap();
+        assert_eq!(knobs.requests, 40);
+        assert_eq!(knobs.tensor_parallel, 1);
+        assert_eq!(knobs.max_seqs, 4);
+        assert_eq!(knobs.bench_json, "/tmp/out.json");
+        assert_eq!(parse_knobs(&[]).unwrap(), ServingKnobs::default());
+        assert!(parse_knobs(&to_args(&["--tensor", "3"])).is_err());
+        assert!(parse_knobs(&to_args(&["--requests", "0"])).is_err());
+        assert!(parse_knobs(&to_args(&["--requests"])).is_err());
+        assert!(parse_knobs(&to_args(&["--turbo"])).is_err());
+    }
+
+    #[test]
+    fn small_benchmark_passes_its_own_checks() {
+        // A miniature E34: the inline asserts (bit identity, admission
+        // replay) and the PASS line are the contract CI greps for.
+        let out = report(&ServingKnobs {
+            requests: 16,
+            sweep_requests: 64,
+            bench_json: std::env::temp_dir()
+                .join(format!("BENCH_serving_test_{}.json", std::process::id()))
+                .to_string_lossy()
+                .into_owned(),
+            ..ServingKnobs::default()
+        });
+        assert!(out.contains("bit-identical: yes"));
+        assert!(out.contains("cross-check:"));
+    }
+}

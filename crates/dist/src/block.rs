@@ -76,7 +76,65 @@ impl ParallelBlockCache {
     }
 }
 
+/// Per-sequence KV cache holding one block's local head shard: rows are
+/// token positions, columns are this rank's `heads_local · head_dim`
+/// key/value features. Appended to by [`ParallelBlock::forward_decode`];
+/// dropped wholesale when a sequence retires, freeing its slot.
+#[derive(Debug, Clone, Default)]
+pub struct BlockKv {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    cols: usize,
+}
+
+impl BlockKv {
+    /// Empty cache for a shard with `cols = heads_local · head_dim`.
+    pub fn new(cols: usize) -> Self {
+        BlockKv {
+            k: Vec::new(),
+            v: Vec::new(),
+            cols,
+        }
+    }
+
+    /// Cached token positions.
+    pub fn len(&self) -> usize {
+        self.k.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Whether any position is cached.
+    pub fn is_empty(&self) -> bool {
+        self.k.is_empty()
+    }
+
+    /// Total `f32` values held (KV-memory instrumentation).
+    pub fn float_count(&self) -> usize {
+        self.k.len() + self.v.len()
+    }
+
+    fn push(&mut self, krow: &[f32], vrow: &[f32]) {
+        debug_assert_eq!(krow.len(), self.cols);
+        self.k.extend_from_slice(krow);
+        self.v.extend_from_slice(vrow);
+    }
+
+    fn k_row(&self, i: usize) -> &[f32] {
+        &self.k[i * self.cols..(i + 1) * self.cols]
+    }
+
+    fn v_row(&self, i: usize) -> &[f32] {
+        &self.v[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
 impl ParallelBlock {
+    /// Width of this rank's KV shard (`heads_local · head_dim`), i.e. the
+    /// column count of [`BlockKv`] caches fed to
+    /// [`forward_decode`](Self::forward_decode).
+    pub fn kv_cols(&self) -> usize {
+        self.heads_local * self.head_dim
+    }
+
     /// Extract rank `r` of `t`'s shard from a serial block with `heads`
     /// attention heads.
     pub fn from_serial(block: &Block, heads: usize, t: usize, r: usize) -> Self {
@@ -160,6 +218,113 @@ impl ParallelBlock {
                 g,
             },
         )
+    }
+
+    /// Incremental (KV-cached) forward for autoregressive decoding.
+    ///
+    /// `x` holds the new-token rows of several sequences concatenated:
+    /// `chunks[i] = (rows_i, cache_i)` says the next `rows_i` rows belong
+    /// to the sequence whose per-block cache (for *this* block) is
+    /// `cache_i`, already holding the sequence's earlier positions. Each
+    /// row's K/V shard is appended to the cache and its attention output
+    /// computed against the cached prefix **including itself** — the
+    /// causal row of the full-prefix computation.
+    ///
+    /// Bit-identity with [`forward`](Self::forward): every op here
+    /// replicates the training path's float-op order exactly — GEMM rows
+    /// are independent with a fixed k-order accumulation, LayerNorm /
+    /// bias / GeLU / residual are row-local, the single-row attention
+    /// below mirrors `AttentionCore::forward` (scores then scale, max-
+    /// subtracted softmax over the causal prefix, zero-prob skip in the
+    /// weighted sum), and a two-member all-reduce is a plain commutative
+    /// add. Hence for `t ∈ {1, 2}` decoding one token at a time produces
+    /// the same bits as re-running the whole prefix.
+    pub fn forward_decode(
+        &self,
+        x: &Matrix,
+        chunks: &mut [(usize, &mut BlockKv)],
+        comm: &GroupMember,
+    ) -> Matrix {
+        let local = self.heads_local * self.head_dim;
+        debug_assert_eq!(x.rows(), chunks.iter().map(|c| c.0).sum::<usize>());
+        let (h1, _) = self.ln1.forward(x);
+        let qkv = self.qkv.forward(&h1);
+        let q = qkv.columns(0, local);
+        let k = qkv.columns(local, 2 * local);
+        let v = qkv.columns(2 * local, 3 * local);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut attn_out = Matrix::zeros(x.rows(), local);
+        let mut row0 = 0usize;
+        for (rows, kv) in chunks.iter_mut() {
+            debug_assert_eq!(kv.cols, local, "cache shard width mismatch");
+            for i in 0..*rows {
+                let r = row0 + i;
+                kv.push(k.row(r), v.row(r));
+                let p = kv.len() - 1; // absolute position of this row
+                for hi in 0..self.heads_local {
+                    let hs = hi * self.head_dim;
+                    let qh = &q.row(r)[hs..hs + self.head_dim];
+                    // Scores over the causal prefix: sequential dot per
+                    // position (as matmul_nt), then a separate scale pass.
+                    let mut scores = Vec::with_capacity(p + 1);
+                    for j in 0..=p {
+                        let kh = &kv.k_row(j)[hs..hs + self.head_dim];
+                        let mut acc = 0.0f32;
+                        for (av, bv) in qh.iter().zip(kh) {
+                            acc += av * bv;
+                        }
+                        scores.push(acc);
+                    }
+                    for s in &mut scores {
+                        *s *= scale;
+                    }
+                    // Max-subtracted softmax in position order.
+                    let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                    let mut sum = 0.0f32;
+                    for item in &mut scores {
+                        *item = (*item - max).exp();
+                        sum += *item;
+                    }
+                    for item in &mut scores {
+                        *item /= sum;
+                    }
+                    // Weighted value sum with matmul's zero-coefficient
+                    // skip (masked probabilities are exactly 0.0 there).
+                    let orow = &mut attn_out.row_mut(r)[hs..hs + self.head_dim];
+                    for (j, &pj) in scores.iter().enumerate() {
+                        if pj == 0.0 {
+                            continue;
+                        }
+                        let vh = &kv.v_row(j)[hs..hs + self.head_dim];
+                        for (o, &bv) in orow.iter_mut().zip(vh) {
+                            *o += pj * bv;
+                        }
+                    }
+                }
+            }
+            row0 += *rows;
+        }
+        let mut proj = self.proj.forward(&attn_out);
+        comm.all_reduce_sum(proj.as_mut_slice());
+        for rr in 0..proj.rows() {
+            for (o, b) in proj.row_mut(rr).iter_mut().zip(&self.proj_bias) {
+                *o += b;
+            }
+        }
+        let mut x2 = proj;
+        x2.add_assign(x);
+        let (h2, _) = self.ln2.forward(&x2);
+        let f = self.fc1.forward(&h2);
+        let g = gelu(&f);
+        let mut o = self.fc2.forward(&g);
+        comm.all_reduce_sum(o.as_mut_slice());
+        for rr in 0..o.rows() {
+            for (ov, b) in o.row_mut(rr).iter_mut().zip(&self.fc2_bias) {
+                *ov += b;
+            }
+        }
+        o.add_assign(&x2);
+        o
     }
 
     /// Backward pass; `dout` is replicated. Returns the (all-reduced,
@@ -261,6 +426,74 @@ mod tests {
                 assert!(d < 1e-4, "t={t} rank {ti}: diff {d}");
             }
         }
+    }
+
+    #[test]
+    fn cached_decode_bit_identical_to_full_forward() {
+        let mut r = rng();
+        // Odd sequence length and odd per-rank head count at t=2, so the
+        // all-reduce buffers and head splits are deliberately non-round.
+        let (h, heads, seq) = (12usize, 6usize, 5usize);
+        let block = Block::new(h, heads, &mut r);
+        let x = Matrix::randn(seq, h, 1.0, &mut r);
+        for t in [1usize, 2] {
+            let outs = with_group(t, |m| {
+                let pb = ParallelBlock::from_serial(&block, heads, t, m.rank());
+                let (full, _) = pb.forward(&x, 1, seq, &m);
+                // Incremental: one row at a time through the KV cache.
+                let mut kv = BlockKv::new(pb.kv_cols());
+                let mut parts = Vec::new();
+                for s in 0..seq {
+                    let xi = x.rows_slice(s, s + 1);
+                    let mut chunks = [(1usize, &mut kv)];
+                    parts.push(pb.forward_decode(&xi, &mut chunks, &m));
+                }
+                (full, Matrix::concat_rows(&parts))
+            });
+            for (rank, (full, inc)) in outs.iter().enumerate() {
+                assert_eq!(full.max_abs_diff(inc), 0.0, "t={t} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_decode_chunking_does_not_change_bits() {
+        let mut r = rng();
+        let (h, heads, seq) = (8usize, 4usize, 7usize);
+        let block = Block::new(h, heads, &mut r);
+        let x = Matrix::randn(seq, h, 1.0, &mut r);
+        let outs = with_group(2, |m| {
+            let pb = ParallelBlock::from_serial(&block, heads, 2, m.rank());
+            let run = |splits: &[usize]| {
+                let mut kv = BlockKv::new(pb.kv_cols());
+                let mut parts = Vec::new();
+                let mut at = 0;
+                for &n in splits {
+                    let xi = x.rows_slice(at, at + n);
+                    let mut chunks = [(n, &mut kv)];
+                    parts.push(pb.forward_decode(&xi, &mut chunks, &m));
+                    at += n;
+                }
+                Matrix::concat_rows(&parts)
+            };
+            (run(&[7]), run(&[3, 3, 1]), run(&[1; 7]))
+        });
+        for (whole, chunked, single) in &outs {
+            assert_eq!(whole.max_abs_diff(chunked), 0.0);
+            assert_eq!(whole.max_abs_diff(single), 0.0);
+        }
+    }
+
+    #[test]
+    fn block_kv_accounting() {
+        let mut kv = BlockKv::new(4);
+        assert!(kv.is_empty());
+        kv.push(&[1.0; 4], &[2.0; 4]);
+        kv.push(&[3.0; 4], &[4.0; 4]);
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.float_count(), 16);
+        assert_eq!(kv.k_row(1), &[3.0; 4]);
+        assert_eq!(kv.v_row(0), &[2.0; 4]);
     }
 
     #[test]

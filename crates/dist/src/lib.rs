@@ -33,6 +33,7 @@ pub mod trainer;
 pub mod two_bw;
 pub mod vocab;
 
+pub use block::{BlockKv, ParallelBlock, ParallelBlockCache};
 pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
 pub use comm::{
     broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,

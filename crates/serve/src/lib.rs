@@ -1,0 +1,31 @@
+//! Tensor-parallel autoregressive inference over the training runtime —
+//! the repo's first non-training workload class.
+//!
+//! The training stack already holds everything an inference path needs:
+//! sharded transformer blocks (`megatron_dist::block`), real collectives
+//! over thread-per-GPU groups (`megatron_dist::comm`), and a serial
+//! reference model (`megatron_tensor::gpt`). This crate adds the three
+//! serving-specific pieces:
+//!
+//! - **KV-cached decoding** ([`engine`]): each decode step runs attention
+//!   against per-sequence cached keys/values via
+//!   `ParallelBlock::forward_decode`, bit-identical to re-running the
+//!   full prefix (proven by differential tests for t ∈ {1, 2}).
+//! - **Continuous batching**: the deterministic scheduler lives in
+//!   [`megatron_sim::serving`] — one definition executed both here (real
+//!   GEMMs + all-reduces) and by the discrete-event mirror. Requests
+//!   join and leave the running batch between steps under admission caps;
+//!   finished sequences free their cache immediately.
+//! - **Seeded traffic** ([`traffic`]): Poisson arrivals with uniform
+//!   prompt/output lengths, reproducible from a single seed.
+//!
+//! Every tensor rank runs the identical batcher and samples greedily
+//! from bit-identical post-all-reduce logits, so the engine is pure SPMD:
+//! no control channel, no token broadcast — the same lockstep argument
+//! the training runtime makes for optimizer state.
+
+pub mod engine;
+pub mod traffic;
+
+pub use engine::{serve, RankEngine, SeqBatchEntry, ServeConfig, ServeOutcome};
+pub use traffic::{generate, ServeRequest, TrafficConfig};

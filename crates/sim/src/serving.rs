@@ -1,0 +1,778 @@
+//! Continuous-batching scheduler and its discrete-event serving mirror.
+//!
+//! This module is the single definition of the serving control plane:
+//! [`ContinuousBatcher`] decides, between decode steps, which queued
+//! requests join the running batch (admission caps on sequences and live
+//! KV tokens), how prefill is chunked, and when finished sequences retire
+//! and free their cache budget. The real tensor-parallel engine in
+//! `megatron-serve` executes the batcher's [`StepPlan`]s with actual
+//! GEMMs and all-reduces; [`simulate`] executes the *same* plans against
+//! a calibrated linear step-cost model, so batching policies can be swept
+//! at request counts the CPU engine can't run — mirroring how
+//! `megatron-collective` programs run on both the real transport and the
+//! network simulator.
+//!
+//! Determinism: admission is driven by a **virtual clock** in
+//! machine-independent cost units ([`vcost`]), never by the wall clock.
+//! Every tensor rank of the real engine runs an identical batcher on the
+//! same seeded request list and therefore computes the same admission
+//! order, batch composition, and collective schedule with no control
+//! channel; the mirror replays the identical sequence of plans. Wall
+//! time (real) or modelled seconds (sim) are layered on top purely as
+//! measurements.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// One inference request: arrival instant (virtual cost units), prompt
+/// length, and the number of tokens to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request id (unique; ties in arrival order break by id).
+    pub id: usize,
+    /// Arrival time on the virtual clock.
+    pub arrival: f64,
+    /// Prompt length in tokens.
+    pub prompt: usize,
+    /// Tokens to generate (≥ 1).
+    pub max_new: usize,
+}
+
+impl Request {
+    /// Peak KV-cache rows this request ever occupies: the whole prompt
+    /// plus every generated token except the last (whose KV is never
+    /// needed — no step follows it).
+    pub fn kv_budget(&self) -> usize {
+        self.prompt + self.max_new - 1
+    }
+}
+
+/// Admission policy for the running batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum sequences decoding concurrently.
+    pub max_seqs: usize,
+    /// Cap on the summed [`Request::kv_budget`] of admitted sequences
+    /// (a KV-cache memory budget in token rows).
+    pub max_live_tokens: usize,
+    /// Prefill chunk size in tokens; `0` runs each prompt in one chunk.
+    pub prefill_chunk: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_seqs: 8,
+            max_live_tokens: 4096,
+            prefill_chunk: 0,
+        }
+    }
+}
+
+/// Virtual cost-unit overhead charged per step (collective latency and
+/// scheduler bookkeeping — fixed, machine-independent units).
+pub const VSTEP_OVERHEAD: f64 = 4.0;
+/// Virtual cost units per new-token row (dense GEMM work).
+pub const VCOST_PER_ROW: f64 = 1.0;
+/// Virtual cost units per attended cache token (attention work).
+pub const VCOST_PER_ATTENDED: f64 = 1.0 / 64.0;
+
+/// Virtual cost of a step with `rows` new-token rows attending over
+/// `attended` total cache positions. Drives the admission clock on both
+/// the real engine and the mirror; deliberately in arbitrary fixed units
+/// so the admission order is identical on every machine.
+pub fn vcost(rows: usize, attended: usize) -> f64 {
+    VSTEP_OVERHEAD + VCOST_PER_ROW * rows as f64 + VCOST_PER_ATTENDED * attended as f64
+}
+
+/// One running sequence's share of a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqStep {
+    /// Request id.
+    pub id: usize,
+    /// Absolute position of the chunk's first token.
+    pub start_pos: usize,
+    /// New-token rows this step (prefill chunk size, or 1 when decoding).
+    pub rows: usize,
+    /// Whether the chunk's last row samples a token (final prefill chunk
+    /// or any decode row).
+    pub samples: bool,
+    /// Whether the sampled token is the request's first (TTFT event).
+    pub first_token: bool,
+    /// Whether the sampled token completes the request (retire after).
+    pub finishes: bool,
+}
+
+/// The batcher's decision for one engine step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepPlan {
+    /// Step index (0-based).
+    pub index: usize,
+    /// Virtual clock at the start of the step.
+    pub vstart: f64,
+    /// Virtual cost charged for the step.
+    pub vcost: f64,
+    /// Requests whose arrival the clock passed at this step boundary
+    /// (first time seen eligible; latency measurement starts here).
+    pub newly_eligible: Vec<usize>,
+    /// Requests admitted into the running batch this step.
+    pub admitted: Vec<usize>,
+    /// Per-sequence chunks, in admission order.
+    pub seqs: Vec<SeqStep>,
+    /// Total new-token rows.
+    pub rows: usize,
+    /// Total cache positions attended over all rows.
+    pub attended: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Queued {
+    req: Request,
+    eligible: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    req: Request,
+    prefilled: usize,
+    generated: usize,
+}
+
+/// Deterministic continuous-batching scheduler (see module docs).
+///
+/// Protocol: call [`next_step`](Self::next_step), execute the plan
+/// (forward + sample), then [`finish_step`](Self::finish_step) with the
+/// same plan; repeat until `next_step` returns `None`.
+#[derive(Debug, Clone)]
+pub struct ContinuousBatcher {
+    policy: BatchPolicy,
+    queue: VecDeque<Queued>,
+    running: Vec<Running>,
+    live_tokens: usize,
+    vclock: f64,
+    steps: usize,
+    peak_running: usize,
+    admission_order: Vec<usize>,
+}
+
+impl ContinuousBatcher {
+    /// Build a batcher over `requests` (sorted internally by
+    /// `(arrival, id)`). Panics if any single request can never satisfy
+    /// the policy caps — it would otherwise block the FIFO queue forever.
+    pub fn new(policy: BatchPolicy, mut requests: Vec<Request>) -> Self {
+        assert!(policy.max_seqs >= 1, "max_seqs must be >= 1");
+        for r in &requests {
+            assert!(r.max_new >= 1, "request {} generates no tokens", r.id);
+            assert!(
+                r.kv_budget() <= policy.max_live_tokens,
+                "request {} needs {} KV rows > max_live_tokens {}",
+                r.id,
+                r.kv_budget(),
+                policy.max_live_tokens
+            );
+        }
+        requests.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        ContinuousBatcher {
+            policy,
+            queue: requests
+                .into_iter()
+                .map(|req| Queued {
+                    req,
+                    eligible: false,
+                })
+                .collect(),
+            running: Vec::new(),
+            live_tokens: 0,
+            vclock: 0.0,
+            steps: 0,
+            peak_running: 0,
+            admission_order: Vec::new(),
+        }
+    }
+
+    /// Current virtual clock.
+    pub fn vclock(&self) -> f64 {
+        self.vclock
+    }
+
+    /// Steps planned so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Most sequences ever running concurrently.
+    pub fn peak_running(&self) -> usize {
+        self.peak_running
+    }
+
+    /// Request ids in the order they were admitted.
+    pub fn admission_order(&self) -> &[usize] {
+        &self.admission_order
+    }
+
+    /// Plan the next step: jump the clock over idle gaps, admit from the
+    /// FIFO queue under the policy caps (head-of-line: the first queued
+    /// request that doesn't fit blocks those behind it), and lay out one
+    /// chunk per running sequence. Returns `None` when all requests have
+    /// completed.
+    pub fn next_step(&mut self) -> Option<StepPlan> {
+        if self.running.is_empty() {
+            let front = self.queue.front()?;
+            if front.req.arrival > self.vclock {
+                self.vclock = front.req.arrival;
+            }
+        }
+        let mut newly_eligible = Vec::new();
+        for q in self.queue.iter_mut() {
+            if q.req.arrival > self.vclock {
+                break;
+            }
+            if !q.eligible {
+                q.eligible = true;
+                newly_eligible.push(q.req.id);
+            }
+        }
+        let mut admitted = Vec::new();
+        while let Some(front) = self.queue.front() {
+            let fits = front.req.arrival <= self.vclock
+                && self.running.len() < self.policy.max_seqs
+                && self.live_tokens + front.req.kv_budget() <= self.policy.max_live_tokens;
+            if !fits {
+                break;
+            }
+            let q = self.queue.pop_front().expect("front exists");
+            self.live_tokens += q.req.kv_budget();
+            admitted.push(q.req.id);
+            self.admission_order.push(q.req.id);
+            self.running.push(Running {
+                req: q.req,
+                prefilled: 0,
+                generated: 0,
+            });
+        }
+        self.peak_running = self.peak_running.max(self.running.len());
+
+        let mut seqs = Vec::with_capacity(self.running.len());
+        let (mut rows, mut attended) = (0usize, 0usize);
+        for r in &self.running {
+            let (start_pos, n, samples) = if r.prefilled < r.req.prompt {
+                let remaining = r.req.prompt - r.prefilled;
+                let n = if self.policy.prefill_chunk == 0 {
+                    remaining
+                } else {
+                    remaining.min(self.policy.prefill_chunk)
+                };
+                (r.prefilled, n, r.prefilled + n == r.req.prompt)
+            } else {
+                // Feed the last generated token at its absolute position.
+                (r.req.prompt + r.generated - 1, 1, true)
+            };
+            rows += n;
+            // Row i of the chunk attends to cache positions 0..=start_pos+i.
+            attended += (0..n).map(|i| start_pos + i + 1).sum::<usize>();
+            seqs.push(SeqStep {
+                id: r.req.id,
+                start_pos,
+                rows: n,
+                samples,
+                first_token: samples && r.generated == 0,
+                finishes: samples && r.generated + 1 == r.req.max_new,
+            });
+        }
+        debug_assert!(!seqs.is_empty(), "planned a step with no work");
+        let plan = StepPlan {
+            index: self.steps,
+            vstart: self.vclock,
+            vcost: vcost(rows, attended),
+            newly_eligible,
+            admitted,
+            seqs,
+            rows,
+            attended,
+        };
+        self.steps += 1;
+        Some(plan)
+    }
+
+    /// Apply a completed step: account prefill/generation progress,
+    /// advance the virtual clock, and retire finished sequences (freeing
+    /// their KV budget immediately).
+    pub fn finish_step(&mut self, plan: &StepPlan) {
+        assert_eq!(plan.seqs.len(), self.running.len(), "plan/batch mismatch");
+        for (s, r) in plan.seqs.iter().zip(self.running.iter_mut()) {
+            assert_eq!(s.id, r.req.id, "plan/batch order mismatch");
+            if r.prefilled < r.req.prompt {
+                r.prefilled += s.rows;
+            }
+            if s.samples {
+                r.generated += 1;
+            }
+        }
+        self.vclock += plan.vcost;
+        let live = &mut self.live_tokens;
+        self.running.retain(|r| {
+            let done = r.generated == r.req.max_new;
+            if done {
+                *live -= r.req.kv_budget();
+            }
+            !done
+        });
+    }
+
+    /// Live KV budget currently reserved (token rows).
+    pub fn live_tokens(&self) -> usize {
+        self.live_tokens
+    }
+}
+
+/// Per-request timing measured by an executor (seconds: wall-clock for
+/// the real engine, modelled for the mirror).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReqTiming {
+    /// Request id.
+    pub id: usize,
+    /// Prompt length.
+    pub prompt: usize,
+    /// Tokens generated.
+    pub generated: usize,
+    /// When the scheduler first saw the request eligible.
+    pub eligible_s: f64,
+    /// When its first token was sampled (TTFT = this − eligible).
+    pub first_token_s: f64,
+    /// When its last token was sampled.
+    pub done_s: f64,
+}
+
+/// Aggregate result of one serving run, shared by the real engine and
+/// the mirror so cross-checks compare like with like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSummary {
+    /// End-to-end run time in seconds.
+    pub total_s: f64,
+    /// Engine steps executed.
+    pub steps: usize,
+    /// Tokens generated across all requests.
+    pub generated_tokens: usize,
+    /// Prompt tokens prefilled.
+    pub prefill_tokens: usize,
+    /// Most sequences ever running concurrently.
+    pub peak_running: usize,
+    /// Request ids in admission order.
+    pub admission_order: Vec<usize>,
+    /// Per-request timings, ordered by id.
+    pub requests: Vec<ReqTiming>,
+}
+
+impl ServingSummary {
+    /// Generated-token throughput.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.generated_tokens as f64 / self.total_s.max(1e-12)
+    }
+
+    /// Sorted time-to-first-token samples.
+    pub fn ttfts(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .requests
+            .iter()
+            .map(|r| r.first_token_s - r.eligible_s)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        v
+    }
+
+    /// Sorted end-to-end request latency samples (queue wait included).
+    pub fn latencies(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .requests
+            .iter()
+            .map(|r| r.done_s - r.eligible_s)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        v
+    }
+}
+
+/// Exact quantile of pre-sorted samples with linear interpolation between
+/// order statistics. `q` in `[0, 1]`; empty input yields `0.0`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Collects per-request timings as an executor steps through plans; both
+/// the real engine and [`simulate`] use this, so "eligible", "first
+/// token", and "done" mean exactly the same instant on both sides.
+#[derive(Debug)]
+pub struct TimingCollector {
+    requests: BTreeMap<usize, ReqTiming>,
+    prefill_tokens: usize,
+    generated_tokens: usize,
+}
+
+impl TimingCollector {
+    /// Collector over the request set.
+    pub fn new(requests: &[Request]) -> Self {
+        TimingCollector {
+            requests: requests
+                .iter()
+                .map(|r| {
+                    (
+                        r.id,
+                        ReqTiming {
+                            id: r.id,
+                            prompt: r.prompt,
+                            generated: 0,
+                            eligible_s: 0.0,
+                            first_token_s: 0.0,
+                            done_s: 0.0,
+                        },
+                    )
+                })
+                .collect(),
+            prefill_tokens: 0,
+            generated_tokens: 0,
+        }
+    }
+
+    /// Record the step's start instant (stamps newly eligible requests).
+    pub fn step_start(&mut self, plan: &StepPlan, now_s: f64) {
+        for id in &plan.newly_eligible {
+            self.requests.get_mut(id).expect("known request").eligible_s = now_s;
+        }
+    }
+
+    /// Record the step's end instant (stamps first-token and completion
+    /// events, accounts token counts).
+    pub fn step_end(&mut self, plan: &StepPlan, now_s: f64) {
+        for s in &plan.seqs {
+            let r = self.requests.get_mut(&s.id).expect("known request");
+            if s.start_pos < r.prompt {
+                self.prefill_tokens += s.rows;
+            }
+            if s.samples {
+                self.generated_tokens += 1;
+                r.generated += 1;
+            }
+            if s.first_token {
+                r.first_token_s = now_s;
+            }
+            if s.finishes {
+                r.done_s = now_s;
+            }
+        }
+    }
+
+    /// Finalize into a [`ServingSummary`].
+    pub fn finish(self, total_s: f64, batcher: &ContinuousBatcher) -> ServingSummary {
+        ServingSummary {
+            total_s,
+            steps: batcher.steps(),
+            generated_tokens: self.generated_tokens,
+            prefill_tokens: self.prefill_tokens,
+            peak_running: batcher.peak_running(),
+            admission_order: batcher.admission_order().to_vec(),
+            requests: self.requests.into_values().collect(),
+        }
+    }
+}
+
+/// Linear step-cost model in seconds, fitted to measured engine steps:
+/// `secs ≈ c0 + c_row·rows + c_att·attended`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-step cost (collectives, scheduling).
+    pub c0: f64,
+    /// Cost per new-token row.
+    pub c_row: f64,
+    /// Cost per attended cache token.
+    pub c_att: f64,
+}
+
+impl CostModel {
+    /// Least-squares fit over `(rows, attended, seconds)` samples via the
+    /// 3×3 normal equations. Degenerate sample sets (fewer than three
+    /// points, or collinear features) fall back to a mean-per-row model.
+    pub fn fit(samples: &[(usize, usize, f64)]) -> CostModel {
+        let fallback = || {
+            let rows: f64 = samples.iter().map(|s| s.0 as f64).sum::<f64>().max(1.0);
+            let secs: f64 = samples.iter().map(|s| s.2).sum();
+            CostModel {
+                c0: 0.0,
+                c_row: secs / rows,
+                c_att: 0.0,
+            }
+        };
+        if samples.len() < 3 {
+            return fallback();
+        }
+        // Normal equations A·x = b for features (1, rows, attended).
+        let mut a = [[0.0f64; 3]; 3];
+        let mut b = [0.0f64; 3];
+        for &(rows, att, secs) in samples {
+            let f = [1.0, rows as f64, att as f64];
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[i][j] += f[i] * f[j];
+                }
+                b[i] += f[i] * secs;
+            }
+        }
+        match solve3(a, b) {
+            Some([c0, c_row, c_att]) => CostModel { c0, c_row, c_att },
+            None => fallback(),
+        }
+    }
+
+    /// Predicted step duration in seconds (clamped non-negative).
+    pub fn predict(&self, rows: usize, attended: usize) -> f64 {
+        (self.c0 + self.c_row * rows as f64 + self.c_att * attended as f64).max(0.0)
+    }
+}
+
+/// Gaussian elimination with partial pivoting for a 3×3 system.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite pivots")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = a[col];
+        for row in (col + 1)..3 {
+            let f = a[row][col] / pivot_row[col];
+            for (ark, &pk) in a[row].iter_mut().zip(&pivot_row).skip(col) {
+                *ark -= f * pk;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut s = b[row];
+        for k in (row + 1)..3 {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Some(x)
+}
+
+/// The discrete-event mirror: replay the batcher's exact plan sequence,
+/// advancing a modelled wall clock by [`CostModel::predict`] per step.
+/// Because the admission clock is the shared virtual clock, the mirror's
+/// batch composition is identical to the real engine's on the same
+/// policy and request list; only the seconds are modelled.
+pub fn simulate(policy: BatchPolicy, requests: &[Request], cost: &CostModel) -> ServingSummary {
+    let mut batcher = ContinuousBatcher::new(policy, requests.to_vec());
+    let mut collector = TimingCollector::new(requests);
+    let mut wall_s = 0.0f64;
+    while let Some(plan) = batcher.next_step() {
+        collector.step_start(&plan, wall_s);
+        wall_s += cost.predict(plan.rows, plan.attended);
+        collector.step_end(&plan, wall_s);
+        batcher.finish_step(&plan);
+    }
+    collector.finish(wall_s, &batcher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, arrival: f64, prompt: usize, max_new: usize) -> Request {
+        Request {
+            id,
+            arrival,
+            prompt,
+            max_new,
+        }
+    }
+
+    fn drain(policy: BatchPolicy, requests: Vec<Request>) -> (Vec<StepPlan>, ContinuousBatcher) {
+        let mut b = ContinuousBatcher::new(policy, requests);
+        let mut plans = Vec::new();
+        while let Some(p) = b.next_step() {
+            b.finish_step(&p);
+            plans.push(p);
+        }
+        (plans, b)
+    }
+
+    #[test]
+    fn single_request_step_layout() {
+        let policy = BatchPolicy::default();
+        let (plans, b) = drain(policy, vec![req(0, 0.0, 4, 3)]);
+        // Prefill (4 rows, samples token 1), then 2 decode steps.
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0].seqs[0].rows, 4);
+        assert!(plans[0].seqs[0].samples && plans[0].seqs[0].first_token);
+        assert_eq!(plans[1].seqs[0].start_pos, 4);
+        assert_eq!(plans[1].seqs[0].rows, 1);
+        assert_eq!(plans[2].seqs[0].start_pos, 5);
+        assert!(plans[2].seqs[0].finishes);
+        assert_eq!(b.live_tokens(), 0);
+        // Attention coverage: prefill attends 1+2+3+4, decodes 5 then 6.
+        assert_eq!(plans[0].attended, 10);
+        assert_eq!(plans[1].attended, 5);
+        assert_eq!(plans[2].attended, 6);
+    }
+
+    #[test]
+    fn chunked_prefill_layout() {
+        let policy = BatchPolicy {
+            prefill_chunk: 3,
+            ..BatchPolicy::default()
+        };
+        let (plans, _) = drain(policy, vec![req(0, 0.0, 7, 1)]);
+        // Chunks 3+3+1; only the last samples (and finishes: max_new=1).
+        assert_eq!(plans.len(), 3);
+        assert_eq!(
+            plans.iter().map(|p| p.seqs[0].rows).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        assert!(!plans[0].seqs[0].samples && !plans[1].seqs[0].samples);
+        assert!(plans[2].seqs[0].samples && plans[2].seqs[0].finishes);
+        assert_eq!(plans[2].seqs[0].start_pos, 6);
+    }
+
+    #[test]
+    fn admission_respects_caps_and_fifo() {
+        let policy = BatchPolicy {
+            max_seqs: 2,
+            max_live_tokens: 100,
+            prefill_chunk: 0,
+        };
+        let reqs = vec![
+            req(0, 0.0, 4, 2),
+            req(1, 0.0, 4, 2),
+            req(2, 0.0, 4, 2), // blocked by max_seqs until one retires
+        ];
+        let (plans, b) = drain(policy, reqs);
+        assert_eq!(plans[0].admitted, vec![0, 1]);
+        // Request 2 joins only after a slot frees.
+        let join = plans.iter().find(|p| p.admitted == vec![2]).unwrap();
+        assert!(join.index > 0);
+        assert_eq!(b.admission_order(), &[0, 1, 2]);
+        // While 0 and 1 run with 2 queued, the batch never exceeds 2 seqs.
+        assert!(plans.iter().all(|p| p.seqs.len() <= 2));
+    }
+
+    #[test]
+    fn token_budget_blocks_head_of_line() {
+        let policy = BatchPolicy {
+            max_seqs: 8,
+            max_live_tokens: 12,
+            prefill_chunk: 0,
+        };
+        // Budget 4+3-1=6 each: two fit, the third waits even though seq
+        // slots remain.
+        let reqs = vec![req(0, 0.0, 4, 3), req(1, 0.0, 4, 3), req(2, 0.0, 4, 3)];
+        let (plans, _) = drain(policy, reqs);
+        assert_eq!(plans[0].admitted, vec![0, 1]);
+        assert!(plans.iter().any(|p| p.admitted == vec![2]));
+    }
+
+    #[test]
+    fn idle_gap_jumps_clock() {
+        let policy = BatchPolicy::default();
+        let (plans, _) = drain(policy, vec![req(0, 0.0, 2, 1), req(1, 500.0, 2, 1)]);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[1].vstart, 500.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_plans() {
+        let reqs: Vec<Request> = (0..20)
+            .map(|i| req(i, (i as f64) * 3.5, 3 + i % 5, 1 + i % 4))
+            .collect();
+        let policy = BatchPolicy {
+            max_seqs: 4,
+            max_live_tokens: 40,
+            prefill_chunk: 2,
+        };
+        let (a, ba) = drain(policy, reqs.clone());
+        let (b, bb) = drain(policy, reqs);
+        assert_eq!(a, b);
+        assert_eq!(ba.admission_order(), bb.admission_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "KV rows")]
+    fn oversized_request_rejected_up_front() {
+        let policy = BatchPolicy {
+            max_live_tokens: 4,
+            ..BatchPolicy::default()
+        };
+        ContinuousBatcher::new(policy, vec![req(0, 0.0, 8, 2)]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cost_model_recovers_exact_linear_costs() {
+        let truth = CostModel {
+            c0: 2e-4,
+            c_row: 3e-5,
+            c_att: 7e-7,
+        };
+        let samples: Vec<(usize, usize, f64)> = (1..20)
+            .map(|i| {
+                let rows = i;
+                let att = i * i + 3;
+                (rows, att, truth.predict(rows, att))
+            })
+            .collect();
+        let fit = CostModel::fit(&samples);
+        assert!((fit.c0 - truth.c0).abs() < 1e-9);
+        assert!((fit.c_row - truth.c_row).abs() < 1e-9);
+        assert!((fit.c_att - truth.c_att).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulate_accounts_every_token() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| req(i, (i as f64) * 10.0, 4 + i % 3, 2 + i % 3))
+            .collect();
+        let cost = CostModel {
+            c0: 1e-4,
+            c_row: 1e-5,
+            c_att: 1e-7,
+        };
+        let summary = simulate(BatchPolicy::default(), &reqs, &cost);
+        let want_gen: usize = reqs.iter().map(|r| r.max_new).sum();
+        let want_prefill: usize = reqs.iter().map(|r| r.prompt).sum();
+        assert_eq!(summary.generated_tokens, want_gen);
+        assert_eq!(summary.prefill_tokens, want_prefill);
+        assert_eq!(summary.requests.len(), reqs.len());
+        for r in &summary.requests {
+            assert!(r.eligible_s <= r.first_token_s);
+            assert!(r.first_token_s <= r.done_s);
+        }
+        assert!(summary.total_s > 0.0 && summary.tokens_per_sec() > 0.0);
+    }
+}

@@ -116,6 +116,45 @@ impl Histogram {
         self.buckets[i].load(Ordering::Relaxed)
     }
 
+    /// Quantile estimate for `q ∈ [0, 1]`: locates the bucket holding the
+    /// rank-`⌈q·count⌉` observation and interpolates linearly inside it
+    /// (bucket 0 interpolates from zero, since it also absorbs
+    /// sub-`SMALLEST` values). Resolution is bounded by the power-of-two
+    /// bucket width; an empty histogram yields `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for i in 0..Self::BUCKETS {
+            let c = self.bucket_count(i);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let lo = if i == 0 { 0.0 } else { lo };
+                let into = (target - (cum - c)) as f64 / c as f64;
+                return lo + (hi - lo) * into;
+            }
+        }
+        // Unreachable unless counts raced with records mid-scan; report
+        // the table's upper edge rather than inventing a value.
+        Self::bucket_bounds(Self::BUCKETS - 1).1
+    }
+
+    /// `(p50, p95, p99)` convenience tuple.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
     fn snapshot_json(&self) -> Json {
         let mut buckets = BTreeMap::new();
         for (i, b) in self.buckets.iter().enumerate() {
@@ -296,6 +335,49 @@ mod tests {
             v["histograms"]["iteration_seconds"]["count"].as_f64(),
             Some(4.0)
         );
+    }
+
+    #[test]
+    fn quantile_empty_and_single() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds");
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.25);
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(0.25));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= lo && v <= hi, "q{q} = {v} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bucket_accurate() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds");
+        // 90 fast observations, 10 slow ones: p50 sits in the fast bucket,
+        // p95/p99 in the slow one.
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(1.0);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        let fast = Histogram::bucket_bounds(Histogram::bucket_index(1e-3));
+        let slow = Histogram::bucket_bounds(Histogram::bucket_index(1.0));
+        assert!(p50 >= fast.0 && p50 <= fast.1, "p50 = {p50}");
+        assert!(p95 >= slow.0 && p95 <= slow.1, "p95 = {p95}");
+        assert!(p99 >= slow.0 && p99 <= slow.1, "p99 = {p99}");
+    }
+
+    #[test]
+    fn quantile_interpolates_from_zero_in_bucket_zero() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds");
+        h.record(0.0);
+        let v = h.quantile(0.5);
+        assert!((0.0..=Histogram::bucket_bounds(0).1).contains(&v));
     }
 
     #[test]

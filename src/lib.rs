@@ -32,6 +32,9 @@
 //!   the auto-recovery supervisor.
 //! - [`fault`]: fault injection plans, straggler detection, and the
 //!   Young/Daly goodput model with its empirical cross-check.
+//! - [`serve`]: tensor-parallel autoregressive inference — KV-cached
+//!   decoding over the real runtime with continuous batching, seeded
+//!   Poisson traffic, and a discrete-event scheduler mirror.
 
 pub use megatron_cluster as cluster;
 pub use megatron_collective as collective;
@@ -43,6 +46,7 @@ pub use megatron_model as model;
 pub use megatron_net as net;
 pub use megatron_parallel as parallel;
 pub use megatron_schedule as schedule;
+pub use megatron_serve as serve;
 pub use megatron_sim as sim;
 pub use megatron_tensor as tensor;
 pub use megatron_zero as zero;
