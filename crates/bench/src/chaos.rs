@@ -208,6 +208,7 @@ fn supervised_run(
             backoff_base: Duration::from_millis(1),
             backoff_max: Duration::from_millis(8),
             min_comm_timeout: Duration::from_secs(3),
+            ..SupervisorConfig::default()
         },
     )
     .with_telemetry(Arc::clone(&sink))

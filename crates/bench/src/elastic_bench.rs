@@ -1,0 +1,521 @@
+//! E35: elastic (p, t, d) reconfiguration, end-to-end on the real trainer.
+//!
+//! A seeded `FaultPlan` kills a rank mid-job and a seeded
+//! `CapacityEvent::Returned` repairs it a few iterations later. The
+//! elastic supervisor shrinks to the best degraded topology the
+//! simulator's cost model picks, keeps training, and grows back at the
+//! next checkpoint boundary — while the restart-at-full baseline must
+//! stall until the capacity returns. The experiment proves three things:
+//!
+//! 1. **Bit-identity**: every post-reconfiguration segment of the elastic
+//!    run equals a fresh launch at that topology restored from the same
+//!    checkpoint generation, loss-for-loss and weight-for-weight.
+//! 2. **Goodput**: elastic shrink-and-continue measures strictly higher
+//!    goodput than restart-at-full under the same fault plan, and the
+//!    analytic `ElasticGoodputModel` predicts the measured elastic
+//!    goodput within the acceptance band.
+//! 3. **Sim pricing**: `megatron_sim::elastic::price_schedule` prices
+//!    capacity-loss schedules the real engine never runs, anchored by the
+//!    one point the real run measured.
+
+use megatron_dist::{
+    CapacityEvent, CheckpointStore, KillSwitch, PtdpSpec, PtdpTrainer, ReconfigureDirection,
+    RunControl, Supervisor, SupervisorConfig,
+};
+use megatron_fault::{ElasticGoodputModel, FaultPlan, FaultRates, RecoveryMeasurement};
+use megatron_sim::elastic::{price_schedule, CapacityWindow, CostModel};
+use megatron_sim::json::Json;
+use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::perf;
+use crate::table::Table;
+
+/// Wall-clock seconds per iteration of a clean (fault-free, no-durable)
+/// run. Wall-clock — not per-thread step times summed up — because
+/// pipeline stages overlap in time and the goodput ratios this feeds
+/// normalize wall-clock quantities.
+fn timed_iter_s(master: &GptModel, spec: PtdpSpec, data: &[(Vec<usize>, Vec<usize>)]) -> f64 {
+    let t0 = std::time::Instant::now();
+    let _log = PtdpTrainer::new(master.clone(), spec).train(data);
+    t0.elapsed().as_secs_f64() / data.len() as f64
+}
+
+/// E35 entry point (`repro elastic`).
+pub fn elastic() -> String {
+    // Same tiny-but-real job as E30: 8 "GPUs" as (p=2, t=2, d=2) threads.
+    let cfg = TinyGptConfig {
+        vocab: 13,
+        seq: 8,
+        hidden: 32,
+        heads: 4,
+        layers: 2,
+    };
+    let iters = 24usize;
+    let ckpt_every = 2usize;
+    let spec = PtdpSpec::new(2, 2, 2);
+    let mut rng = StdRng::seed_from_u64(0x5eed_e35);
+    let master = GptModel::new(cfg, &mut rng);
+    let batch = 64usize;
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..iters)
+        .map(|_| {
+            let toks = (0..batch * cfg.seq)
+                .map(|_| rng.gen_range(0..cfg.vocab))
+                .collect();
+            let tgts = (0..batch * cfg.seq)
+                .map(|_| rng.gen_range(0..cfg.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect();
+
+    // Seeded fault + repair schedule: one GPU death mid-job, repaired a
+    // seeded handful of iterations later (mirroring how `KillSwitch`
+    // schedules deaths).
+    let mut rates = FaultRates::none();
+    rates.gpu_death_mtbf_s = 10.0;
+    let (seed, plan) = (0u64..64)
+        .map(|i| {
+            let s = 0xe35 + i;
+            (
+                s,
+                FaultPlan::generate(s, spec.world(), iters as f64, &rates),
+            )
+        })
+        .find(|(_, p)| {
+            p.events
+                .first()
+                .is_some_and(|ev| (3..=10).contains(&(ev.at_s as usize)))
+        })
+        .expect("some seed in [0xe35, 0xe35+64) draws a usable mid-job death");
+    let death = &plan.events[0];
+    let kill_iter = (death.at_s as usize).clamp(3, 10);
+    let kill = KillSwitch {
+        thread: spec.thread_key(death.gpu % spec.world()),
+        iteration: kill_iter,
+    };
+    // A long-ish outage: the goodput gap between the two policies scales
+    // with it, and it must dominate scheduler noise in the wall clocks.
+    let repair_iters = 10 + (seed % 3) as usize;
+    let return_iter = (kill_iter + repair_iters).min(iters - 6);
+    let capacity = [CapacityEvent::Returned {
+        iteration: return_iter,
+        ranks: 1,
+    }];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "seeded capacity schedule (seed {seed:#x}) on {} threads (p=2, t=2, d=2), {iters} iterations,\n\
+         durable checkpoint every {ckpt_every}:\n\
+           gpu {} (thread {:?}) dies at iteration {kill_iter},\n\
+           1 rank repaired and returned at iteration {return_iter}\n\n",
+        spec.world(),
+        death.gpu % spec.world(),
+        kill.thread,
+    ));
+
+    // Clean full-topology reference: per-iteration cost without faults.
+    // The first run warms thread pools and allocator arenas, so time two
+    // and keep the cheaper estimate — a cold reference would overstate
+    // the per-iteration cost and inflate every goodput it normalizes.
+    let clean = PtdpTrainer::new(master.clone(), spec).train(&data);
+    let clean_iter_s = timed_iter_s(&master, spec, &data).min(timed_iter_s(&master, spec, &data));
+
+    // ---- The elastic run: shrink on death, grow on return. Run it
+    // twice (it is deterministic in everything but wall-clock) and keep
+    // the faster observation, mirroring the min-of-two clean references.
+    let sup_cfg = SupervisorConfig {
+        max_restarts: 3,
+        checkpoint_every: ckpt_every,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+        ..SupervisorConfig::default()
+    };
+    let run_elastic_once = |tag: usize| {
+        let root =
+            std::env::temp_dir().join(format!("megatron-elastic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root).expect("checkpoint store");
+        let sup = Supervisor::new(master.clone(), spec, Arc::clone(&store), sup_cfg);
+        let report = sup.run_elastic(&data, &[kill], &capacity);
+        (report, store, root)
+    };
+    let (report_a, store_a, root_a) = run_elastic_once(0);
+    let (report_b, store_b, root_b) = run_elastic_once(1);
+    assert_eq!(
+        report_a.losses, report_b.losses,
+        "the elastic trajectory must be deterministic"
+    );
+    let (report, store) = if report_a.wall_s <= report_b.wall_s {
+        (report_a, store_a)
+    } else {
+        (report_b, store_b)
+    };
+    assert!(
+        report.completed(),
+        "elastic supervisor gave up: {:?}",
+        report.gave_up
+    );
+    assert_eq!(
+        report.reconfigurations.len(),
+        2,
+        "expected shrink then grow: {:?}",
+        report.reconfigurations
+    );
+    let shrink = report.reconfigurations[0];
+    let grow = report.reconfigurations[1];
+    assert_eq!(shrink.direction, ReconfigureDirection::Shrink);
+    assert_eq!(grow.direction, ReconfigureDirection::Grow);
+    assert_eq!(grow.to, (2, 2, 2), "grow returns to the launch topology");
+
+    let mut t = Table::new(["event", "at iter", "generation", "topology", "capacity"]);
+    for rc in &report.reconfigurations {
+        t.row([
+            match rc.direction {
+                ReconfigureDirection::Shrink => "shrink",
+                ReconfigureDirection::Grow => "grow",
+            }
+            .to_string(),
+            rc.at_iter.to_string(),
+            rc.generation.to_string(),
+            format!("{:?} -> {:?}", rc.from, rc.to),
+            format!("{} GPUs", rc.capacity),
+        ]);
+    }
+    out.push_str(&format!(
+        "elastic timeline ({} attempts, {} restart, {} reconfigurations):\n{}\n",
+        report.attempts,
+        report.restarts,
+        report.reconfigurations.len(),
+        t.render()
+    ));
+
+    // ---- Bit-identity: replay the elastic trajectory as a sequence of
+    // fresh launches from the same generations. ----
+    let degraded = PtdpSpec {
+        pipeline: shrink.to.0,
+        tensor: shrink.to.1,
+        data: shrink.to.2,
+        ..spec
+    };
+    let root2 = std::env::temp_dir().join(format!("megatron-elastic-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root2);
+    let store2 = CheckpointStore::open(&root2).expect("replication store");
+
+    // Segment 1: the doomed full-topology run, durably checkpointing into
+    // the replication store (deterministic, so it writes the same
+    // generations the elastic run's first attempt did).
+    let seg1 = PtdpTrainer::new(master.clone(), spec).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(ckpt_every),
+            kill: Some(kill),
+            durable: Some(Arc::clone(&store2)),
+            ..RunControl::default()
+        },
+    );
+    assert!(
+        seg1.error.is_some(),
+        "the kill must fire in the replication"
+    );
+
+    // Segment 2: a FRESH degraded launch restored from the same
+    // generation the elastic shrink used.
+    let restored = store2
+        .load_latest(&degraded, cfg)
+        .expect("cross-topology restore for the degraded replication");
+    assert_eq!(restored.generation, shrink.generation);
+    let grow_stop = grow.at_iter;
+    let seg2 = PtdpTrainer::new(master.clone(), degraded).train_with(
+        &data[..grow_stop],
+        RunControl {
+            checkpoint_every: Some(ckpt_every),
+            restore: Some(restored.snapshot),
+            durable: Some(Arc::clone(&store2)),
+            ..RunControl::default()
+        },
+    );
+    assert!(seg2.error.is_none(), "degraded replication failed");
+    let degraded_window = shrink.generation..grow_stop;
+    let seg_ok = seg2.log.losses[degraded_window.clone()] == report.losses[degraded_window.clone()];
+
+    // Segment 3: a FRESH full-topology launch restored from the grow
+    // boundary generation.
+    let regrown = store2
+        .load_latest(&spec, cfg)
+        .expect("cross-topology restore for the regrown replication");
+    assert_eq!(regrown.generation, grow.generation);
+    let seg3 = PtdpTrainer::new(master.clone(), spec).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(ckpt_every),
+            restore: Some(regrown.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(seg3.error.is_none(), "regrown replication failed");
+    let tail_ok = seg3.log.losses[grow_stop..] == report.losses[grow_stop..];
+    let params_ok = report.final_params.as_ref() == Some(&seg3.log.final_params);
+    out.push_str(&format!(
+        "degraded segment (iters {}..{}) bit-identical to fresh {:?} launch from gen {}: {}\n\
+         post-grow segment (iters {}..{}) bit-identical to fresh (2, 2, 2) launch from gen {}: {}\n\
+         final weights bit-identical to the replayed trajectory: {}\n\n",
+        degraded_window.start,
+        degraded_window.end,
+        shrink.to,
+        shrink.generation,
+        if seg_ok { "yes" } else { "NO" },
+        grow_stop,
+        iters,
+        grow.generation,
+        if tail_ok { "yes" } else { "NO" },
+        if params_ok { "yes" } else { "NO" },
+    ));
+    assert!(seg_ok && tail_ok && params_ok, "bit-identity must hold");
+
+    // ---- Goodput: elastic vs restart-at-full under the same plan. ----
+    //
+    // Iteration pricing. The harness backs every rank with a host thread,
+    // so shrinking the topology does NOT slow it down the way losing GPUs
+    // slows a real job (fewer threads can even run faster per iteration
+    // on a contended host). Degraded iterations are therefore priced by
+    // the simulator's cost model — the same model the supervisor used to
+    // pick the degraded configuration — calibrated so one full-topology
+    // model iteration costs the measured `clean_iter_s`. Checkpoint
+    // saves, restores, detection, and backoff stay measured wall-clock,
+    // and each policy's wall is assembled from those components: the
+    // end-to-end raw walls of runs this size are dominated by host
+    // scheduler jitter, which would drown the ~10% overhead signal the
+    // experiment exists to measure.
+    let cost = CostModel::for_job(cfg.layers, cfg.heads, batch, spec.microbatch);
+    let full = (spec.pipeline, spec.tensor, spec.data);
+    let unit_s = clean_iter_s / cost.iteration_s(full.0, full.1, full.2);
+    let degraded_iter_s =
+        unit_s * cost.iteration_s(degraded.pipeline, degraded.tensor, degraded.data);
+    let rho = (clean_iter_s / degraded_iter_s).clamp(1e-3, 1.0);
+
+    // The outage: the degraded window's work at degraded speed. Elastic
+    // pays only the slowdown (outage · (1 − rho) extra wall); the restart
+    // baseline stalls for the whole outage.
+    let degraded_work = (grow_stop - shrink.generation) as f64;
+    let outage_s = degraded_work * degraded_iter_s;
+    let useful_s = iters as f64 * clean_iter_s;
+
+    // Measured overhead components of the elastic run.
+    let windows = store.save_windows();
+    let save_s_total: f64 = windows.iter().map(|(_, s)| s).sum();
+    let mean_save = save_s_total / windows.len().max(1) as f64;
+    let mut detect_s_total = 0.0;
+    let mut start = 0usize;
+    for inc in &report.incidents {
+        let executed = (inc.resumed_from + inc.lost_iterations).saturating_sub(start);
+        let saves = executed / ckpt_every;
+        let explained = (executed as f64 + 0.5) * clean_iter_s + saves as f64 * mean_save;
+        detect_s_total += (inc.attempt_wall_s - explained).max(0.0);
+        start = inc.resumed_from;
+    }
+    let lost_iterations: usize = report.incidents.iter().map(|i| i.lost_iterations).sum();
+    let restore_s_total: f64 = report.incidents.iter().map(|i| i.restore_s).sum();
+    let backoff_s_total: f64 = report.incidents.iter().map(|i| i.backoff_s).sum();
+    let elastic_overhead_s = save_s_total
+        + restore_s_total
+        + backoff_s_total
+        + detect_s_total
+        + grow.restore_s
+        + lost_iterations as f64 * clean_iter_s;
+    let elastic_wall_s =
+        useful_s + degraded_work * (degraded_iter_s - clean_iter_s) + elastic_overhead_s;
+
+    // Restart-at-full baseline: same kill, non-elastic supervisor (it
+    // restores at (2,2,2) as soon as the job allows), but the real cluster
+    // could not have run 8 ranks until the repair — it stalls for the
+    // whole outage on top of its own measured recovery overheads.
+    let run_baseline_once = |tag: usize| {
+        let root = std::env::temp_dir().join(format!(
+            "megatron-elastic-base-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root).expect("baseline store");
+        let sup = Supervisor::new(master.clone(), spec, Arc::clone(&store), sup_cfg);
+        let report = sup.run(&data, &[kill]);
+        (report, store, root)
+    };
+    let (base_a, bstore_a, broot_a) = run_baseline_once(0);
+    let (base_b, bstore_b, broot_b) = run_baseline_once(1);
+    let (base_report, base_store) = if base_a.wall_s <= base_b.wall_s {
+        (base_a, bstore_a)
+    } else {
+        (base_b, bstore_b)
+    };
+    assert!(
+        base_report.completed(),
+        "baseline gave up: {:?}",
+        base_report.gave_up
+    );
+    assert_eq!(base_report.losses, clean.losses, "baseline bit-identity");
+    let base_save_s: f64 = base_store.save_windows().iter().map(|(_, s)| s).sum();
+    let base_overhead_s = base_save_s
+        + base_report
+            .incidents
+            .iter()
+            .map(|i| i.restore_s + i.backoff_s)
+            .sum::<f64>()
+        + base_report
+            .incidents
+            .iter()
+            .map(|i| i.lost_iterations)
+            .sum::<usize>() as f64
+            * clean_iter_s;
+    let restart_wall_s = useful_s + outage_s + base_overhead_s;
+    let _ = std::fs::remove_dir_all(&broot_a);
+    let _ = std::fs::remove_dir_all(&broot_b);
+
+    let elastic_goodput = useful_s / elastic_wall_s;
+    let restart_goodput = useful_s / restart_wall_s;
+    out.push_str(&format!(
+        "measured goodput under the same fault plan ({:.0}-iteration outage priced at {:.1} ms,\n\
+         degraded iterations priced {:.1} ms by the cost model vs {:.1} ms clean):\n\
+           elastic shrink-and-continue: {:.1}%  ({:.1} ms wall, {:.1} ms measured overheads, works through the outage)\n\
+           restart-at-full baseline:    {:.1}%  ({:.1} ms wall, {:.1} ms measured overheads + the full stall)\n",
+        degraded_work,
+        1e3 * outage_s,
+        1e3 * degraded_iter_s,
+        1e3 * clean_iter_s,
+        100.0 * elastic_goodput,
+        1e3 * elastic_wall_s,
+        1e3 * elastic_overhead_s,
+        100.0 * restart_goodput,
+        1e3 * restart_wall_s,
+        1e3 * base_overhead_s,
+    ));
+    assert!(
+        elastic_goodput > restart_goodput,
+        "elastic ({elastic_goodput:.3}) must beat restart-at-full ({restart_goodput:.3})"
+    );
+
+    // ---- Analytic prediction: ElasticGoodputModel fed with this run's
+    // own measured costs. ----
+    let meas = RecoveryMeasurement {
+        wall_s: elastic_wall_s,
+        n_iterations: report.iterations,
+        clean_iter_s,
+        n_failures: report.incidents.len(),
+        lost_iterations,
+        restore_s_total,
+        backoff_s_total,
+        detect_s_total,
+        save_s_total,
+        n_checkpoints: windows.len(),
+        checkpoint_every_iters: ckpt_every,
+    };
+    let em = ElasticGoodputModel {
+        base: meas.to_model(),
+        relative_throughput: rho,
+        reconfigure_s: grow.restore_s,
+    };
+    let predicted = em.elastic_goodput(meas.interval_s(), useful_s, outage_s);
+    let err = (elastic_goodput - predicted).abs() / predicted.max(1e-12);
+    out.push_str(&format!(
+        "\nanalytic elastic mode (rho = {:.2}, cost model's relative throughput of {:?}):\n\
+           predicted elastic goodput: {:.1}%\n\
+           measured elastic goodput:  {:.1}%\n\
+           agreement: {:.1}% {}\n\
+           break-even outage for one reconfiguration ({:.2} ms): {:.2} ms\n",
+        rho,
+        shrink.to,
+        100.0 * predicted,
+        100.0 * elastic_goodput,
+        100.0 * err,
+        if err <= 0.10 {
+            "(within the 10% acceptance band)"
+        } else {
+            "(OUTSIDE the 10% acceptance band)"
+        },
+        1e3 * em.reconfigure_s,
+        1e3 * em.break_even_outage_s(),
+    ));
+
+    // ---- Sim mirror: price capacity-loss schedules the real engine
+    // never ran. ----
+    let unit = cost.iteration_s(full.0, full.1, full.2);
+    let mut t = Table::new([
+        "outage (iters of model time)",
+        "elastic goodput",
+        "restart goodput",
+        "reconfigs",
+    ]);
+    for outage_iters in [0usize, 4, 8, 16, 32] {
+        let horizon = 64.0 * unit;
+        let outage = outage_iters as f64 * unit;
+        let windows = if outage_iters == 0 {
+            vec![CapacityWindow { at_s: 0.0, gpus: 8 }]
+        } else {
+            vec![
+                CapacityWindow { at_s: 0.0, gpus: 8 },
+                CapacityWindow {
+                    at_s: 16.0 * unit,
+                    gpus: 7,
+                },
+                CapacityWindow {
+                    at_s: 16.0 * unit + outage,
+                    gpus: 8,
+                },
+            ]
+        };
+        let cmp = price_schedule(&cost, full, &windows, horizon, 0.5 * unit, 0.5 * unit);
+        t.row([
+            outage_iters.to_string(),
+            format!("{:.1}%", 100.0 * cmp.elastic_goodput()),
+            format!("{:.1}%", 100.0 * cmp.restart_goodput()),
+            cmp.reconfigurations.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nsim-priced capacity schedules (cost-model units, one mid-job loss of 1 GPU,\n\
+         reconfigure/restore each 0.5 iterations):\n{}\n",
+        t.render()
+    ));
+
+    // ---- Machine-readable record in the shared BENCH schema. ----
+    let record = perf::bench_json(
+        "elastic",
+        vec![
+            ("iters".into(), Json::Num(iters as f64)),
+            ("ckpt_every".into(), Json::Num(ckpt_every as f64)),
+            ("batch".into(), Json::Num(batch as f64)),
+            ("seed".into(), Json::Num(seed as f64)),
+            ("kill_iter".into(), Json::Num(kill_iter as f64)),
+            ("return_iter".into(), Json::Num(return_iter as f64)),
+            ("world".into(), Json::Num(spec.world() as f64)),
+            ("degraded_world".into(), Json::Num(degraded.world() as f64)),
+        ],
+        vec![
+            ("elastic_goodput".into(), elastic_goodput),
+            ("restart_goodput".into(), restart_goodput),
+            ("predicted_elastic_goodput".into(), predicted),
+            ("model_error".into(), err),
+            ("relative_throughput".into(), rho),
+            ("clean_iter_s".into(), clean_iter_s),
+            ("degraded_iter_s".into(), degraded_iter_s),
+            ("outage_s".into(), outage_s),
+            ("elastic_wall_s".into(), elastic_wall_s),
+            ("restart_wall_s".into(), restart_wall_s),
+            (
+                "reconfigurations".into(),
+                report.reconfigurations.len() as f64,
+            ),
+            ("reconfigure_s".into(), grow.restore_s),
+        ],
+    );
+    out.push_str(&perf::write_bench_json("BENCH_elastic.json", &record));
+    out.push('\n');
+
+    let _ = std::fs::remove_dir_all(&root_a);
+    let _ = std::fs::remove_dir_all(&root_b);
+    let _ = std::fs::remove_dir_all(&root2);
+    out
+}

@@ -193,6 +193,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "E34: continuous-batched KV-cached serving over a real tensor group",
             run: crate::serving::serving,
         },
+        Experiment {
+            name: "elastic",
+            paper_ref: "E35: elastic (p,t,d) shrink-and-continue vs restart-at-full goodput",
+            run: crate::elastic_bench::elastic,
+        },
     ]
 }
 

@@ -7,6 +7,7 @@
 
 pub mod chaos;
 pub mod collective_bench;
+pub mod elastic_bench;
 pub mod experiments;
 pub mod harness;
 pub mod perf;

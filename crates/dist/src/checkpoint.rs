@@ -23,6 +23,16 @@
 //! (`shard_optimizer`) skip the canonical layout — their Adam moments
 //! cover only a 1/d slice, so only same-topology restore is possible and
 //! cross-topology attempts fail with a clean error.
+//!
+//! The elastic supervisor ([`crate::supervisor::Supervisor::run_elastic`])
+//! is the main cross-topology consumer: a shrink restores the latest
+//! generation into the cost model's best degraded (p, t, d), and a grow
+//! waits for the next checkpoint boundary precisely because the boundary
+//! is where a fresh canonical layout is guaranteed on disk. Resharding is
+//! pure slicing of exact f32 bits — never arithmetic — which is what
+//! makes post-reconfiguration training bit-identical to a fresh launch at
+//! the new topology (see `tests/recovery.rs` and the round-trip property
+//! in `tests/proptest_invariants.rs`).
 
 use std::collections::HashMap;
 use std::fmt;

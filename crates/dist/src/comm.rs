@@ -327,7 +327,11 @@ impl PoisonBarrier {
     }
 
     fn wait(&self, timeout: Duration) -> Result<(), RawComm> {
-        let mut s = self.state.lock().unwrap();
+        // A peer that panicked while holding the barrier lock is a dead
+        // peer: surface it as a poisoned group, never a second panic.
+        let Ok(mut s) = self.state.lock() else {
+            return Err(RawComm::Poisoned);
+        };
         if s.poisoned {
             return Err(RawComm::Poisoned);
         }
@@ -357,18 +361,26 @@ impl PoisonBarrier {
                 self.cv.notify_all();
                 return Err(RawComm::Timeout);
             }
-            s = self.cv.wait_timeout(s, deadline - now).unwrap().0;
+            s = match self.cv.wait_timeout(s, deadline - now) {
+                Ok(pair) => pair.0,
+                Err(_) => return Err(RawComm::Poisoned),
+            };
         }
     }
 
     fn poison(&self) {
-        let mut s = self.state.lock().unwrap();
+        // Poisoning must succeed even if a dying thread poisoned the
+        // mutex first — that is exactly when waiters most need the wakeup.
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.poisoned = true;
         self.cv.notify_all();
     }
 
     fn is_poisoned(&self) -> bool {
-        self.state.lock().unwrap().poisoned
+        match self.state.lock() {
+            Ok(s) => s.poisoned,
+            Err(_) => true,
+        }
     }
 }
 
@@ -444,8 +456,9 @@ impl Group {
         self.poisoned.store(true, Ordering::Release);
         for mb in &self.mail {
             // Take the lock so a receiver between its poison check and its
-            // condvar wait cannot miss the wakeup.
-            let _q = mb.q.lock().unwrap();
+            // condvar wait cannot miss the wakeup. A mutex a dead peer
+            // poisoned must not stop the cleanup.
+            let _q = mb.q.lock().unwrap_or_else(|e| e.into_inner());
             mb.cv.notify_all();
         }
         self.barrier.poison();
@@ -457,7 +470,10 @@ impl Group {
             return Err(RawComm::Poisoned);
         }
         let mb = &self.mail[dst * self.size + src];
-        mb.q.lock().unwrap().push_back(payload.to_vec());
+        let Ok(mut q) = mb.q.lock() else {
+            return Err(RawComm::Poisoned);
+        };
+        q.push_back(payload.to_vec());
         mb.cv.notify_all();
         Ok(())
     }
@@ -467,7 +483,9 @@ impl Group {
     /// be consumable), and a deadline miss poisons the whole group.
     fn fetch(&self, src: usize, dst: usize, deadline: Instant) -> Result<Vec<f32>, RawComm> {
         let mb = &self.mail[dst * self.size + src];
-        let mut q = mb.q.lock().unwrap();
+        let Ok(mut q) = mb.q.lock() else {
+            return Err(RawComm::Poisoned);
+        };
         loop {
             if let Some(data) = q.pop_front() {
                 return Ok(data);
@@ -481,7 +499,10 @@ impl Group {
                 self.poison_all();
                 return Err(RawComm::Timeout);
             }
-            q = mb.cv.wait_timeout(q, deadline - now).unwrap().0;
+            q = match mb.cv.wait_timeout(q, deadline - now) {
+                Ok(pair) => pair.0,
+                Err(_) => return Err(RawComm::Poisoned),
+            };
         }
     }
 
@@ -498,7 +519,9 @@ impl Group {
     ) -> Result<Option<Vec<f32>>, RawComm> {
         let attempt_end = (Instant::now() + wait).min(deadline);
         let mb = &self.mail[dst * self.size + src];
-        let mut q = mb.q.lock().unwrap();
+        let Ok(mut q) = mb.q.lock() else {
+            return Err(RawComm::Poisoned);
+        };
         loop {
             if let Some(data) = q.pop_front() {
                 return Ok(Some(data));
@@ -515,7 +538,10 @@ impl Group {
             if now >= attempt_end {
                 return Ok(None);
             }
-            q = mb.cv.wait_timeout(q, attempt_end - now).unwrap().0;
+            q = match mb.cv.wait_timeout(q, attempt_end - now) {
+                Ok(pair) => pair.0,
+                Err(_) => return Err(RawComm::Poisoned),
+            };
         }
     }
 }
@@ -634,13 +660,16 @@ impl GroupMember {
             deadline: Instant::now() + self.group.timeout,
         };
         let per_op_seed = |p: &FaultProfile| mix_seed(p.seed, (self.rank as u64) << 32 | op_index);
-        let result = match (self.group.transport.retry, self.group.transport.faults) {
-            (Some(policy), profile) => {
-                let store = self
-                    .group
-                    .retransmit
-                    .as_ref()
-                    .expect("store armed with retry");
+        // A retry policy is only usable with its retransmit store; a group
+        // rebuilt without one (e.g. after a topology change) degrades to
+        // the plain transport instead of aborting the worker.
+        let retry = self
+            .group
+            .transport
+            .retry
+            .and_then(|policy| self.group.retransmit.as_ref().map(|store| (policy, store)));
+        let result = match (retry, self.group.transport.faults) {
+            (Some((policy, store)), profile) => {
                 let seed = profile.as_ref().map_or(0, per_op_seed);
                 let faults = profile.map(|p| p.faults).unwrap_or_default();
                 let faulty = FaultyTransport::new(tp, faults, seed);

@@ -26,6 +26,14 @@ use crate::trainer::{PtdpSpec, ThreadKey};
 /// is declared dead rather than slow.
 pub const DEAD_AFTER_PERIODS: u32 = 4;
 
+/// Default `slow_threshold` for [`HealthMonitor::classify`]: a living rank
+/// whose mean beat interval exceeds 1.5× the median rank's counts as slow.
+/// The value matches `fault::StragglerReport`'s convention (1.2–2.0 is the
+/// usual straggler-detection band; 1.5 tolerates scheduler jitter without
+/// hiding a genuinely lagging rank). Configured via
+/// `SupervisorConfig::slow_threshold` rather than repeated at call sites.
+pub const DEFAULT_SLOW_THRESHOLD: f64 = 1.5;
+
 /// One rank's beacon cell.
 #[derive(Debug, Default)]
 struct Beacon {

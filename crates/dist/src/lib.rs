@@ -40,9 +40,10 @@ pub use comm::{
     CollectiveKind, CollectiveOp, CommError, CommPanic, CommVolume, FaultProfile, Group,
     GroupMember, StallContext, TransportConfig, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
-pub use health::{HealthMonitor, HealthReport, RankCondition};
+pub use health::{HealthMonitor, HealthReport, RankCondition, DEFAULT_SLOW_THRESHOLD};
 pub use supervisor::{
-    Incident, IncidentSeverity, Supervisor, SupervisorConfig, SupervisorReport, TransientIncident,
+    CapacityEvent, Incident, IncidentSeverity, Reconfiguration, ReconfigureDirection, Supervisor,
+    SupervisorConfig, SupervisorReport, TransientIncident,
 };
 pub use trainer::{
     KillSwitch, PtdpSpec, PtdpTrainer, RankCommOps, RankCommVolume, RunControl, StepSample,

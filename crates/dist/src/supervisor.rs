@@ -16,21 +16,47 @@
 //! work — so measured recovery cost can be cross-checked against
 //! `megatron-fault`'s analytic goodput model.
 //!
-//! Because training is deterministic and restores are exact-f32, a
-//! supervised run that survives any number of mid-run kills produces
-//! bit-identical losses and final weights to a fault-free run of the same
-//! job.
+//! # Elastic reconfiguration
+//!
+//! [`Supervisor::run_elastic`] goes one step further: instead of retrying
+//! the *same* topology after a fatal incident, it reshapes the job to fit
+//! whatever capacity survives.
+//!
+//! - **Shrink** (immediately on a fatal incident): the capacity ledger
+//!   drops by the dead ranks (plus any scheduled
+//!   [`CapacityEvent::Lost`]); when the survivors no longer fit
+//!   `p·t·d`, the supervisor ranks every valid divisor configuration with
+//!   the simulator's cost model (`megatron_sim::elastic::CostModel`),
+//!   restores the best one from the canonical checkpoint layout via the
+//!   cross-topology path in [`CheckpointStore::load_latest`], and
+//!   continues training degraded.
+//! - **Grow** (only at a checkpoint boundary): when a
+//!   [`CapacityEvent::Returned`] arrives, the degraded run is truncated at
+//!   the next multiple of `checkpoint_every`, which durably commits that
+//!   generation; the supervisor then reshards it back up to the launch
+//!   topology (or the best configuration the returned capacity allows)
+//!   and resumes. Growing mid-segment would need a generation that does
+//!   not exist yet — the boundary is where a canonical layout is
+//!   guaranteed on disk, which is why grow waits for it.
+//!
+//! Because training is deterministic and restores are exact-f32, the
+//! segment after a shrink or grow is bit-identical to a fresh run launched
+//! at that topology from the same generation (proven in
+//! `tests/recovery.rs`), and a supervised run that survives any number of
+//! mid-run kills produces bit-identical losses and final weights to a
+//! fault-free run of the same job.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use megatron_telemetry::TelemetrySink;
+use megatron_sim::elastic::CostModel;
+use megatron_telemetry::{SpanArgs, SpanKind, TelemetrySink};
 use megatron_tensor::gpt::{GptModel, TinyGptConfig};
 
 use crate::checkpoint::{CheckpointError, CheckpointStore};
 use crate::comm::TransportConfig;
-use crate::health::HealthMonitor;
+use crate::health::{HealthMonitor, DEFAULT_SLOW_THRESHOLD};
 use crate::trainer::{
     KillSwitch, PtdpSpec, PtdpTrainer, RunControl, ThreadKey, TrainError, TrainSnapshot,
 };
@@ -38,7 +64,9 @@ use crate::trainer::{
 /// Retry policy for a [`Supervisor`].
 #[derive(Debug, Clone, Copy)]
 pub struct SupervisorConfig {
-    /// Restart budget: up to `1 + max_restarts` attempts total.
+    /// Restart budget: up to `1 + max_restarts` attempts total. Elastic
+    /// grows are planned topology changes, not failures — they never
+    /// consume this budget.
     pub max_restarts: usize,
     /// Durable checkpoint interval in iterations.
     pub checkpoint_every: usize,
@@ -50,6 +78,12 @@ pub struct SupervisorConfig {
     /// The collective timeout is halved on every retry attempt (repeat
     /// failures should be detected faster), but never below this floor.
     pub min_comm_timeout: Duration,
+    /// Straggler threshold handed to [`HealthMonitor::classify`] when a
+    /// failed attempt's ranks are triaged: a living rank whose mean beat
+    /// interval exceeds this multiple of the median counts as slow.
+    /// Defaults to [`DEFAULT_SLOW_THRESHOLD`]; raise it on noisy hosts to
+    /// avoid misreporting scheduler jitter as stragglers.
+    pub slow_threshold: f64,
 }
 
 impl Default for SupervisorConfig {
@@ -60,6 +94,7 @@ impl Default for SupervisorConfig {
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_secs(1),
             min_comm_timeout: Duration::from_millis(500),
+            slow_threshold: DEFAULT_SLOW_THRESHOLD,
         }
     }
 }
@@ -80,6 +115,66 @@ pub enum IncidentSeverity {
     Transient,
     /// Aborted the attempt; recovery required checkpoint restore.
     Fatal,
+}
+
+/// A scheduled change in cluster capacity, mirroring [`KillSwitch`]: a
+/// seeded schedule of these drives the elastic supervisor the way a kill
+/// list drives fault injection. Iterations are absolute (0-based), same
+/// convention as [`KillSwitch::iteration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityEvent {
+    /// `ranks` GPUs are gone from `iteration` on — capacity lost *beyond*
+    /// whatever rank a [`KillSwitch`] already killed (a fatal incident
+    /// debits its own dead ranks from the ledger automatically).
+    Lost {
+        /// Iteration (absolute) at which the capacity disappears.
+        iteration: usize,
+        /// GPUs lost.
+        ranks: usize,
+    },
+    /// `ranks` GPUs are repaired and available again from `iteration` on.
+    /// The supervisor grows at the next checkpoint boundary at or after
+    /// this iteration, never mid-segment.
+    Returned {
+        /// Iteration (absolute) from which the capacity is usable.
+        iteration: usize,
+        /// GPUs returned.
+        ranks: usize,
+    },
+}
+
+/// Which way a reconfiguration moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigureDirection {
+    /// Capacity dropped below the running world: pick the best degraded
+    /// configuration and reshard down.
+    Shrink,
+    /// Capacity returned: reshard back up at a checkpoint boundary.
+    Grow,
+}
+
+/// One topology change the elastic supervisor performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reconfiguration {
+    /// Iteration the change happened at (the failure point for a shrink,
+    /// the checkpoint boundary for a grow).
+    pub at_iter: usize,
+    /// Checkpoint generation the new topology restored from (0 when no
+    /// durable generation existed yet and training restarted from
+    /// scratch at the new shape).
+    pub generation: usize,
+    /// (p, t, d) before.
+    pub from: (usize, usize, usize),
+    /// (p, t, d) after.
+    pub to: (usize, usize, usize),
+    /// Shrink or grow.
+    pub direction: ReconfigureDirection,
+    /// Live GPUs in the capacity ledger when the choice was made.
+    pub capacity: usize,
+    /// Seconds spent on the cross-topology restore for this change (a
+    /// shrink's restore also appears in its [`Incident::restore_s`]; a
+    /// grow's is recorded only here).
+    pub restore_s: f64,
 }
 
 /// A batch of transient faults one attempt absorbed without restarting,
@@ -138,7 +233,9 @@ pub struct SupervisorReport {
     /// training + exact restores make these bit-identical to a fault-free
     /// run's losses.
     pub losses: Vec<f32>,
-    /// Final per-thread parameters, if the job completed.
+    /// Final per-thread parameters, if the job completed. Keyed by the
+    /// topology the job *finished* at (the launch spec unless an elastic
+    /// run ended degraded).
     pub final_params: Option<HashMap<ThreadKey, Vec<f32>>>,
     /// One entry per failure the supervisor recovered from (or died on).
     pub incidents: Vec<Incident>,
@@ -146,7 +243,12 @@ pub struct SupervisorReport {
     /// attempt that absorbed any (observed via transport telemetry).
     /// These cost retries, never restarts.
     pub transient: Vec<TransientIncident>,
-    /// Attempts launched (1 = clean run, no failures).
+    /// Topology changes an elastic run performed, in order. Empty for
+    /// [`Supervisor::run`].
+    pub reconfigurations: Vec<Reconfiguration>,
+    /// Attempts launched (1 = clean run, no failures). A grow boundary
+    /// counts as a launch (it starts a new trainer world) but not a
+    /// restart.
     pub attempts: usize,
     /// Checkpoint restores actually paid. The chaos harness asserts this
     /// equals the number of *fatal* faults injected — transient faults
@@ -175,9 +277,10 @@ impl SupervisorReport {
 
 /// Auto-recovery wrapper around [`PtdpTrainer`]: train, and on failure
 /// restore from the durable store and retry until the job completes or
-/// the restart budget runs out.
+/// the restart budget runs out. [`Supervisor::run_elastic`] additionally
+/// reshapes (p, t, d) to fit surviving capacity.
 pub struct Supervisor {
-    trainer: PtdpTrainer,
+    master: GptModel,
     spec: PtdpSpec,
     model_cfg: TinyGptConfig,
     store: Arc<CheckpointStore>,
@@ -197,9 +300,12 @@ impl Supervisor {
         cfg: SupervisorConfig,
     ) -> Supervisor {
         assert!(cfg.checkpoint_every > 0, "checkpoint interval must be > 0");
+        // Validate the launch spec eagerly (same asserts a trainer build
+        // would raise, but at supervisor construction time).
+        let _ = PtdpTrainer::new(master.clone(), spec);
         let model_cfg = master.cfg;
         Supervisor {
-            trainer: PtdpTrainer::new(master, spec),
+            master,
             spec,
             model_cfg,
             store,
@@ -213,7 +319,9 @@ impl Supervisor {
     /// Attach a telemetry sink: every attempt's rank threads trace into it
     /// (spans tagged with the attempt as their incident epoch), and the
     /// supervisor itself publishes `supervisor_incidents` /
-    /// `supervisor_restarts` counters.
+    /// `supervisor_restarts` counters (plus `supervisor_reconfigurations`
+    /// / `supervisor_shrinks` / `supervisor_grows` and per-topology
+    /// `supervisor_iters_p*_t*_d*` iteration counters for elastic runs).
     pub fn with_telemetry(mut self, sink: Arc<TelemetrySink>) -> Supervisor {
         self.telemetry = Some(sink);
         self
@@ -270,46 +378,209 @@ impl Supervisor {
         )
     }
 
+    /// The ranking cost model for this job (the simulator's elastic
+    /// module), parameterized by the global batch the data carries.
+    fn cost_model(&self, global_batch: usize) -> CostModel {
+        let mut cm = CostModel::for_job(
+            self.model_cfg.layers,
+            self.model_cfg.heads,
+            global_batch.max(1),
+            self.spec.microbatch,
+        );
+        cm.chunks = self.spec.chunks;
+        cm
+    }
+
+    /// The best valid (p, t, d) fitting `capacity` ranks, as a full spec
+    /// inheriting every non-topology knob from the launch spec. Respects
+    /// the one constraint the cost model cannot see: vocab-parallel runs
+    /// need `t | vocab`.
+    fn best_spec(&self, cost: &CostModel, capacity: usize) -> Option<PtdpSpec> {
+        cost.enumerate(capacity)
+            .into_iter()
+            .filter(|&(_, t, _)| {
+                !self.spec.vocab_parallel || self.model_cfg.vocab.is_multiple_of(t)
+            })
+            .min_by(|&a, &b| {
+                let (ca, cb) = (
+                    cost.iteration_s(a.0, a.1, a.2),
+                    cost.iteration_s(b.0, b.1, b.2),
+                );
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            })
+            .map(|(p, t, d)| PtdpSpec {
+                pipeline: p,
+                tensor: t,
+                data: d,
+                ..self.spec
+            })
+    }
+
+    /// Carry fault-injection points across a topology change: a kill aimed
+    /// at a rank of the old world lands on `flat % new_world` of the new.
+    fn remap_kills(pending: &mut [KillSwitch], from: &PtdpSpec, to: &PtdpSpec) {
+        for kp in pending.iter_mut() {
+            let flat = from.flat_rank(kp.thread);
+            kp.thread = to.thread_key(flat % to.world());
+        }
+    }
+
+    fn dims(spec: &PtdpSpec) -> (usize, usize, usize) {
+        (spec.pipeline, spec.tensor, spec.data)
+    }
+
+    /// Publish a reconfiguration to telemetry: counters plus a span on a
+    /// synthetic control-plane rank (one past the launch world, so it can
+    /// never collide with a real rank's trace).
+    fn trace_reconfiguration(&self, rc: &Reconfiguration, epoch: usize, start_ns: u64) {
+        let Some(sink) = &self.telemetry else { return };
+        sink.metrics.counter("supervisor_reconfigurations").inc();
+        sink.metrics
+            .counter(match rc.direction {
+                ReconfigureDirection::Shrink => "supervisor_shrinks",
+                ReconfigureDirection::Grow => "supervisor_grows",
+            })
+            .inc();
+        let mut tracer = sink.hub.tracer(self.spec.world(), (usize::MAX, 0, 0));
+        tracer.close(
+            SpanKind::Checkpoint,
+            match rc.direction {
+                ReconfigureDirection::Shrink => "reconfigure-shrink",
+                ReconfigureDirection::Grow => "reconfigure-grow",
+            },
+            start_ns,
+            rc.at_iter,
+            epoch,
+            SpanArgs::NONE,
+        );
+    }
+
+    /// Count iterations executed under a topology (the per-topology-epoch
+    /// counter: how much work each shape of the job did).
+    fn count_topology_iters(&self, spec: &PtdpSpec, iters: usize) {
+        if iters == 0 {
+            return;
+        }
+        if let Some(sink) = &self.telemetry {
+            let (p, t, d) = Self::dims(spec);
+            sink.metrics
+                .counter(&format!("supervisor_iters_p{p}_t{t}_d{d}"))
+                .add(iters as u64);
+        }
+    }
+
     /// Run the full `data` schedule to completion, restarting through
-    /// failures. `kills` are fault-injection points (at most one is armed
-    /// per attempt — the earliest one at or after the attempt's resume
-    /// iteration, mirroring one GPU death at a time).
+    /// failures at a fixed topology. `kills` are fault-injection points
+    /// (at most one is armed per attempt — the earliest one at or after
+    /// the attempt's resume iteration, mirroring one GPU death at a time).
     pub fn run(&self, data: &[(Vec<usize>, Vec<usize>)], kills: &[KillSwitch]) -> SupervisorReport {
+        self.run_inner(data, kills, &[], false)
+    }
+
+    /// Like [`Supervisor::run`], but elastic: fatal incidents shrink the
+    /// topology to the best configuration fitting surviving capacity, and
+    /// [`CapacityEvent::Returned`] grows it back at the next checkpoint
+    /// boundary. `capacity` is the seeded schedule of losses/repairs.
+    pub fn run_elastic(
+        &self,
+        data: &[(Vec<usize>, Vec<usize>)],
+        kills: &[KillSwitch],
+        capacity: &[CapacityEvent],
+    ) -> SupervisorReport {
+        self.run_inner(data, kills, capacity, true)
+    }
+
+    fn run_inner(
+        &self,
+        data: &[(Vec<usize>, Vec<usize>)],
+        kills: &[KillSwitch],
+        capacity_events: &[CapacityEvent],
+        elastic: bool,
+    ) -> SupervisorReport {
         let t0 = Instant::now();
         let mut pending: Vec<KillSwitch> = kills.to_vec();
         pending.sort_by_key(|k| k.iteration);
+        let mut lost: Vec<(usize, usize)> = capacity_events
+            .iter()
+            .filter_map(|e| match e {
+                CapacityEvent::Lost { iteration, ranks } => Some((*iteration, *ranks)),
+                _ => None,
+            })
+            .collect();
+        lost.sort_unstable();
+        let mut returns: Vec<(usize, usize)> = capacity_events
+            .iter()
+            .filter_map(|e| match e {
+                CapacityEvent::Returned { iteration, ranks } => Some((*iteration, *ranks)),
+                _ => None,
+            })
+            .collect();
+        returns.sort_unstable();
+
+        let launch = self.spec;
+        let mut cur_spec = launch;
+        let mut capacity = launch.world();
+        let global_batch = data
+            .first()
+            .map_or(1, |(toks, _)| toks.len() / self.model_cfg.seq);
+        let cost = self.cost_model(global_batch);
 
         let mut losses = vec![0.0f32; data.len()];
         let mut incidents: Vec<Incident> = Vec::new();
         let mut transient: Vec<TransientIncident> = Vec::new();
+        let mut reconfigurations: Vec<Reconfiguration> = Vec::new();
         let mut restarts = 0usize;
         let mut restore: Option<TrainSnapshot> = None;
         let mut final_params = None;
         let mut gave_up = None;
-        let mut attempts = 0;
+        let mut attempts;
         let mut clean_iter_s = 0.0;
         let mut last_error: Option<TrainError> = None;
+        // Two counters, one job: `attempt` numbers every world launched
+        // (it is the telemetry/incident epoch), `fatal_restarts` counts
+        // only failures — a planned grow launches a new world without
+        // consuming restart budget or escalating the backoff.
+        let mut attempt = 0usize;
+        let mut fatal_restarts = 0usize;
 
-        for attempt in 0..=self.cfg.max_restarts {
+        loop {
             attempts = attempt + 1;
             let start_iter = restore.as_ref().map_or(0, |s| s.next_iter);
-            let armed = pending.iter().position(|k| k.iteration >= start_iter);
+            let k = self.cfg.checkpoint_every;
+            // Grow only at a checkpoint boundary: a degraded segment with
+            // repaired capacity scheduled is truncated at the first
+            // boundary at/after the return point, which durably commits
+            // that generation for the grown world to reshard from.
+            let stop = if elastic && cur_spec.world() < launch.world() {
+                match returns.first() {
+                    Some(&(r_iter, _)) => {
+                        let boundary = r_iter.max(start_iter + 1).div_ceil(k) * k;
+                        boundary.min(data.len())
+                    }
+                    None => data.len(),
+                }
+            } else {
+                data.len()
+            };
+
+            let armed = pending
+                .iter()
+                .position(|kp| kp.iteration >= start_iter && kp.iteration < stop);
             let kill = armed.map(|i| pending[i]);
 
             // Fresh monitor per attempt: a restarted world starts with a
             // clean liveness slate.
-            let health = self
-                .health_period
-                .map(|p| HealthMonitor::new(&self.spec, p));
+            let health = self.health_period.map(|p| HealthMonitor::new(&cur_spec, p));
             // Transport counters are cumulative across attempts in the
             // sink; delta around the attempt to attribute absorbed faults.
             let tally_before = self.telemetry.as_deref().map(Self::transient_tally);
 
+            let trainer = PtdpTrainer::new(self.master.clone(), cur_spec);
             let ctl = RunControl {
-                checkpoint_every: Some(self.cfg.checkpoint_every),
+                checkpoint_every: Some(k),
                 restore: restore.take(),
                 kill,
-                comm_timeout: Some(self.comm_timeout(attempt)),
+                comm_timeout: Some(self.comm_timeout(fatal_restarts)),
                 durable: Some(Arc::clone(&self.store)),
                 // The attempt index is the incident epoch: step samples and
                 // spans from a resumed run are distinguishable from the
@@ -320,7 +591,7 @@ impl Supervisor {
                 health: health.clone(),
             };
             let attempt_t0 = Instant::now();
-            let out = self.trainer.train_with(data, ctl);
+            let out = trainer.train_with(&data[..stop], ctl);
             let attempt_wall_s = attempt_t0.elapsed().as_secs_f64();
 
             if let (Some(sink), Some((r0, x0, d0))) = (self.telemetry.as_deref(), tally_before) {
@@ -336,12 +607,12 @@ impl Supervisor {
                 }
             }
             let dead_ranks = match (&out.error, &health) {
-                (Some(_), Some(mon)) => mon.classify(1.5).dead(),
+                (Some(_), Some(mon)) => mon.classify(self.cfg.slow_threshold).dead(),
                 _ => Vec::new(),
             };
 
             match out.error {
-                None => {
+                None if stop == data.len() => {
                     // Completed: take the tail of the losses and the final
                     // weights, and measure the clean iteration cost.
                     losses[start_iter..].copy_from_slice(&out.log.losses[start_iter..]);
@@ -362,40 +633,179 @@ impl Supervisor {
                         }
                         clean_iter_s = per_iter.iter().sum::<f64>() / executed as f64;
                     }
+                    self.count_topology_iters(&cur_spec, executed);
                     final_params = Some(out.log.final_params);
                     break;
                 }
-                Some(e) if Self::is_restartable(&e) && attempt < self.cfg.max_restarts => {
+                None => {
+                    // Reached a grow boundary: generation `stop` is durably
+                    // committed. Credit the repaired capacity and reshard
+                    // up — to the launch topology when everything is back,
+                    // else to the best shape the ledger allows.
+                    losses[start_iter..stop].copy_from_slice(&out.log.losses[start_iter..stop]);
+                    self.count_topology_iters(&cur_spec, stop - start_iter);
+                    while returns.first().is_some_and(|&(ri, _)| ri <= stop) {
+                        let (_, ranks) = returns.remove(0);
+                        capacity = (capacity + ranks).min(launch.world());
+                    }
+                    let target = if capacity >= launch.world() {
+                        Some(launch)
+                    } else {
+                        self.best_spec(&cost, capacity)
+                    };
+                    match target {
+                        Some(tspec) if Self::dims(&tspec) != Self::dims(&cur_spec) => {
+                            let span_t0 = self.telemetry.as_ref().map_or(0, |s| s.hub.now_ns());
+                            let restore_t0 = Instant::now();
+                            match self.store.load_latest(&tspec, self.model_cfg) {
+                                Ok(r) => {
+                                    let rc = Reconfiguration {
+                                        at_iter: stop,
+                                        generation: r.generation,
+                                        from: Self::dims(&cur_spec),
+                                        to: Self::dims(&tspec),
+                                        direction: ReconfigureDirection::Grow,
+                                        capacity,
+                                        restore_s: restore_t0.elapsed().as_secs_f64(),
+                                    };
+                                    self.trace_reconfiguration(&rc, attempt, span_t0);
+                                    reconfigurations.push(rc);
+                                    Self::remap_kills(&mut pending, &cur_spec, &tspec);
+                                    cur_spec = tspec;
+                                    restore = Some(r.snapshot);
+                                }
+                                Err(_) => {
+                                    // Can't reshard up (e.g. the store only
+                                    // has ZeRO-sharded generations): stay
+                                    // degraded and stop trying to grow.
+                                    returns.clear();
+                                    restore = self
+                                        .store
+                                        .load_latest(&cur_spec, self.model_cfg)
+                                        .ok()
+                                        .map(|r| r.snapshot);
+                                }
+                            }
+                        }
+                        _ => {
+                            // Capacity came back but the best shape is the
+                            // one already running: resume in place.
+                            restore = self
+                                .store
+                                .load_latest(&cur_spec, self.model_cfg)
+                                .ok()
+                                .map(|r| r.snapshot);
+                        }
+                    }
+                    attempt += 1;
+                }
+                Some(e) if Self::is_restartable(&e) && fatal_restarts < self.cfg.max_restarts => {
                     // The armed kill has fired; it must not re-arm after
                     // the restart.
                     if let Some(i) = armed {
                         pending.remove(i);
                     }
+                    // The kill iteration bounds what the attempt reached.
+                    let reached = kill.map_or(start_iter, |kp| kp.iteration);
+                    if elastic {
+                        // Debit the capacity ledger: the incident's own
+                        // dead ranks (at least one when a kill fired),
+                        // plus any scheduled losses up to the failure.
+                        if kill.is_some() || !dead_ranks.is_empty() {
+                            capacity = capacity.saturating_sub(dead_ranks.len().max(1));
+                        }
+                        while lost.first().is_some_and(|&(li, _)| li <= reached) {
+                            let (_, ranks) = lost.remove(0);
+                            capacity = capacity.saturating_sub(ranks);
+                        }
+                    }
+
+                    // Pick where the next attempt runs: shrunken when the
+                    // survivors no longer fit the current world.
+                    let shrink_to = if elastic && capacity < cur_spec.world() {
+                        match self.best_spec(&cost, capacity) {
+                            Some(t) => Some(t),
+                            None => {
+                                // Nothing valid fits the survivors: the
+                                // job is out of cluster.
+                                if let Some(sink) = &self.telemetry {
+                                    sink.metrics.counter("supervisor_incidents").inc();
+                                }
+                                incidents.push(Incident {
+                                    severity: IncidentSeverity::Fatal,
+                                    attempt,
+                                    error: e.clone(),
+                                    attempt_wall_s,
+                                    resumed_from: 0,
+                                    lost_iterations: 0,
+                                    restore_s: 0.0,
+                                    backoff_s: 0.0,
+                                    cross_topology: false,
+                                    dead_ranks,
+                                });
+                                gave_up = Some(e);
+                                break;
+                            }
+                        }
+                    } else {
+                        None
+                    };
+
                     let restore_t0 = Instant::now();
-                    let restored = match self.store.load_latest(&self.spec, self.model_cfg) {
-                        Ok(r) => Some(r),
-                        Err(CheckpointError::NoneAvailable) => None,
-                        Err(_) => None,
+                    let span_t0 = self.telemetry.as_ref().map_or(0, |s| s.hub.now_ns());
+                    let (restored, to_spec) = match shrink_to {
+                        Some(tspec) => match self.store.load_latest(&tspec, self.model_cfg) {
+                            Ok(r) => (Some(r), tspec),
+                            // No durable generation yet: restart from
+                            // scratch, already at the shrunken shape.
+                            Err(CheckpointError::NoneAvailable) => (None, tspec),
+                            // Reshard unavailable (ZeRO-sharded store):
+                            // fall back to retrying the current topology
+                            // rather than aborting — the budget bounds how
+                            // long that can go on.
+                            Err(_) => (
+                                self.store.load_latest(&cur_spec, self.model_cfg).ok(),
+                                cur_spec,
+                            ),
+                        },
+                        None => match self.store.load_latest(&cur_spec, self.model_cfg) {
+                            Ok(r) => (Some(r), cur_spec),
+                            Err(_) => (None, cur_spec),
+                        },
                     };
                     let restore_s = restore_t0.elapsed().as_secs_f64();
                     let resumed_from = restored.as_ref().map_or(0, |r| r.snapshot.next_iter);
                     let cross_topology = restored.as_ref().is_some_and(|r| r.cross_topology);
-
                     // Iterations completed in this attempt but after the
                     // restored checkpoint will be re-executed: lost work.
-                    // The kill iteration bounds what the attempt reached.
-                    let reached = kill.map_or(start_iter, |k| k.iteration);
                     let lost_iterations = reached.saturating_sub(resumed_from);
 
                     // Losses up to the resume point are final — the next
                     // attempt recomputes everything after it.
                     let safe = resumed_from.max(start_iter);
                     losses[start_iter..safe].copy_from_slice(&out.log.losses[start_iter..safe]);
+                    self.count_topology_iters(&cur_spec, reached.saturating_sub(start_iter));
+
+                    if Self::dims(&to_spec) != Self::dims(&cur_spec) {
+                        let rc = Reconfiguration {
+                            at_iter: reached,
+                            generation: restored.as_ref().map_or(0, |r| r.generation),
+                            from: Self::dims(&cur_spec),
+                            to: Self::dims(&to_spec),
+                            direction: ReconfigureDirection::Shrink,
+                            capacity,
+                            restore_s,
+                        };
+                        self.trace_reconfiguration(&rc, attempt, span_t0);
+                        reconfigurations.push(rc);
+                        Self::remap_kills(&mut pending, &cur_spec, &to_spec);
+                        cur_spec = to_spec;
+                    }
 
                     let backoff = self
                         .cfg
                         .backoff_base
-                        .saturating_mul(1u32 << attempt.min(20))
+                        .saturating_mul(1u32 << fatal_restarts.min(20))
                         .min(self.cfg.backoff_max);
                     std::thread::sleep(backoff);
 
@@ -418,6 +828,8 @@ impl Supervisor {
                     });
                     last_error = Some(e);
                     restore = restored.map(|r| r.snapshot);
+                    fatal_restarts += 1;
+                    attempt += 1;
                 }
                 Some(e) => {
                     // Non-retryable, or the budget is spent.
@@ -450,6 +862,7 @@ impl Supervisor {
             final_params,
             incidents,
             transient,
+            reconfigurations,
             attempts,
             restarts,
             gave_up,
@@ -534,6 +947,10 @@ mod tests {
         assert_eq!(report.attempts, 2);
         assert_eq!(report.incidents.len(), 1);
         assert_eq!(report.restarts, 1, "exactly one restore paid");
+        assert!(
+            report.reconfigurations.is_empty(),
+            "non-elastic runs never reshape"
+        );
         let inc = &report.incidents[0];
         assert!(Supervisor::is_restartable(&inc.error));
         assert_eq!(inc.severity, IncidentSeverity::Fatal);
@@ -602,6 +1019,33 @@ mod tests {
         assert_eq!(sup.comm_timeout(0), Duration::from_secs(8));
         assert_eq!(sup.comm_timeout(1), Duration::from_secs(4));
         assert_eq!(sup.comm_timeout(2), Duration::from_secs(3), "floored");
+        let _ = fs::remove_dir_all(sup.store.root());
+    }
+
+    #[test]
+    fn flat_rank_roundtrips_thread_key() {
+        let spec = PtdpSpec::new(2, 2, 2);
+        for r in 0..spec.world() {
+            assert_eq!(spec.flat_rank(spec.thread_key(r)), r);
+        }
+    }
+
+    #[test]
+    fn best_spec_fits_capacity_and_inherits_knobs() {
+        let c = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let master = GptModel::new(c, &mut rng);
+        let mut spec = PtdpSpec::new(2, 2, 2);
+        spec.microbatch = 2;
+        spec.lr = 0.042;
+        let store = CheckpointStore::open(tmp_root("bestspec")).unwrap();
+        let sup = Supervisor::new(master, spec, store, SupervisorConfig::default());
+        let cost = sup.cost_model(16);
+        let best = sup.best_spec(&cost, 7).expect("a config fits 7 ranks");
+        assert!(best.world() <= 7);
+        assert_eq!(best.lr, 0.042, "non-topology knobs inherited");
+        assert_eq!(best.microbatch, 2);
+        assert!(sup.best_spec(&cost, 0).is_none(), "nothing fits zero GPUs");
         let _ = fs::remove_dir_all(sup.store.root());
     }
 }

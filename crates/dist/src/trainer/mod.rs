@@ -275,16 +275,24 @@ impl PtdpTrainer {
             })
             .or_else(|| results.iter().find_map(|(_, r)| r.as_ref().err().cloned()));
 
+        // Every worker has exited (joined above), so the log mutexes have
+        // no other holders — but a worker that panicked mid-update leaves
+        // them poisoned. The partial logs are still the best record of the
+        // run, and `error` already carries the classified failure, so take
+        // the data instead of propagating the panic.
         let world = p * d * t;
         let snapshot = ckpts
             .into_inner()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .filter(|(_, threads)| threads.len() == world)
             .max_by_key(|(next_iter, _)| *next_iter)
             .map(|(next_iter, threads)| TrainSnapshot { next_iter, threads });
 
-        let comm_volumes = Arc::try_unwrap(comm_volumes).unwrap().into_inner().unwrap();
+        let comm_volumes = Arc::try_unwrap(comm_volumes)
+            .unwrap()
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
         if let Some(sink) = &ctl.telemetry {
             let mut total = 0.0f64;
             for ((cpi, cdi, cti), vol) in &comm_volumes {
@@ -299,12 +307,27 @@ impl PtdpTrainer {
 
         TrainOutcome {
             log: TrainLog {
-                losses: Arc::try_unwrap(losses).unwrap().into_inner().unwrap(),
-                final_params: Arc::try_unwrap(final_params).unwrap().into_inner().unwrap(),
-                peak_stash_floats: Arc::try_unwrap(peak_stash).unwrap().into_inner().unwrap(),
-                step_times: Arc::try_unwrap(step_times).unwrap().into_inner().unwrap(),
+                losses: Arc::try_unwrap(losses)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner()),
+                final_params: Arc::try_unwrap(final_params)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner()),
+                peak_stash_floats: Arc::try_unwrap(peak_stash)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner()),
+                step_times: Arc::try_unwrap(step_times)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner()),
                 comm_volumes,
-                comm_ops: Arc::try_unwrap(comm_ops).unwrap().into_inner().unwrap(),
+                comm_ops: Arc::try_unwrap(comm_ops)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner()),
             },
             error,
             snapshot,

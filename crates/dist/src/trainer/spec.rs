@@ -81,4 +81,20 @@ impl PtdpSpec {
         let pi = rank / (self.tensor * self.data);
         (pi, di, ti)
     }
+
+    /// Inverse of [`PtdpSpec::thread_key`]: the flat rank index of a
+    /// thread coordinate under this spec. The elastic supervisor uses it
+    /// to carry fault-injection points across a topology change (a kill
+    /// aimed at a rank of the old world maps to `flat % new_world`).
+    pub fn flat_rank(&self, key: ThreadKey) -> usize {
+        let (pi, di, ti) = key;
+        assert!(
+            pi < self.pipeline && di < self.data && ti < self.tensor,
+            "thread {key:?} out of range for ({}, {}, {})",
+            self.pipeline,
+            self.tensor,
+            self.data
+        );
+        pi * (self.data * self.tensor) + di * self.tensor + ti
+    }
 }

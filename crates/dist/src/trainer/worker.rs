@@ -412,7 +412,10 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                         p2p_sends.push((((stage + 1) % p, di, ti), send_elems));
                     }
                     stash_floats += cache.float_count();
-                    let mut peak = peak_stash.lock().unwrap();
+                    // Log mutexes tolerate poison: a peer that died holding
+                    // one must not crash the survivors (they report a clean
+                    // CommError instead).
+                    let mut peak = peak_stash.lock().unwrap_or_else(|e| e.into_inner());
                     let e = peak.entry((pi, di, ti)).or_insert(0);
                     *e = (*e).max(stash_floats);
                     drop(peak);
@@ -557,7 +560,7 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                 SpanArgs::bytes(ring_all_reduce_bytes(spec.data, 1)),
             );
             if di == 0 {
-                losses.lock().unwrap()[iter] = l[0];
+                losses.lock().unwrap_or_else(|e| e.into_inner())[iter] = l[0];
             }
         }
 
@@ -680,7 +683,7 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
                 // it (canonical layout + manifest); peers may already be
                 // running the next iteration.
                 let complete = {
-                    let mut map = ckpts.lock().unwrap();
+                    let mut map = ckpts.lock().unwrap_or_else(|e| e.into_inner());
                     let entry = map.entry(iter + 1).or_default();
                     entry.insert(key, state);
                     (entry.len() == spec.world()).then(|| entry.clone())
@@ -710,7 +713,7 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         // recorded before the fault (they used to be bare f64 pushes).
         step_times
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .entry(key)
             .or_default()
             .push(StepSample {
@@ -730,15 +733,18 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         }
     }
 
-    comm_volumes.lock().unwrap().insert(
-        key,
-        RankCommVolume {
-            tensor: tg.comm_volume(),
-            data: dg.comm_volume(),
-            p2p_send_bytes,
-        },
-    );
-    comm_ops.lock().unwrap().insert(
+    comm_volumes
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(
+            key,
+            RankCommVolume {
+                tensor: tg.comm_volume(),
+                data: dg.comm_volume(),
+                p2p_send_bytes,
+            },
+        );
+    comm_ops.lock().unwrap_or_else(|e| e.into_inner()).insert(
         key,
         RankCommOps {
             tensor: tg.take_op_log(),
@@ -748,7 +754,7 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     );
     final_params
         .lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .insert(key, model.flat_params());
     Ok(())
 }

@@ -98,6 +98,82 @@ impl GoodputModel {
     }
 }
 
+/// Elastic extension of [`GoodputModel`]: what shrink-and-continue is
+/// worth against restart-at-full-topology when the cluster loses capacity
+/// for a while.
+///
+/// An outage of `O` wall seconds forces a choice. The **elastic** policy
+/// reconfigures onto the best degraded (p, t, d) and keeps training at
+/// `relative_throughput` (ρ) of the full configuration, paying
+/// `reconfigure_s` of cross-topology restore beyond what the base model
+/// already charges per failure; the **restart** policy restores at the
+/// full topology and therefore stalls for the whole outage. Both inherit
+/// the base model's checkpoint-save and lost-work overheads. Elastic wins
+/// exactly when the work recovered during the outage exceeds the extra
+/// reconfiguration cost: `O·ρ > reconfigure_s`
+/// ([`ElasticGoodputModel::break_even_outage_s`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticGoodputModel {
+    /// The underlying checkpoint/failure model (saves, restores, MTBF).
+    pub base: GoodputModel,
+    /// Degraded-topology throughput relative to full, in (0, 1]. The sim
+    /// cost model (`megatron_sim::elastic::CostModel`) predicts it; a real
+    /// elastic run measures it as `clean_iter_s / degraded_iter_s`.
+    pub relative_throughput: f64,
+    /// Extra reconfiguration seconds the elastic policy pays beyond the
+    /// base model's per-failure restart cost (typically the grow-side
+    /// cross-topology restore; the shrink-side restore is the failure's
+    /// ordinary restart, already priced by `base`).
+    pub reconfigure_s: f64,
+}
+
+impl ElasticGoodputModel {
+    /// Goodput of shrink-and-continue for a job of `useful_s` seconds of
+    /// full-topology work, checkpointing every `interval_s`, through an
+    /// outage of `outage_s` wall seconds. During the outage the job runs
+    /// at `relative_throughput`, stretching wall-clock by
+    /// `outage_s · (1 − ρ)` plus the reconfiguration cost.
+    pub fn elastic_goodput(&self, interval_s: f64, useful_s: f64, outage_s: f64) -> f64 {
+        assert!(useful_s > 0.0, "job must contain useful work");
+        assert!(
+            self.relative_throughput > 0.0 && self.relative_throughput <= 1.0,
+            "relative throughput must be in (0, 1]"
+        );
+        let f = self.base.goodput(interval_s);
+        if f <= 0.0 {
+            return 0.0;
+        }
+        let (stretch, reconfigure) = if outage_s > 0.0 {
+            (
+                outage_s * (1.0 - self.relative_throughput),
+                self.reconfigure_s,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        (useful_s / (useful_s / f + stretch + reconfigure)).clamp(0.0, 1.0)
+    }
+
+    /// Goodput of the restart-at-full baseline over the same job: the
+    /// outage is pure stall (its post-outage restore is the base model's
+    /// ordinary per-failure restart cost).
+    pub fn restart_goodput(&self, interval_s: f64, useful_s: f64, outage_s: f64) -> f64 {
+        assert!(useful_s > 0.0, "job must contain useful work");
+        let f = self.base.goodput(interval_s);
+        if f <= 0.0 {
+            return 0.0;
+        }
+        (useful_s / (useful_s / f + outage_s.max(0.0))).clamp(0.0, 1.0)
+    }
+
+    /// The outage duration above which elastic beats restart:
+    /// `reconfigure_s / ρ`. Shorter outages are not worth the
+    /// reconfiguration; longer ones are, strictly.
+    pub fn break_even_outage_s(&self) -> f64 {
+        self.reconfigure_s / self.relative_throughput
+    }
+}
+
 /// Empirical recovery accounting from a real supervised run — the
 /// measured counterpart of [`GoodputModel`]. The supervisor (in
 /// `megatron-dist`) records wall time, per-incident lost work, restore
@@ -319,6 +395,78 @@ mod tests {
             restart_s: 500.0,
         };
         assert_eq!(m.goodput(600.0), 0.0);
+    }
+
+    fn elastic_model() -> ElasticGoodputModel {
+        ElasticGoodputModel {
+            base: GoodputModel {
+                mtbf_s: 3600.0,
+                save_s: 10.0,
+                restart_s: 60.0,
+            },
+            relative_throughput: 0.5,
+            reconfigure_s: 30.0,
+        }
+    }
+
+    #[test]
+    fn elastic_equals_restart_without_an_outage() {
+        let m = elastic_model();
+        let (tau, job) = (600.0, 10_000.0);
+        let e = m.elastic_goodput(tau, job, 0.0);
+        let r = m.restart_goodput(tau, job, 0.0);
+        assert!((e - r).abs() < 1e-12, "no outage, no difference");
+        assert!(
+            (e - m.base.goodput(tau)).abs() < 1e-12,
+            "degenerates to base"
+        );
+    }
+
+    #[test]
+    fn elastic_beats_restart_past_break_even_exactly() {
+        let m = elastic_model();
+        let (tau, job) = (600.0, 10_000.0);
+        let be = m.break_even_outage_s();
+        assert!((be - 60.0).abs() < 1e-12, "30 s reconfigure at rho 0.5");
+        let eps = 1e-6;
+        assert!(m.elastic_goodput(tau, job, be - 1.0) < m.restart_goodput(tau, job, be - 1.0));
+        assert!(
+            m.elastic_goodput(tau, job, be + 1.0) > m.restart_goodput(tau, job, be + 1.0) + eps,
+            "strictly better past break-even"
+        );
+    }
+
+    #[test]
+    fn both_policies_degrade_monotonically_with_outage_length() {
+        let m = elastic_model();
+        let (tau, job) = (600.0, 10_000.0);
+        let mut prev_e = f64::INFINITY;
+        let mut prev_r = f64::INFINITY;
+        for outage in [0.0, 100.0, 500.0, 2_000.0, 10_000.0] {
+            let e = m.elastic_goodput(tau, job, outage);
+            let r = m.restart_goodput(tau, job, outage);
+            assert!(e <= prev_e + 1e-12 && r <= prev_r + 1e-12);
+            prev_e = e;
+            prev_r = r;
+        }
+        // Elastic loses less per outage second: at rho = 0.5 the ratio of
+        // the policies approaches 1/(1 − rho) = 2 as the outage dominates.
+        let long = 100_000.0;
+        assert!(m.elastic_goodput(tau, job, long) > 1.5 * m.restart_goodput(tau, job, long));
+    }
+
+    #[test]
+    fn perfect_degraded_throughput_makes_outages_free() {
+        let m = ElasticGoodputModel {
+            relative_throughput: 1.0,
+            reconfigure_s: 0.0,
+            ..elastic_model()
+        };
+        let (tau, job) = (600.0, 10_000.0);
+        assert!(
+            (m.elastic_goodput(tau, job, 5_000.0) - m.base.goodput(tau)).abs() < 1e-12,
+            "rho = 1 and free reconfiguration: the outage costs nothing"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod goodput;
 pub mod plan;
 pub mod straggler;
 
-pub use goodput::{GoodputModel, RecoveryMeasurement};
+pub use goodput::{ElasticGoodputModel, GoodputModel, RecoveryMeasurement};
 pub use plan::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, DEATH_FACTOR};
 pub use straggler::{RankStats, StragglerReport};
 

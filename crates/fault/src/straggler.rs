@@ -219,7 +219,9 @@ mod tests {
         for r in [0usize, 1, 3] {
             mon.beat(r);
         }
-        let report = StragglerReport::analyze(&st, 1.5).with_liveness(&mon.classify(1.5));
+        let threshold = megatron_dist::DEFAULT_SLOW_THRESHOLD;
+        let report =
+            StragglerReport::analyze(&st, threshold).with_liveness(&mon.classify(threshold));
         assert_eq!(report.dead, vec![(1, 0, 0)]);
         let flagged: Vec<ThreadKey> = report.stragglers().iter().map(|r| r.thread).collect();
         assert_eq!(flagged, vec![(1, 0, 1)], "dead rank must not be ranked");

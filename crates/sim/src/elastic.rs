@@ -1,0 +1,370 @@
+//! Elastic-topology cost model and capacity-schedule pricing.
+//!
+//! When a cluster loses GPUs mid-job, an elastic control plane must answer
+//! two questions the discrete-event kernel alone does not: *which* degraded
+//! (p, t, d) should the survivors run, and *is* shrink-and-continue worth
+//! it against the classic restart-at-full-topology policy? This module
+//! answers both with a deliberately small analytic model:
+//!
+//! - [`CostModel::iteration_s`] prices one training iteration of a
+//!   (p, t, d) configuration — pipeline fill/drain over `m` microbatches,
+//!   tensor-parallel all-reduces per layer, and the data-parallel gradient
+//!   all-reduce — in arbitrary but consistent units, which is all a
+//!   *ranking* needs. `megatron_dist`'s supervisor uses it to pick the
+//!   best configuration that fits surviving capacity.
+//! - [`price_schedule`] walks a seeded capacity timeline and prices both
+//!   policies over schedules the real engine never runs: arbitrary outage
+//!   lengths, repeated losses, partial recoveries. The real elastic run
+//!   (E35) validates the model at one point of that space; the sweep shows
+//!   the rest.
+//!
+//! The model intentionally shares no code with the paper-scale
+//! `megatron-parallel` heuristics: those price real GPT configurations on
+//! a modeled cluster; this prices the *relative* merit of divisor
+//! topologies for one fixed job, which is what mid-job reconfiguration
+//! decisions need.
+
+/// Analytic per-iteration cost of a (p, t, d) configuration for one fixed
+/// training job. Units are arbitrary (set `unit_compute_s = 1.0` for pure
+/// ranking); only ratios between configurations matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Transformer layers in the model.
+    pub layers: usize,
+    /// Global batch size `B` (samples per iteration).
+    pub global_batch: usize,
+    /// Microbatch size `b`.
+    pub microbatch: usize,
+    /// Attention heads (constrains valid tensor-parallel sizes).
+    pub heads: usize,
+    /// Model chunks per device `v` (interleaving; 1 = none).
+    pub chunks: usize,
+    /// Seconds of forward+backward compute per layer per sample on one
+    /// unsharded rank.
+    pub unit_compute_s: f64,
+    /// Seconds per communication hop unit: one layer's worth of activation
+    /// or gradient traffic between two ranks.
+    pub hop_s: f64,
+}
+
+impl CostModel {
+    /// A ranking-only model for a job: unit compute cost, communication at
+    /// 10% of compute per hop (enough to make pure-communication
+    /// configurations lose ties, not enough to dominate).
+    pub fn for_job(layers: usize, heads: usize, global_batch: usize, microbatch: usize) -> Self {
+        CostModel {
+            layers,
+            global_batch,
+            microbatch,
+            heads,
+            chunks: 1,
+            unit_compute_s: 1.0,
+            hop_s: 0.1,
+        }
+    }
+
+    /// Is (p, t, d) a valid configuration for this job? Mirrors the
+    /// trainer's §3.1 divisibility asserts: `t | heads`,
+    /// `(p·v) | layers`, `(d·b) | B`, and enough microbatches to fill the
+    /// pipeline (`m ≥ p`, with `p | m` when interleaving).
+    pub fn is_valid(&self, p: usize, t: usize, d: usize) -> bool {
+        if p == 0 || t == 0 || d == 0 {
+            return false;
+        }
+        if !self.heads.is_multiple_of(t) || !self.layers.is_multiple_of(p * self.chunks) {
+            return false;
+        }
+        if !self.global_batch.is_multiple_of(d * self.microbatch) {
+            return false;
+        }
+        let m = self.global_batch / (d * self.microbatch);
+        m >= p && (self.chunks == 1 || m.is_multiple_of(p))
+    }
+
+    /// Estimated wall-clock seconds for one iteration at (p, t, d):
+    /// `(m + p − 1)` pipeline slots of per-stage work (compute sharded
+    /// `t` ways plus the per-layer tensor-parallel all-reduces), then the
+    /// data-parallel gradient all-reduce over each rank's `1/(p·t)` shard.
+    pub fn iteration_s(&self, p: usize, t: usize, d: usize) -> f64 {
+        debug_assert!(self.is_valid(p, t, d), "({p},{t},{d}) invalid for job");
+        let m = (self.global_batch / (d * self.microbatch)) as f64;
+        let layers_per_stage = self.layers as f64 / p as f64;
+        let compute = layers_per_stage * self.microbatch as f64 * self.unit_compute_s / t as f64;
+        // Four all-reduces per layer (two fwd, two bwd), ring volume factor
+        // 2(t−1)/t, only when the tensor group is real.
+        let tp_comm = if t > 1 {
+            layers_per_stage * 4.0 * self.hop_s * 2.0 * (t as f64 - 1.0) / t as f64
+        } else {
+            0.0
+        };
+        let pipeline = (m + p as f64 - 1.0) * (compute + tp_comm);
+        let dp_comm = if d > 1 {
+            self.layers as f64 / (p as f64 * t as f64) * self.hop_s * 2.0 * (d as f64 - 1.0)
+                / d as f64
+        } else {
+            0.0
+        };
+        pipeline + dp_comm
+    }
+
+    /// All valid (p, t, d) with `p·t·d ≤ max_world`, in deterministic
+    /// (p, t, d) order.
+    pub fn enumerate(&self, max_world: usize) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        for p in 1..=max_world {
+            for t in 1..=max_world / p {
+                for d in 1..=max_world / (p * t) {
+                    if self.is_valid(p, t, d) {
+                        out.push((p, t, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The cheapest valid configuration fitting `max_world` ranks, or
+    /// `None` when no valid configuration fits. Ties break toward the
+    /// lexically smallest (p, t, d), so the choice is deterministic.
+    pub fn best_config(&self, max_world: usize) -> Option<(usize, usize, usize)> {
+        self.enumerate(max_world).into_iter().min_by(|&a, &b| {
+            let (ca, cb) = (
+                self.iteration_s(a.0, a.1, a.2),
+                self.iteration_s(b.0, b.1, b.2),
+            );
+            ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+        })
+    }
+
+    /// Throughput of (p, t, d) relative to the full configuration
+    /// (iterations per second ratio, ≤ 1 for a degraded topology).
+    pub fn relative_throughput(
+        &self,
+        full: (usize, usize, usize),
+        degraded: (usize, usize, usize),
+    ) -> f64 {
+        self.iteration_s(full.0, full.1, full.2)
+            / self.iteration_s(degraded.0, degraded.1, degraded.2)
+    }
+}
+
+/// One step of a capacity timeline: from `at_s` on, `gpus` ranks are live.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityWindow {
+    /// Start of the window, seconds into the schedule.
+    pub at_s: f64,
+    /// Live GPUs from this instant until the next window (or the horizon).
+    pub gpus: usize,
+}
+
+/// What [`price_schedule`] computed for the two recovery policies over one
+/// capacity timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyComparison {
+    /// Schedule horizon priced, seconds.
+    pub horizon_s: f64,
+    /// Full-topology-equivalent useful seconds the elastic policy
+    /// completes (degraded windows contribute at their relative
+    /// throughput; reconfigurations cost dead time).
+    pub elastic_useful_s: f64,
+    /// Same for restart-at-full: windows that cannot hold the full
+    /// topology contribute nothing, and the return to full capacity costs
+    /// one restore.
+    pub restart_useful_s: f64,
+    /// Topology changes the elastic policy paid for.
+    pub reconfigurations: usize,
+}
+
+impl PolicyComparison {
+    /// Elastic goodput over the horizon (useful fraction of wall-clock).
+    pub fn elastic_goodput(&self) -> f64 {
+        (self.elastic_useful_s / self.horizon_s).clamp(0.0, 1.0)
+    }
+
+    /// Restart-at-full goodput over the horizon.
+    pub fn restart_goodput(&self) -> f64 {
+        (self.restart_useful_s / self.horizon_s).clamp(0.0, 1.0)
+    }
+}
+
+/// Price one capacity timeline under both recovery policies. `windows`
+/// must be sorted by `at_s` and start at the job launch; `full` is the
+/// job's launch topology; `reconfigure_s` is the cost of one topology
+/// change (a cross-topology checkpoint restore); `restore_s` is the
+/// restart policy's restore after capacity returns.
+///
+/// The elastic policy runs the best valid configuration fitting each
+/// window's capacity (idling only when none fits); restart-at-full makes
+/// progress only in windows that hold the full world. Both charge their
+/// restores as dead time. This prices schedules the real engine never
+/// runs — arbitrary outage lengths and partial recoveries — with the real
+/// engine (E35) validating one point of the space.
+pub fn price_schedule(
+    model: &CostModel,
+    full: (usize, usize, usize),
+    windows: &[CapacityWindow],
+    horizon_s: f64,
+    reconfigure_s: f64,
+    restore_s: f64,
+) -> PolicyComparison {
+    assert!(horizon_s > 0.0, "horizon must be positive");
+    assert!(!windows.is_empty(), "need at least one capacity window");
+    let full_world = full.0 * full.1 * full.2;
+    let mut elastic_useful = 0.0f64;
+    let mut restart_useful = 0.0f64;
+    let mut reconfigs = 0usize;
+    let mut elastic_cfg = Some(full);
+    let mut restart_live = true;
+
+    for (i, w) in windows.iter().enumerate() {
+        let end = windows.get(i + 1).map_or(horizon_s, |n| n.at_s);
+        let mut span = (end.min(horizon_s) - w.at_s).max(0.0);
+        if span == 0.0 {
+            continue;
+        }
+        // Elastic: run the launch topology whenever it fits (the grow
+        // target is always the operator's chosen configuration), the
+        // cost-ranked best degraded one otherwise; reconfigure when the
+        // target differs from what is currently running.
+        let target = if w.gpus >= full_world {
+            Some(full)
+        } else {
+            model.best_config(w.gpus)
+        };
+        if target != elastic_cfg {
+            if target.is_some() {
+                reconfigs += 1;
+                let pay = reconfigure_s.min(span);
+                span -= pay;
+            }
+            elastic_cfg = target;
+        }
+        if let Some(cfg) = elastic_cfg {
+            elastic_useful += span * model.relative_throughput(full, cfg);
+        }
+        // Restart-at-full: progress only with the full world live; pay one
+        // restore on each return to capacity.
+        let mut rspan = (end.min(horizon_s) - w.at_s).max(0.0);
+        let full_fits = w.gpus >= full_world;
+        if full_fits && !restart_live {
+            rspan = (rspan - restore_s).max(0.0);
+        }
+        if full_fits {
+            restart_useful += rspan;
+        }
+        restart_live = full_fits;
+    }
+
+    PolicyComparison {
+        horizon_s,
+        elastic_useful_s: elastic_useful,
+        restart_useful_s: restart_useful,
+        reconfigurations: reconfigs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> CostModel {
+        // The E35 job: 2 layers, 4 heads, B=64, b=1.
+        CostModel::for_job(2, 4, 64, 1)
+    }
+
+    #[test]
+    fn enumeration_respects_divisibility() {
+        let m = job();
+        for (p, t, d) in m.enumerate(8) {
+            assert!(m.heads.is_multiple_of(t));
+            assert!(m.layers.is_multiple_of(p));
+            assert!(m.global_batch.is_multiple_of(d));
+            assert!(p * t * d <= 8);
+            assert!(m.global_batch / d >= p, "pipeline must fill");
+        }
+        // t = 3 never divides 4 heads, p = 3 never divides 2 layers.
+        assert!(!m.enumerate(12).iter().any(|&(p, t, _)| t == 3 || p == 3));
+    }
+
+    #[test]
+    fn best_config_uses_all_capacity_and_is_deterministic() {
+        let m = job();
+        let best = m.best_config(8).expect("world 8 fits");
+        assert_eq!(best.0 * best.1 * best.2, 8, "full capacity is fastest");
+        assert_eq!(m.best_config(8), m.best_config(8));
+        // 7 ranks cannot be tiled by valid divisors beyond world 4.
+        let degraded = m.best_config(7).expect("degraded config exists");
+        assert_eq!(degraded.0 * degraded.1 * degraded.2, 4);
+        // No capacity at all → no configuration.
+        assert_eq!(m.best_config(0), None);
+    }
+
+    #[test]
+    fn bigger_worlds_are_faster() {
+        let m = job();
+        let t8 = m.iteration_s(2, 2, 2);
+        let t4 = m
+            .best_config(4)
+            .map(|c| m.iteration_s(c.0, c.1, c.2))
+            .unwrap();
+        let t2 = m
+            .best_config(2)
+            .map(|c| m.iteration_s(c.0, c.1, c.2))
+            .unwrap();
+        assert!(t8 < t4 && t4 < t2, "{t8} {t4} {t2}");
+        let rho = m.relative_throughput((2, 2, 2), m.best_config(4).unwrap());
+        assert!(rho > 0.0 && rho < 1.0, "degraded throughput {rho}");
+    }
+
+    #[test]
+    fn pricing_no_outage_means_equal_policies() {
+        let m = job();
+        let windows = [CapacityWindow { at_s: 0.0, gpus: 8 }];
+        let c = price_schedule(&m, (2, 2, 2), &windows, 100.0, 1.0, 1.0);
+        assert_eq!(c.reconfigurations, 0);
+        assert!((c.elastic_goodput() - 1.0).abs() < 1e-12);
+        assert!((c.restart_goodput() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pricing_long_outage_favors_elastic() {
+        let m = job();
+        // Lose a GPU for 60 of 100 seconds.
+        let windows = [
+            CapacityWindow { at_s: 0.0, gpus: 8 },
+            CapacityWindow {
+                at_s: 20.0,
+                gpus: 7,
+            },
+            CapacityWindow {
+                at_s: 80.0,
+                gpus: 8,
+            },
+        ];
+        let c = price_schedule(&m, (2, 2, 2), &windows, 100.0, 1.0, 1.0);
+        assert_eq!(c.reconfigurations, 2, "shrink then grow");
+        assert!(
+            c.elastic_goodput() > c.restart_goodput(),
+            "elastic {} vs restart {}",
+            c.elastic_goodput(),
+            c.restart_goodput()
+        );
+        // The restart policy idles through the whole outage.
+        assert!(c.restart_goodput() < 0.45);
+    }
+
+    #[test]
+    fn pricing_total_loss_stalls_both_policies() {
+        let m = job();
+        let windows = [
+            CapacityWindow { at_s: 0.0, gpus: 8 },
+            CapacityWindow {
+                at_s: 50.0,
+                gpus: 0,
+            },
+        ];
+        let c = price_schedule(&m, (2, 2, 2), &windows, 100.0, 1.0, 1.0);
+        assert!((c.elastic_goodput() - 0.5).abs() < 1e-9);
+        assert!((c.restart_goodput() - 0.5).abs() < 1e-9);
+    }
+}

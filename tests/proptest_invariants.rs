@@ -231,6 +231,189 @@ fn analysis_identities() {
     });
 }
 
+/// Elastic invariant: the canonical checkpoint layout round-trips across
+/// every divisor (p, t, d) topology of worlds 4, 8, and 12 — restore a
+/// source checkpoint into any target topology, re-save it there, restore
+/// back at the source topology, and every thread's parameters and Adam
+/// moments match the original bitwise. This is the property the elastic
+/// supervisor's shrink/grow path rests on: resharding is pure slicing,
+/// never arithmetic.
+#[test]
+fn canonical_restore_round_trips_across_topologies() {
+    use megatron_repro::dist::{CheckpointStore, PtdpSpec, PtdpTrainer, RunControl};
+    use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
+    use std::fs;
+    use std::sync::Arc;
+
+    let c = TinyGptConfig {
+        vocab: 13,
+        seq: 4,
+        hidden: 8,
+        heads: 4,
+        layers: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(0x5eed_e1a5);
+    let master = GptModel::new(c, &mut rng);
+    let batch = 12usize;
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..2)
+        .map(|_| {
+            let toks = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            let tgts = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect();
+
+    // All (p, t, d) with p·t·d == world that the trainer accepts: t must
+    // divide the head count, p must divide the layer count.
+    let configs = |world: usize| -> Vec<(usize, usize, usize)> {
+        let mut v = Vec::new();
+        for p in 1..=world {
+            if !world.is_multiple_of(p) || !c.layers.is_multiple_of(p) {
+                continue;
+            }
+            for t in 1..=(world / p) {
+                if !(world / p).is_multiple_of(t) || !c.heads.is_multiple_of(t) {
+                    continue;
+                }
+                v.push((p, t, world / (p * t)));
+            }
+        }
+        v
+    };
+    let targets: Vec<(usize, usize, usize)> =
+        [4usize, 8, 12].iter().flat_map(|&w| configs(w)).collect();
+    assert!(targets.len() >= 12, "divisor enumeration went wrong");
+
+    for world in [4usize, 8, 12] {
+        let source = PtdpSpec::new(2, 2, world / 4);
+        let root =
+            std::env::temp_dir().join(format!("mgprop-elastic-{world}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let store = CheckpointStore::open(&root).unwrap();
+        let out = PtdpTrainer::new(master.clone(), source).train_with(
+            &data,
+            RunControl {
+                checkpoint_every: Some(2),
+                durable: Some(Arc::clone(&store)),
+                ..RunControl::default()
+            },
+        );
+        assert!(out.error.is_none(), "{:?}", out.error);
+        let original = store.load_latest(&source, c).unwrap();
+        assert!(!original.cross_topology);
+
+        for &(p, t, d) in &targets {
+            let target = PtdpSpec {
+                pipeline: p,
+                tensor: t,
+                data: d,
+                ..source
+            };
+            let mid = store
+                .load_latest(&target, c)
+                .unwrap_or_else(|e| panic!("restore into ({p},{t},{d}) from world {world}: {e:?}"));
+            assert_eq!(mid.snapshot.next_iter, 2);
+            assert_eq!(mid.snapshot.threads.len(), p * t * d);
+
+            // Round trip: re-save at the target topology, restore back at
+            // the source topology, compare bitwise.
+            let root2 = root.join(format!("rt-{p}-{t}-{d}"));
+            let store2 = CheckpointStore::open(&root2).unwrap();
+            for (&key, state) in &mid.snapshot.threads {
+                store2.write_shard(&target, key, 2, state).unwrap();
+            }
+            store2
+                .commit_generation(&target, c, 2, &mid.snapshot.threads)
+                .unwrap();
+            let back = store2.load_latest(&source, c).unwrap();
+            assert_eq!(back.snapshot.next_iter, 2);
+            for (key, want) in &original.snapshot.threads {
+                let got = &back.snapshot.threads[key];
+                assert_eq!(got.params, want.params, "params {key:?} via ({p},{t},{d})");
+                assert_eq!(got.adam.t, want.adam.t, "adam.t {key:?} via ({p},{t},{d})");
+                assert_eq!(got.adam.m, want.adam.m, "adam.m {key:?} via ({p},{t},{d})");
+                assert_eq!(got.adam.v, want.adam.v, "adam.v {key:?} via ({p},{t},{d})");
+            }
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+/// A ZeRO-sharded run never writes the canonical layout, so a
+/// cross-topology restore must fail with a clean `CheckpointError` — not
+/// panic, and not reshard per-replica optimizer fragments into garbage.
+/// Same-topology restore keeps working.
+#[test]
+fn zero_sharded_checkpoint_fails_cross_topology_cleanly() {
+    use megatron_repro::dist::{CheckpointStore, PtdpSpec, PtdpTrainer, RunControl};
+    use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
+    use std::fs;
+    use std::sync::Arc;
+
+    let c = TinyGptConfig {
+        vocab: 13,
+        seq: 4,
+        hidden: 8,
+        heads: 4,
+        layers: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(0x5eed_02e0);
+    let master = GptModel::new(c, &mut rng);
+    let batch = 4usize;
+    let data: Vec<(Vec<usize>, Vec<usize>)> = (0..2)
+        .map(|_| {
+            let toks = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            let tgts = (0..batch * c.seq)
+                .map(|_| rng.gen_range(0..c.vocab))
+                .collect();
+            (toks, tgts)
+        })
+        .collect();
+
+    let source = PtdpSpec {
+        shard_optimizer: true,
+        ..PtdpSpec::new(2, 1, 2)
+    };
+    let root = std::env::temp_dir().join(format!("mgprop-zero-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let store = CheckpointStore::open(&root).unwrap();
+    let out = PtdpTrainer::new(master, source).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(2),
+            durable: Some(Arc::clone(&store)),
+            ..RunControl::default()
+        },
+    );
+    assert!(out.error.is_none(), "{:?}", out.error);
+
+    // Same topology: fine.
+    assert!(store.load_latest(&source, c).is_ok());
+    // Any other divisor topology of worlds 4 and 8: clean error.
+    for (p, t, d) in [(1, 1, 4), (1, 2, 2), (4, 1, 1), (2, 2, 2), (1, 4, 2)] {
+        let target = PtdpSpec {
+            pipeline: p,
+            tensor: t,
+            data: d,
+            ..source
+        };
+        if (p, t, d) == (source.pipeline, source.tensor, source.data) {
+            continue;
+        }
+        assert!(
+            store.load_latest(&target, c).is_err(),
+            "ZeRO restore into ({p},{t},{d}) must fail cleanly"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
 /// DAG simulation is work-conserving: makespan is at least the busiest
 /// resource's total work and at most the sum of all task durations.
 #[test]

@@ -9,7 +9,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use megatron_repro::dist::{
-    CheckpointStore, KillSwitch, PtdpSpec, PtdpTrainer, RunControl, Supervisor, SupervisorConfig,
+    CapacityEvent, CheckpointStore, KillSwitch, PtdpSpec, PtdpTrainer, ReconfigureDirection,
+    RunControl, Supervisor, SupervisorConfig,
 };
 use megatron_repro::tensor::gpt::{GptModel, TinyGptConfig};
 use megatron_repro::tensor::Adam;
@@ -230,6 +231,201 @@ fn cross_topology_restore_resumes_on_shrunken_cluster() {
         diff = diff.max((a - s).abs());
     }
     assert!(diff < 5e-3, "resumed model diverged from serial by {diff}");
+    let _ = fs::remove_dir_all(root);
+}
+
+/// Elastic shrink with no capacity return: the supervisor drops to the
+/// cost model's best degraded (p, t, d), finishes there, and the
+/// post-shrink trajectory is bit-identical to a FRESH launch at that
+/// degraded topology restored from the same checkpoint generation.
+#[test]
+fn elastic_shrink_is_bit_identical_to_fresh_degraded_launch() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(59);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 10, 590);
+    let spec = PtdpSpec::new(2, 2, 2);
+    let kill = KillSwitch {
+        thread: (1, 1, 1),
+        iteration: 5,
+    };
+
+    let root = tmp_root("elshrink");
+    let store = CheckpointStore::open(&root).unwrap();
+    let sup = Supervisor::new(master.clone(), spec, store, fast_sup(2));
+    let report = sup.run_elastic(&data, &[kill], &[]);
+    assert!(report.completed(), "gave up: {:?}", report.gave_up);
+    assert_eq!(report.reconfigurations.len(), 1, "one shrink, no grow");
+    let rc = report.reconfigurations[0];
+    assert_eq!(rc.direction, ReconfigureDirection::Shrink);
+    assert_eq!(rc.from, (2, 2, 2));
+    assert_eq!(
+        rc.generation, 4,
+        "restored from the boundary before the kill"
+    );
+    let to = PtdpSpec {
+        pipeline: rc.to.0,
+        tensor: rc.to.1,
+        data: rc.to.2,
+        ..spec
+    };
+    assert!(to.world() <= 7, "must fit the surviving capacity");
+
+    // Replication: a fresh doomed full-topology run writes the same
+    // generations, then a FRESH degraded launch restores generation 4 and
+    // trains to the end — it must match the elastic run bit-for-bit.
+    let root2 = tmp_root("elshrink-ref");
+    let store2 = CheckpointStore::open(&root2).unwrap();
+    let doomed = PtdpTrainer::new(master.clone(), spec).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(2),
+            kill: Some(kill),
+            durable: Some(Arc::clone(&store2)),
+            ..RunControl::default()
+        },
+    );
+    assert!(doomed.error.is_some());
+    let restored = store2.load_latest(&to, c).expect("canonical layout");
+    assert_eq!(restored.generation, 4);
+    assert!(restored.cross_topology);
+    let fresh = PtdpTrainer::new(master, to).train_with(
+        &data,
+        RunControl {
+            restore: Some(restored.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(fresh.error.is_none(), "{:?}", fresh.error);
+    assert_eq!(report.losses[4..], fresh.log.losses[4..], "loss tail");
+    assert_eq!(
+        report.final_params.as_ref(),
+        Some(&fresh.log.final_params),
+        "final weights bit-for-bit at the degraded topology"
+    );
+    let _ = fs::remove_dir_all(root);
+    let _ = fs::remove_dir_all(root2);
+}
+
+/// Elastic shrink then grow: capacity returns mid-degraded-run and the
+/// supervisor grows back to the launch topology at the NEXT checkpoint
+/// boundary — never mid-interval — and the post-grow trajectory is
+/// bit-identical to a fresh full-topology launch from that boundary.
+#[test]
+fn elastic_grows_back_at_checkpoint_boundary() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(61);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 12, 610);
+    let spec = PtdpSpec::new(2, 2, 2);
+    let kill = KillSwitch {
+        thread: (0, 1, 0),
+        iteration: 5,
+    };
+    // The rank comes back at iteration 7; with checkpoints every 2 the
+    // grow must wait for the boundary at iteration 8.
+    let returned = [CapacityEvent::Returned {
+        iteration: 7,
+        ranks: 1,
+    }];
+
+    let root = tmp_root("elgrow");
+    let store = CheckpointStore::open(&root).unwrap();
+    let sup = Supervisor::new(master.clone(), spec, store, fast_sup(2));
+    let report = sup.run_elastic(&data, &[kill], &returned);
+    assert!(report.completed(), "gave up: {:?}", report.gave_up);
+    assert_eq!(report.reconfigurations.len(), 2, "shrink then grow");
+    let shrink = report.reconfigurations[0];
+    let grow = report.reconfigurations[1];
+    assert_eq!(shrink.direction, ReconfigureDirection::Shrink);
+    assert_eq!(shrink.generation, 4);
+    assert_eq!(grow.direction, ReconfigureDirection::Grow);
+    assert_eq!(grow.at_iter, 8, "boundary after the iteration-7 return");
+    assert_eq!(grow.generation, 8);
+    assert_eq!(grow.to, (2, 2, 2), "back to the launch topology");
+    assert_eq!(report.restarts, 1, "the grow is a launch, not a restart");
+
+    // Replication: doomed full run -> fresh degraded launch over the
+    // degraded window -> fresh full launch from the grow boundary.
+    let degraded = PtdpSpec {
+        pipeline: shrink.to.0,
+        tensor: shrink.to.1,
+        data: shrink.to.2,
+        ..spec
+    };
+    let root2 = tmp_root("elgrow-ref");
+    let store2 = CheckpointStore::open(&root2).unwrap();
+    let doomed = PtdpTrainer::new(master.clone(), spec).train_with(
+        &data,
+        RunControl {
+            checkpoint_every: Some(2),
+            kill: Some(kill),
+            durable: Some(Arc::clone(&store2)),
+            ..RunControl::default()
+        },
+    );
+    assert!(doomed.error.is_some());
+    let restored = store2.load_latest(&degraded, c).expect("canonical layout");
+    assert_eq!(restored.generation, 4);
+    let mid = PtdpTrainer::new(master.clone(), degraded).train_with(
+        &data[..8],
+        RunControl {
+            checkpoint_every: Some(2),
+            restore: Some(restored.snapshot),
+            durable: Some(Arc::clone(&store2)),
+            ..RunControl::default()
+        },
+    );
+    assert!(mid.error.is_none(), "{:?}", mid.error);
+    assert_eq!(report.losses[4..8], mid.log.losses[4..8], "degraded window");
+    let regrown = store2.load_latest(&spec, c).expect("boundary generation");
+    assert_eq!(regrown.generation, 8);
+    let tail = PtdpTrainer::new(master, spec).train_with(
+        &data,
+        RunControl {
+            restore: Some(regrown.snapshot),
+            ..RunControl::default()
+        },
+    );
+    assert!(tail.error.is_none(), "{:?}", tail.error);
+    assert_eq!(report.losses[8..], tail.log.losses[8..], "post-grow tail");
+    assert_eq!(
+        report.final_params.as_ref(),
+        Some(&tail.log.final_params),
+        "final weights bit-for-bit after growing back"
+    );
+    let _ = fs::remove_dir_all(root);
+    let _ = fs::remove_dir_all(root2);
+}
+
+/// When failures eat the whole cluster, the elastic supervisor reports a
+/// clean give-up instead of hanging or panicking.
+#[test]
+fn elastic_gives_up_cleanly_when_capacity_hits_zero() {
+    let c = cfg();
+    let mut rng = StdRng::seed_from_u64(67);
+    let master = GptModel::new(c, &mut rng);
+    let data = make_data(c, 4, 10, 670);
+    let spec = PtdpSpec::new(1, 1, 2);
+    let kills = [
+        KillSwitch {
+            thread: (0, 1, 0),
+            iteration: 3,
+        },
+        KillSwitch {
+            thread: (0, 0, 0),
+            iteration: 6,
+        },
+    ];
+
+    let root = tmp_root("elzero");
+    let store = CheckpointStore::open(&root).unwrap();
+    let sup = Supervisor::new(master, spec, store, fast_sup(2));
+    let report = sup.run_elastic(&data, &kills, &[]);
+    assert!(!report.completed(), "no capacity left to run on");
+    assert!(report.gave_up.is_some());
+    assert_eq!(report.reconfigurations.len(), 1, "shrank once, then died");
+    assert_eq!(report.reconfigurations[0].to, (1, 1, 1));
     let _ = fs::remove_dir_all(root);
 }
 
