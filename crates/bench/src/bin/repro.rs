@@ -4,7 +4,7 @@
 //! `repro chaos ...` runs the seeded chaos sweep with tunable knobs;
 //! `repro serving ...` / `repro collective ...` take benchmark flags.
 
-use megatron_bench::{chaos, collective_bench, experiments, serving, simulate_cli};
+use megatron_bench::{chaos, collective_bench, experiments, sentry, serving, simulate_cli};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +19,15 @@ fn main() {
             println!("\n{}", chaos::USAGE);
             println!("\n{}", serving::USAGE);
             println!("\n{}", collective_bench::USAGE);
+            println!("\n{}", sentry::USAGE);
         }
+        Some("sentry") => match sentry::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
         Some("chaos") if args.len() > 1 => match chaos::run(&args[1..]) {
             Ok(report) => println!("{report}"),
             Err(e) => {

@@ -198,6 +198,11 @@ pub fn all() -> Vec<Experiment> {
             paper_ref: "E35: elastic (p,t,d) shrink-and-continue vs restart-at-full goodput",
             run: crate::elastic_bench::elastic,
         },
+        Experiment {
+            name: "analyze",
+            paper_ref: "E36: cross-rank critical path, time attribution, what-if bounds",
+            run: crate::analyze::analyze,
+        },
     ]
 }
 

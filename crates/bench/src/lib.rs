@@ -5,12 +5,14 @@
 //! available. The `repro` binary dispatches to them by name; `repro all`
 //! runs the full sweep (used to fill `EXPERIMENTS.md`).
 
+pub mod analyze;
 pub mod chaos;
 pub mod collective_bench;
 pub mod elastic_bench;
 pub mod experiments;
 pub mod harness;
 pub mod perf;
+pub mod sentry;
 pub mod serving;
 pub mod simulate_cli;
 pub mod table;

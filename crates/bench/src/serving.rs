@@ -359,8 +359,8 @@ fn report(knobs: &ServingKnobs) -> String {
     let lats = s.latencies();
     let ttft_h = metrics.histogram("serve.ttft_seconds");
     let lat_h = metrics.histogram("serve.latency_seconds");
-    let (hp50, hp95, hp99) = lat_h.percentiles();
-    let (tp50, tp95, tp99) = ttft_h.percentiles();
+    let (hp50, hp95, hp99) = lat_h.percentiles().unwrap_or((0.0, 0.0, 0.0));
+    let (tp50, tp95, tp99) = ttft_h.percentiles().unwrap_or((0.0, 0.0, 0.0));
     let flops = total_flops(
         &gcfg,
         &s.requests

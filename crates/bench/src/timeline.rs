@@ -34,7 +34,7 @@ use crate::table::Table;
 
 /// Real-trainer model: small enough to train in milliseconds, big enough
 /// that every phase (fwd, bwd, p2p, grad sync, optimizer) is exercised.
-const REAL_CFG: TinyGptConfig = TinyGptConfig {
+pub(crate) const REAL_CFG: TinyGptConfig = TinyGptConfig {
     vocab: 13,
     seq: 8,
     hidden: 32,
@@ -43,7 +43,7 @@ const REAL_CFG: TinyGptConfig = TinyGptConfig {
 };
 
 /// The simulator twin of [`REAL_CFG`] — same `l`, `h`, `a`, `s`, `V`.
-fn mirror_cfg() -> GptConfig {
+pub(crate) fn mirror_cfg() -> GptConfig {
     GptConfig {
         name: "timeline-twin".to_string(),
         num_layers: REAL_CFG.layers as u64,
@@ -54,7 +54,7 @@ fn mirror_cfg() -> GptConfig {
     }
 }
 
-fn make_data(batch: usize, iters: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+pub(crate) fn make_data(batch: usize, iters: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..iters)
         .map(|_| {

@@ -22,8 +22,10 @@ pub mod kind {
     pub const BACKWARD: u32 = 2;
     /// Pipeline point-to-point transfer.
     pub const P2P: u32 = 3;
-    /// Data-parallel all-reduce + optimizer step.
+    /// Optimizer step.
     pub const OPTIMIZER: u32 = 4;
+    /// Data-parallel gradient all-reduce.
+    pub const DATA_PARALLEL: u32 = 5;
 }
 
 /// Execution options (§4's optimizations and §2.2's schedule choice).
@@ -265,6 +267,10 @@ impl TrainingRun {
 
         let mut prev_on_device: Vec<Option<TaskId>> = vec![None; p];
         let mut arrival: HashMap<(Pass, usize, usize), TaskId> = HashMap::new();
+        // (pass, microbatch) per task, so the exported trace carries the
+        // same matching keys the real-trainer spans do and the telemetry
+        // DAG analyzer can join a transfer to the compute it gates.
+        let mut task_meta: HashMap<TaskId, (Pass, usize)> = HashMap::new();
 
         for span in &replay.spans {
             let d = span.device;
@@ -283,6 +289,7 @@ impl TrainingRun {
                 deps.push(t);
             }
             let task = sim.add_task(compute[d], secs_to_time(dur), &deps, k);
+            task_meta.insert(task, (op.pass, op.microbatch));
             prev_on_device[d] = Some(task);
 
             // Emit the outbound transfer feeding the adjacent stage.
@@ -295,6 +302,7 @@ impl TrainingRun {
                         &[task],
                         kind::P2P,
                     );
+                    task_meta.insert(tx, (Pass::Forward, op.microbatch));
                     arrival.insert((Pass::Forward, op.microbatch, stage + 1), tx);
                     if self.options.blocking_p2p {
                         prev_on_device[d] = Some(tx);
@@ -308,6 +316,7 @@ impl TrainingRun {
                         &[task],
                         kind::P2P,
                     );
+                    task_meta.insert(tx, (Pass::Backward, op.microbatch));
                     arrival.insert((Pass::Backward, op.microbatch, stage - 1), tx);
                     if self.options.blocking_p2p {
                         prev_on_device[d] = Some(tx);
@@ -317,17 +326,20 @@ impl TrainingRun {
             }
         }
 
-        // Gradient all-reduce + optimizer step per device after its flush.
+        // Gradient all-reduce then optimizer step per device after its
+        // flush — two tasks, so the trace (and the analyzer's attribution)
+        // can tell exposed data-parallel communication from optimizer math.
         let dp_time = costs::data_parallel_all_reduce_time(&self.model, &self.cluster, pc);
         let opt_time = costs::optimizer_step_time(&self.model, &self.cluster, pc);
         for d in 0..p {
             let deps: Vec<TaskId> = prev_on_device[d].into_iter().collect();
-            sim.add_task(
+            let ar = sim.add_task(
                 compute[d],
-                secs_to_time(dp_time + opt_time),
+                secs_to_time(dp_time),
                 &deps,
-                kind::OPTIMIZER,
+                kind::DATA_PARALLEL,
             );
+            sim.add_task(compute[d], secs_to_time(opt_time), &[ar], kind::OPTIMIZER);
         }
 
         let result = sim
@@ -428,21 +440,33 @@ impl TrainingRun {
                     kind::FORWARD => "forward",
                     kind::BACKWARD => "backward",
                     kind::P2P => "pipeline-p2p",
-                    kind::OPTIMIZER => "grad-allreduce+optimizer",
+                    kind::OPTIMIZER => "optimizer",
+                    kind::DATA_PARALLEL => "grad-allreduce",
                     _ => "other",
                 }
                 .to_string()
             },
             &|s| {
-                // Attach modeled byte volumes so the sim trace carries the
-                // same `args.bytes` payload as the real-trainer exporter.
-                match s.kind {
+                // Attach modeled byte volumes and the (pass, microbatch)
+                // matching keys so the sim trace carries the same `args`
+                // payload as the real-trainer exporter and the telemetry
+                // DAG analyzer can join transfers to the compute they gate.
+                let mut out = match s.kind {
                     kind::P2P => vec![("bytes".to_string(), Json::Num(wire_per_boundary))],
-                    kind::OPTIMIZER => {
+                    kind::DATA_PARALLEL => {
                         vec![("bytes".to_string(), Json::Num(data_parallel_bytes_per_gpu))]
                     }
                     _ => Vec::new(),
+                };
+                if let Some(&(pass, mb)) = task_meta.get(&s.task) {
+                    let pass = match pass {
+                        Pass::Forward => "fwd",
+                        Pass::Backward => "bwd",
+                    };
+                    out.push(("pass".to_string(), Json::Str(pass.to_string())));
+                    out.push(("microbatch".to_string(), Json::Num(mb as f64)));
                 }
+                out
             },
             &[],
         );
@@ -626,10 +650,19 @@ mod tests {
             "forward",
             "backward",
             "pipeline-p2p",
-            "grad-allreduce+optimizer",
+            "grad-allreduce",
+            "optimizer",
         ] {
             assert!(names.contains(want), "missing {want} in {names:?}");
         }
+        // Compute and transfer spans carry the (pass, microbatch) keys the
+        // telemetry DAG analyzer joins on.
+        let fwd = events
+            .iter()
+            .find(|e| e["name"].as_str() == Some("pipeline-p2p"))
+            .unwrap();
+        assert_eq!(fwd["args"]["pass"].as_str(), Some("fwd"));
+        assert!(fwd["args"]["microbatch"].as_f64().is_some());
     }
 
     #[test]

@@ -258,7 +258,11 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     // hub on drop, so spans survive the error paths too), plus cached
     // handles to the shared bubble/step counters.
     let flat_rank = pi * (spec.data * spec.tensor) + di * spec.tensor + ti;
-    let mut tracer = ctl.telemetry.as_ref().map(|s| s.hub.tracer(flat_rank, key));
+    let mut tracer = ctl.telemetry.as_ref().map(|s| {
+        s.hub
+            .tracer(flat_rank, key)
+            .with_drop_counter(s.metrics.counter(&format!("spans_dropped.rank{flat_rank}")))
+    });
     let _stats_flush = TransportStatsFlush {
         tg: &tg,
         dg: &dg,

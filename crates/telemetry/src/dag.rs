@@ -1,0 +1,543 @@
+//! Cross-rank happens-before DAG built from trace spans.
+//!
+//! Input is the Chrome-trace JSON both exporters already emit — the real
+//! trainer's [`chrome_trace_json`](crate::chrome_trace_json) (`pid = 1 +
+//! rank`) and the simulator's `simulate_traced` (`pid 0`, rows = device
+//! compute/net ports) — so one analyzer runs unchanged on either trace.
+//! Nodes are spans; edges are:
+//!
+//! * **program order**: spans on one rank happen in recorded order;
+//! * **pipeline p2p**: a `p2p-send-{fwd,bwd}` span on stage `pi` matches
+//!   the `pipeline-wait-{fwd,bwd}` span with the same (epoch, iteration,
+//!   microbatch, chunk) on the stage neighbour with the same `(di, ti)` —
+//!   the boundary/peer identification `StallContext` names at runtime; in
+//!   the sim trace a `pipeline-p2p` net-row span gates the compute span
+//!   with the same (pass, microbatch) on the adjacent device row;
+//! * **collectives**: the k-th `grad-allreduce` / `grad-reduce-scatter` /
+//!   `param-allgather` / `loss-allreduce` span of an iteration is matched
+//!   across the data-parallel group (ranks sharing `(pi, ti)`). The claim
+//!   that the *last-arriving* member gates every member's completion is
+//!   not assumed — it is derived from the round structure of the
+//!   `megatron-collective` step [`Program`]: [`dependency_closure`]
+//!   propagates contributor sets through each round's send/recv dataflow,
+//!   and the ring programs the trainer runs yield the full closure (every
+//!   rank's output depends on every rank's input).
+//!
+//! The joined DAG is what [`critical_path`](crate::critical_path) walks.
+
+use std::collections::HashMap;
+
+use megatron_collective::{Combine, Program};
+use megatron_sim::json::Json;
+
+use crate::span::RankKey;
+
+/// Analyzer phase taxonomy: the span categories plus `Other` for anything
+/// a future exporter might add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Forward/backward compute (incl. nested tensor-parallel collectives).
+    Compute,
+    /// Explicit communication.
+    Comm,
+    /// Pipeline wait.
+    Bubble,
+    /// Optimizer step.
+    Optimizer,
+    /// Checkpoint save.
+    Checkpoint,
+    /// Unrecognized category.
+    Other,
+}
+
+/// One span as the analyzer sees it — exporter-independent: names and
+/// categories are owned strings, timestamps are hub-relative nanoseconds,
+/// and the matching keys (`iteration`, `microbatch`, ...) are optional
+/// because the sim trace only carries the subset it needs.
+#[derive(Debug, Clone)]
+pub struct ASpan {
+    /// Display name (`"forward"`, `"p2p-send-fwd"`, `"pipeline-p2p"`...).
+    pub name: String,
+    /// Phase bucket, derived from the trace `cat` (real) or name (sim).
+    pub phase: Phase,
+    /// Start, ns.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Supervisor epoch (real traces).
+    pub epoch: Option<u64>,
+    /// Training iteration (real traces).
+    pub iteration: Option<u64>,
+    /// Microbatch matching key.
+    pub microbatch: Option<u64>,
+    /// Virtual-pipeline chunk matching key.
+    pub chunk: Option<u64>,
+    /// `"fwd"` / `"bwd"` direction (sim p2p / compute spans).
+    pub pass: Option<String>,
+    /// Bytes moved (comm spans).
+    pub bytes: Option<f64>,
+}
+
+impl ASpan {
+    /// End timestamp, ns.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// One rank's (or sim device row pair's) span timeline, sorted by start.
+#[derive(Debug, Clone)]
+pub struct ARank {
+    /// Flat rank id (real) or pipeline device index (sim).
+    pub rank: usize,
+    /// `(pi, di, ti)` coordinates; sim devices map to `(dev, 0, 0)`.
+    pub key: RankKey,
+    /// Spans sorted by `start_ns`.
+    pub spans: Vec<ASpan>,
+}
+
+/// Node address: `(rank index, span index)` into [`TraceDag::ranks`].
+pub type Node = (usize, usize);
+
+/// Why an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Pipeline point-to-point transfer feeding a stage neighbour.
+    P2p,
+}
+
+/// A cross-rank happens-before edge. For real traces the target is the
+/// *wait* span whose end the source's completion gates; for sim traces
+/// the target is the *compute* span whose start the transfer gates.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Source node (the send/transfer span).
+    pub from: Node,
+    /// Edge type.
+    pub kind: EdgeKind,
+}
+
+/// One matched collective instance: the same logical collective's span on
+/// every participating rank.
+#[derive(Debug, Clone)]
+pub struct CollInstance {
+    /// Member spans, one per participating rank.
+    pub members: Vec<Node>,
+    /// Whether the program's dependency closure is complete — every
+    /// member's output depends on every member's input, so the last
+    /// arrival gates all completions (true for the ring programs).
+    pub full_closure: bool,
+}
+
+/// The joined cross-rank DAG.
+#[derive(Debug)]
+pub struct TraceDag {
+    /// Per-rank timelines.
+    pub ranks: Vec<ARank>,
+    /// Pipeline stage count the trace was exported with.
+    pub pipeline_stages: usize,
+    /// True when the spans came from the simulator (`pid 0`).
+    pub sim: bool,
+    /// Cross-rank edge gating each target node, if any.
+    pub incoming: HashMap<Node, Edge>,
+    /// Matched collective instances.
+    pub collectives: Vec<CollInstance>,
+    /// Collective instance index each member span belongs to.
+    pub member_of: HashMap<Node, usize>,
+}
+
+/// Collective span names the trainer emits over the data-parallel group.
+const COLLECTIVE_NAMES: [&str; 4] = [
+    "grad-allreduce",
+    "grad-reduce-scatter",
+    "param-allgather",
+    "loss-allreduce",
+];
+
+fn phase_of(cat: &str, name: &str) -> Phase {
+    match cat {
+        "fwd" | "bwd" => Phase::Compute,
+        "comm" => Phase::Comm,
+        "bubble" => Phase::Bubble,
+        "opt" => Phase::Optimizer,
+        "ckpt" => Phase::Checkpoint,
+        // Sim traces classify by task name: the exporter tags everything
+        // with cat "sim".
+        "sim" => match name {
+            "forward" | "backward" => Phase::Compute,
+            "pipeline-p2p" | "grad-allreduce" => Phase::Comm,
+            "optimizer" => Phase::Optimizer,
+            _ => Phase::Other,
+        },
+        _ => Phase::Other,
+    }
+}
+
+/// Parse a `"rankN (pX,dY,tZ)"` process-name metadata string.
+fn parse_rank_key(name: &str) -> Option<RankKey> {
+    let open = name.find('(')?;
+    let close = name.find(')')?;
+    let mut parts = name[open + 1..close].split(',');
+    let mut next = |prefix: char| -> Option<usize> {
+        let p = parts.next()?.trim();
+        p.strip_prefix(prefix)?.parse().ok()
+    };
+    Some((next('p')?, next('d')?, next('t')?))
+}
+
+fn opt_u64(v: &Json) -> Option<u64> {
+    v.as_f64().map(|x| x as u64)
+}
+
+/// Parse a Chrome-trace JSON string (either exporter) into per-rank
+/// timelines and build the cross-rank DAG. `pipeline_stages` is the
+/// schedule's `p` — the same value both exporters were given, needed to
+/// tell sim compute rows (`tid < p`) from net rows (`tid >= p`).
+///
+/// A trace mixing sim (`pid 0`) and real (`pid >= 1`) spans is rejected:
+/// the two describe different executions and must be analyzed separately.
+pub fn parse_chrome_trace(json: &str, pipeline_stages: usize) -> Result<TraceDag, String> {
+    let v = Json::parse(json).map_err(|e| format!("trace does not parse as JSON: {e:?}"))?;
+    let events = v.as_array().ok_or("Chrome trace must be a JSON array")?;
+    let p = pipeline_stages.max(1);
+
+    // pid -> (pi, di, ti) from process_name metadata (real ranks only).
+    let mut keys: HashMap<usize, RankKey> = HashMap::new();
+    for ev in events {
+        if ev["ph"].as_str() == Some("M") && ev["name"].as_str() == Some("process_name") {
+            if let (Some(pid), Some(pname)) = (ev["pid"].as_f64(), ev["args"]["name"].as_str()) {
+                if let Some(key) = parse_rank_key(pname) {
+                    keys.insert(pid as usize, key);
+                }
+            }
+        }
+    }
+
+    let mut ranks: HashMap<usize, ARank> = HashMap::new();
+    let (mut saw_sim, mut saw_real) = (false, false);
+    for ev in events {
+        if ev["ph"].as_str() != Some("X") {
+            continue;
+        }
+        let pid = ev["pid"].as_f64().ok_or("span without pid")? as usize;
+        let tid = ev["tid"].as_f64().unwrap_or(0.0) as usize;
+        let name = ev["name"].as_str().unwrap_or("").to_string();
+        let cat = ev["cat"].as_str().unwrap_or("");
+        let start_ns = (ev["ts"].as_f64().unwrap_or(0.0) * 1e3).round() as u64;
+        let dur_ns = (ev["dur"].as_f64().unwrap_or(0.0) * 1e3).round() as u64;
+        let (rank, key) = if pid == 0 {
+            saw_sim = true;
+            let dev = tid % p;
+            (dev, (dev, 0, 0))
+        } else {
+            saw_real = true;
+            let r = pid - 1;
+            let key = *keys
+                .get(&pid)
+                .ok_or_else(|| format!("pid {pid} has spans but no process_name metadata"))?;
+            (r, key)
+        };
+        let span = ASpan {
+            phase: phase_of(cat, &name),
+            name,
+            start_ns,
+            dur_ns,
+            epoch: opt_u64(&ev["args"]["epoch"]),
+            iteration: opt_u64(&ev["args"]["iteration"]),
+            microbatch: opt_u64(&ev["args"]["microbatch"]),
+            chunk: opt_u64(&ev["args"]["chunk"]),
+            pass: ev["args"]["pass"].as_str().map(str::to_string),
+            bytes: ev["args"]["bytes"].as_f64(),
+        };
+        ranks
+            .entry(rank)
+            .or_insert_with(|| ARank {
+                rank,
+                key,
+                spans: Vec::new(),
+            })
+            .spans
+            .push(span);
+    }
+    if saw_sim && saw_real {
+        return Err("trace mixes sim (pid 0) and real (pid >= 1) spans".into());
+    }
+    let mut ranks: Vec<ARank> = ranks.into_values().collect();
+    ranks.sort_by_key(|r| r.rank);
+    for r in &mut ranks {
+        r.spans.sort_by_key(|s| (s.start_ns, s.dur_ns));
+    }
+    Ok(build_dag(ranks, p, saw_sim))
+}
+
+/// Build the DAG from already-parsed timelines (the JSON-free entry point
+/// tests and synthetic-trace proptests use).
+pub fn build_dag(ranks: Vec<ARank>, pipeline_stages: usize, sim: bool) -> TraceDag {
+    let mut dag = TraceDag {
+        ranks,
+        pipeline_stages,
+        sim,
+        incoming: HashMap::new(),
+        collectives: Vec::new(),
+        member_of: HashMap::new(),
+    };
+    if sim {
+        join_sim_p2p(&mut dag);
+    } else {
+        join_real_p2p(&mut dag);
+        join_collectives(&mut dag);
+    }
+    dag
+}
+
+/// Real traces: `p2p-send-{fwd,bwd}` on `(pi, di, ti)` gates the matching
+/// `pipeline-wait-{fwd,bwd}` on `(pi±1, di, ti)`.
+fn join_real_p2p(dag: &mut TraceDag) {
+    type WaitKey = (
+        bool,
+        Option<u64>,
+        Option<u64>,
+        Option<u64>,
+        Option<u64>,
+        RankKey,
+    );
+    let mut waits: HashMap<WaitKey, Node> = HashMap::new();
+    for (ri, r) in dag.ranks.iter().enumerate() {
+        for (si, s) in r.spans.iter().enumerate() {
+            let fwd = match s.name.as_str() {
+                "pipeline-wait-fwd" => true,
+                "pipeline-wait-bwd" => false,
+                _ => continue,
+            };
+            waits.insert(
+                (fwd, s.epoch, s.iteration, s.microbatch, s.chunk, r.key),
+                (ri, si),
+            );
+        }
+    }
+    for (ri, r) in dag.ranks.iter().enumerate() {
+        let (pi, di, ti) = r.key;
+        for (si, s) in r.spans.iter().enumerate() {
+            let (fwd, peer) = match s.name.as_str() {
+                "p2p-send-fwd" => (true, pi + 1),
+                "p2p-send-bwd" if pi > 0 => (false, pi - 1),
+                _ => continue,
+            };
+            let k = (
+                fwd,
+                s.epoch,
+                s.iteration,
+                s.microbatch,
+                s.chunk,
+                (peer, di, ti),
+            );
+            if let Some(&to) = waits.get(&k) {
+                dag.incoming.insert(
+                    to,
+                    Edge {
+                        from: (ri, si),
+                        kind: EdgeKind::P2p,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Sim traces: a `pipeline-p2p` net-row span with `(pass, microbatch)`
+/// gates the `forward`/`backward` compute span with the same microbatch on
+/// the adjacent device row. (Scope: the non-interleaved schedule, where
+/// device index == stage index — the interleaved mapping is ambiguous
+/// without a chunk arg, and unmatched transfers degrade gracefully to
+/// unattributed gaps.)
+fn join_sim_p2p(dag: &mut TraceDag) {
+    let mut compute: HashMap<(bool, Option<u64>, usize), Node> = HashMap::new();
+    for (ri, r) in dag.ranks.iter().enumerate() {
+        for (si, s) in r.spans.iter().enumerate() {
+            let fwd = match s.name.as_str() {
+                "forward" => true,
+                "backward" => false,
+                _ => continue,
+            };
+            compute.insert((fwd, s.microbatch, r.rank), (ri, si));
+        }
+    }
+    for (ri, r) in dag.ranks.iter().enumerate() {
+        for (si, s) in r.spans.iter().enumerate() {
+            if s.name != "pipeline-p2p" {
+                continue;
+            }
+            let fwd = match s.pass.as_deref() {
+                Some("fwd") => true,
+                Some("bwd") => false,
+                _ => continue,
+            };
+            let dev = r.rank;
+            let peer = if fwd {
+                dev + 1
+            } else if dev > 0 {
+                dev - 1
+            } else {
+                continue;
+            };
+            if let Some(&to) = compute.get(&(fwd, s.microbatch, peer)) {
+                dag.incoming.insert(
+                    to,
+                    Edge {
+                        from: (ri, si),
+                        kind: EdgeKind::P2p,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Match data-parallel collective spans across the group (ranks sharing
+/// `(pi, ti)`), k-th occurrence to k-th occurrence per iteration.
+fn join_collectives(dag: &mut TraceDag) {
+    // (name index, epoch, iteration, pi, ti) -> per-di occurrence lists.
+    type BucketKey = (usize, Option<u64>, Option<u64>, usize, usize);
+    type Bucket = HashMap<usize, Vec<Node>>;
+    let mut buckets: HashMap<BucketKey, Bucket> = HashMap::new();
+    for (ri, r) in dag.ranks.iter().enumerate() {
+        let (pi, di, ti) = r.key;
+        for (si, s) in r.spans.iter().enumerate() {
+            let Some(ni) = COLLECTIVE_NAMES.iter().position(|n| *n == s.name) else {
+                continue;
+            };
+            buckets
+                .entry((ni, s.epoch, s.iteration, pi, ti))
+                .or_default()
+                .entry(di)
+                .or_default()
+                .push((ri, si));
+        }
+    }
+    let mut keys: Vec<_> = buckets.keys().copied().collect();
+    keys.sort();
+    for bk in keys {
+        let by_di = &buckets[&bk];
+        if by_di.len() < 2 {
+            continue; // group of one: nothing to synchronize with
+        }
+        let g = by_di.len();
+        let full = ring_closure_is_full(COLLECTIVE_NAMES[bk.0], g);
+        let depth = by_di.values().map(Vec::len).min().unwrap_or(0);
+        let mut dis: Vec<_> = by_di.keys().copied().collect();
+        dis.sort();
+        #[allow(clippy::needless_range_loop)] // k indexes every di's occurrence list
+        for k in 0..depth {
+            let members: Vec<Node> = dis.iter().map(|di| by_di[di][k]).collect();
+            let idx = dag.collectives.len();
+            for &m in &members {
+                dag.member_of.insert(m, idx);
+            }
+            dag.collectives.push(CollInstance {
+                members,
+                full_closure: full,
+            });
+        }
+    }
+}
+
+/// `closure[j][i]` = rank `j`'s final buffer depends on rank `i`'s initial
+/// buffer, computed by propagating per-element contributor sets through
+/// the program's rounds (sends read end-of-previous-round state, exactly
+/// the executor's semantics; `Replace` substitutes the sender's
+/// contributors, `Reduce` unions them).
+pub fn dependency_closure(prog: &Program) -> Vec<Vec<bool>> {
+    let r = prog.ranks;
+    let n = prog.len;
+    let mut contrib = vec![vec![vec![false; r]; n]; r];
+    for (j, rank) in contrib.iter_mut().enumerate() {
+        for elem in rank.iter_mut() {
+            elem[j] = true;
+        }
+    }
+    for round in &prog.rounds {
+        let snapshot = contrib.clone();
+        for (j, step) in round.steps.iter().enumerate() {
+            let Some(rcv) = step.recv else { continue };
+            for e in rcv.range.lo..rcv.range.hi.min(n) {
+                match rcv.combine {
+                    Combine::Replace => contrib[j][e].clone_from(&snapshot[rcv.from][e]),
+                    Combine::Reduce(_) => {
+                        for c in 0..r {
+                            contrib[j][e][c] |= snapshot[rcv.from][e][c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    contrib
+        .iter()
+        .map(|rank| (0..r).map(|i| rank.iter().any(|elem| elem[i])).collect())
+        .collect()
+}
+
+/// Whether the named trainer collective has the full dependency closure at
+/// group size `g` — derived from the actual step program, not assumed.
+fn ring_closure_is_full(name: &str, g: usize) -> bool {
+    use megatron_collective as coll;
+    let prog = match name {
+        "grad-allreduce" | "loss-allreduce" => coll::ring_all_reduce(g, g, coll::ReduceOp::Sum),
+        "grad-reduce-scatter" => coll::ring_reduce_scatter(g, g, coll::ReduceOp::Sum),
+        "param-allgather" => coll::ring_all_gather(g, 1),
+        _ => return false,
+    };
+    dependency_closure(&prog)
+        .iter()
+        .all(|row| row.iter().all(|&d| d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megatron_collective as coll;
+
+    #[test]
+    fn ring_programs_have_full_closure() {
+        for g in 2..=5 {
+            let ar = coll::ring_all_reduce(g, g, coll::ReduceOp::Sum);
+            assert!(
+                dependency_closure(&ar).iter().all(|r| r.iter().all(|&d| d)),
+                "all-reduce g={g} not fully connected"
+            );
+            let rs = coll::ring_reduce_scatter(g, g, coll::ReduceOp::Sum);
+            let rs_deps = dependency_closure(&rs);
+            // Each rank's owned chunk is fully reduced: depends on everyone.
+            assert!(rs_deps.iter().all(|r| r.iter().all(|&d| d)));
+            let ag = coll::ring_all_gather(g, 1);
+            assert!(dependency_closure(&ag).iter().all(|r| r.iter().all(|&d| d)));
+        }
+    }
+
+    #[test]
+    fn broadcast_closure_is_root_only() {
+        let g = 4;
+        let root = 2;
+        let bc = coll::ring_broadcast(g, g, root);
+        let deps = dependency_closure(&bc);
+        for (j, row) in deps.iter().enumerate() {
+            for (i, &d) in row.iter().enumerate() {
+                let want = i == root || (i == j && j == root);
+                // A non-root rank may keep untouched initial elements only
+                // if the broadcast leaves part of its buffer alone — ring
+                // broadcast overwrites everything, so: root always, self
+                // only at the root.
+                assert_eq!(
+                    d, want,
+                    "rank {j} dep on {i}: got {d}, want {want} (root {root})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rank_key_roundtrip() {
+        assert_eq!(parse_rank_key("rank5 (p1,d0,t1)"), Some((1, 0, 1)));
+        assert_eq!(parse_rank_key("no coords"), None);
+    }
+}

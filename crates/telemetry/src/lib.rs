@@ -17,10 +17,19 @@
 //! [`TelemetrySink`] bundles all three behind one `Arc` the distributed
 //! runtime threads through `RunControl`.
 
+mod attribution;
+mod critical_path;
+mod dag;
 mod export;
 mod metrics;
 mod span;
 
+pub use attribution::{what_if, Attribution, WhatIf};
+pub use critical_path::{critical_path, CriticalPath, PathCat, PathSegment, Window};
+pub use dag::{
+    build_dag, dependency_closure, parse_chrome_trace, ARank, ASpan, CollInstance, Edge, EdgeKind,
+    Node, Phase, TraceDag,
+};
 pub use export::{chrome_trace_json, phase_shares, rank_pid, PhaseShares, REAL_PID_BASE};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use span::{RankKey, RankTrace, RankTracer, Span, SpanArgs, SpanKind, TraceHub};

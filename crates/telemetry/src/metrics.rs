@@ -120,11 +120,16 @@ impl Histogram {
     /// rank-`⌈q·count⌉` observation and interpolates linearly inside it
     /// (bucket 0 interpolates from zero, since it also absorbs
     /// sub-`SMALLEST` values). Resolution is bounded by the power-of-two
-    /// bucket width; an empty histogram yields `0.0`.
-    pub fn quantile(&self, q: f64) -> f64 {
+    /// bucket width. An empty histogram has no quantiles (`None`); a
+    /// single-sample histogram returns that sample exactly (recovered from
+    /// the sum) rather than a bucket interpolation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         let n = self.count();
         if n == 0 {
-            return 0.0;
+            return None;
+        }
+        if n == 1 {
+            return Some(self.sum());
         }
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
         let mut cum = 0u64;
@@ -138,21 +143,21 @@ impl Histogram {
                 let (lo, hi) = Self::bucket_bounds(i);
                 let lo = if i == 0 { 0.0 } else { lo };
                 let into = (target - (cum - c)) as f64 / c as f64;
-                return lo + (hi - lo) * into;
+                return Some(lo + (hi - lo) * into);
             }
         }
         // Unreachable unless counts raced with records mid-scan; report
         // the table's upper edge rather than inventing a value.
-        Self::bucket_bounds(Self::BUCKETS - 1).1
+        Some(Self::bucket_bounds(Self::BUCKETS - 1).1)
     }
 
-    /// `(p50, p95, p99)` convenience tuple.
-    pub fn percentiles(&self) -> (f64, f64, f64) {
-        (
-            self.quantile(0.50),
-            self.quantile(0.95),
-            self.quantile(0.99),
-        )
+    /// `(p50, p95, p99)` convenience tuple; `None` on an empty histogram.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ))
     }
 
     fn snapshot_json(&self) -> Json {
@@ -338,16 +343,28 @@ mod tests {
     }
 
     #[test]
-    fn quantile_empty_and_single() {
+    fn quantile_empty_is_none() {
         let reg = MetricsRegistry::new();
         let h = reg.histogram("latency_seconds");
-        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.percentiles(), None);
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds");
+        // 0.25 s sits strictly inside its power-of-two bucket, so an
+        // interpolation could never return it exactly; the single-sample
+        // path must recover it from the sum instead.
         h.record(0.25);
-        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(0.25));
         for q in [0.0, 0.5, 0.99, 1.0] {
-            let v = h.quantile(q);
-            assert!(v >= lo && v <= hi, "q{q} = {v} outside [{lo}, {hi})");
+            let v = h.quantile(q).unwrap();
+            assert!((v - 0.25).abs() < 1e-9, "q{q} = {v}, want the sample");
         }
+        assert_eq!(h.percentiles(), Some((0.25, 0.25, 0.25)));
     }
 
     #[test]
@@ -362,7 +379,7 @@ mod tests {
         for _ in 0..10 {
             h.record(1.0);
         }
-        let (p50, p95, p99) = h.percentiles();
+        let (p50, p95, p99) = h.percentiles().unwrap();
         assert!(p50 <= p95 && p95 <= p99);
         let fast = Histogram::bucket_bounds(Histogram::bucket_index(1e-3));
         let slow = Histogram::bucket_bounds(Histogram::bucket_index(1.0));
@@ -375,8 +392,10 @@ mod tests {
     fn quantile_interpolates_from_zero_in_bucket_zero() {
         let reg = MetricsRegistry::new();
         let h = reg.histogram("latency_seconds");
+        // Two samples so the multi-sample interpolation path runs.
         h.record(0.0);
-        let v = h.quantile(0.5);
+        h.record(0.0);
+        let v = h.quantile(0.5).unwrap();
         assert!((0.0..=Histogram::bucket_bounds(0).1).contains(&v));
     }
 

@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::metrics::Counter;
+
 /// (pipeline index, data-parallel index, tensor-parallel index) — mirrors
 /// `megatron_dist::ThreadKey` without depending on that crate.
 pub type RankKey = (usize, usize, usize);
@@ -156,6 +158,7 @@ impl TraceHub {
             head: 0,
             dropped: 0,
             cap: cap.max(1),
+            drop_counter: None,
         }
     }
 
@@ -191,12 +194,22 @@ pub struct RankTracer {
     head: usize,
     dropped: u64,
     cap: usize,
+    drop_counter: Option<Arc<Counter>>,
 }
 
 impl RankTracer {
     /// Current time on the hub clock (ns).
     pub fn now(&self) -> u64 {
         self.hub.now_ns()
+    }
+
+    /// Attach a metrics counter that ring overflow is charged to, so a
+    /// tracer that loses spans says so in the metrics snapshot instead of
+    /// dropping them silently. The counter is bumped at overwrite time, not
+    /// at publish, so a live registry shows losses as they happen.
+    pub fn with_drop_counter(mut self, counter: Arc<Counter>) -> RankTracer {
+        self.drop_counter = Some(counter);
+        self
     }
 
     /// Record a span. When the ring is full the oldest span is overwritten
@@ -209,6 +222,9 @@ impl RankTracer {
             self.buf[self.head] = span;
             self.head = (self.head + 1) % self.cap;
             self.dropped += 1;
+            if let Some(c) = &self.drop_counter {
+                c.inc();
+            }
         }
     }
 
@@ -306,6 +322,26 @@ mod tests {
         assert_eq!(ranks[0].dropped, 2);
         let starts: Vec<u64> = ranks[0].spans.iter().map(|s| s.start_ns).collect();
         assert_eq!(starts, vec![2, 3, 4], "oldest spans evicted, order kept");
+    }
+
+    #[test]
+    fn ring_overflow_charges_drop_counter() {
+        use crate::metrics::MetricsRegistry;
+        let hub = TraceHub::new();
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("spans_dropped.rank0");
+        {
+            let mut tr = hub
+                .tracer_with_capacity(0, (0, 0, 0), 3)
+                .with_drop_counter(Arc::clone(&counter));
+            for i in 0..5u64 {
+                tr.push(span(SpanKind::Comm, i));
+            }
+            // Charged live, before the tracer publishes.
+            assert_eq!(counter.get(), 2);
+        }
+        assert_eq!(hub.ranks()[0].dropped, 2);
+        assert_eq!(reg.counter("spans_dropped.rank0").get(), 2);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! - [`serve`]: tensor-parallel autoregressive inference — KV-cached
 //!   decoding over the real runtime with continuous batching, seeded
 //!   Poisson traffic, and a discrete-event scheduler mirror.
+//! - [`telemetry`]: per-rank span tracing, metrics, shared Chrome-trace
+//!   export, and the cross-rank critical-path / time-attribution analyzer.
 
 pub use megatron_cluster as cluster;
 pub use megatron_collective as collective;
@@ -48,5 +50,6 @@ pub use megatron_parallel as parallel;
 pub use megatron_schedule as schedule;
 pub use megatron_serve as serve;
 pub use megatron_sim as sim;
+pub use megatron_telemetry as telemetry;
 pub use megatron_tensor as tensor;
 pub use megatron_zero as zero;

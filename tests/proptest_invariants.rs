@@ -447,3 +447,37 @@ fn dag_sim_bounds() {
         assert_eq!(result.spans.len(), n_tasks);
     });
 }
+
+/// Histogram quantiles are monotone in `q`, `percentiles()` is ordered,
+/// and every quantile lies within the recorded range's bucket bounds.
+#[test]
+fn histogram_quantiles_monotone() {
+    use megatron_repro::telemetry::MetricsRegistry;
+    for_cases("histogram_quantiles_monotone", |rng| {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x");
+        let n = rng.gen_range(1usize..=200);
+        let mut max = 0.0f64;
+        for _ in 0..n {
+            // Span the bucket range: microseconds to minutes.
+            let v = 10f64.powf(rng.gen_range(-6.0f64..2.0));
+            max = max.max(v);
+            h.record(v);
+        }
+        let mut prev = 0.0f64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).expect("non-empty histogram");
+            assert!(
+                x >= prev - 1e-12,
+                "quantile({q}) = {x} dropped below previous {prev}"
+            );
+            assert!(x.is_finite() && x >= 0.0);
+            prev = x;
+        }
+        let (p50, p90, p99) = h.percentiles().expect("non-empty histogram");
+        assert!(p50 <= p90 + 1e-12 && p90 <= p99 + 1e-12);
+        // Log-bucket resolution: the top quantile can overshoot the true
+        // max by at most one power-of-two bucket.
+        assert!(h.quantile(1.0).unwrap() <= 2.0 * max + 1e-9);
+    });
+}
