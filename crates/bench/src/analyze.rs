@@ -66,6 +66,72 @@ fn bytes_where(dag: &TraceDag, rank: usize, pred: impl Fn(&str) -> bool) -> f64 
         .sum()
 }
 
+/// `repro analyze` (flagged form) usage string. Bare `repro analyze`
+/// runs the E36 attribution experiment.
+pub const USAGE: &str = "repro analyze --merge-traces DIR [--out PATH]
+  merge a process-mode run's per-rank rank-R.trace.json files (written by
+  `repro launch --trace`) into one Chrome trace; default output is
+  DIR/merged.trace.json";
+
+/// CLI entry: `repro analyze --merge-traces DIR [--out PATH]`.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--merge-traces" => {
+                dir =
+                    Some(std::path::PathBuf::from(it.next().ok_or_else(|| {
+                        format!("--merge-traces needs a dir\n{USAGE}")
+                    })?));
+            }
+            "--out" => {
+                out = Some(std::path::PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| format!("--out needs a path\n{USAGE}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    let dir = dir.ok_or_else(|| format!("--merge-traces is required\n{USAGE}"))?;
+
+    // Collect rank-R.trace.json in flat-rank order; ranks without a trace
+    // (e.g. killed mid-run) are simply absent from the merge.
+    let mut parts: Vec<(usize, String)> = Vec::new();
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(rank) = name
+            .strip_prefix("rank-")
+            .and_then(|s| s.strip_suffix(".trace.json"))
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            let text = std::fs::read_to_string(entry.path()).map_err(|e| format!("{name}: {e}"))?;
+            parts.push((rank, text));
+        }
+    }
+    if parts.is_empty() {
+        return Err(format!(
+            "no rank-R.trace.json files in {} (run `repro launch --trace`?)",
+            dir.display()
+        ));
+    }
+    parts.sort_by_key(|(rank, _)| *rank);
+    let merged = megatron_telemetry::merge_chrome_traces(parts.iter().map(|(_, t)| t.as_str()))?;
+    let out = out.unwrap_or_else(|| dir.join("merged.trace.json"));
+    std::fs::write(&out, &merged).map_err(|e| format!("{}: {e}", out.display()))?;
+    Ok(format!(
+        "merged {} rank traces (ranks {:?}) into {} ({} bytes)",
+        parts.len(),
+        parts.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        out.display(),
+        merged.len()
+    ))
+}
+
 /// E36 entry point (`repro analyze`).
 pub fn analyze() -> String {
     let (p, t, d) = (2usize, 2usize, 2usize);

@@ -4,9 +4,16 @@
 //! `repro chaos ...` runs the seeded chaos sweep with tunable knobs;
 //! `repro serving ...` / `repro collective ...` take benchmark flags.
 
-use megatron_bench::{chaos, collective_bench, experiments, sentry, serving, simulate_cli};
+use megatron_bench::{
+    analyze, chaos, collective_bench, experiments, launch, sentry, serving, simulate_cli,
+};
 
 fn main() {
+    // Process-mode rank workers re-exec this binary with `--proc-worker
+    // <dir> <rank>` (`repro launch` spawns them); run the worker and exit
+    // before any experiment parsing.
+    megatron_dist::proc::maybe_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = experiments::all();
     match args.first().map(String::as_str) {
@@ -19,6 +26,8 @@ fn main() {
             println!("\n{}", chaos::USAGE);
             println!("\n{}", serving::USAGE);
             println!("\n{}", collective_bench::USAGE);
+            println!("\n{}", launch::USAGE);
+            println!("\n{}", analyze::USAGE);
             println!("\n{}", sentry::USAGE);
         }
         Some("sentry") => match sentry::run(&args[1..]) {
@@ -43,6 +52,20 @@ fn main() {
             }
         },
         Some("collective") if args.len() > 1 => match collective_bench::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        Some("launch") => match launch::run(&args[1..]) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        Some("analyze") if args.len() > 1 => match analyze::run(&args[1..]) {
             Ok(report) => println!("{report}"),
             Err(e) => {
                 eprintln!("{e}");

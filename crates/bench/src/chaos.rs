@@ -27,7 +27,7 @@ use megatron_cluster::ClusterSpec;
 use megatron_collective::{RetryPolicy, TransientFaults};
 use megatron_dist::{
     CheckpointStore, FaultProfile, HealthMonitor, KillSwitch, PtdpSpec, PtdpTrainer, RunControl,
-    Supervisor, SupervisorConfig, SupervisorReport, TransportConfig,
+    Supervisor, SupervisorConfig, SupervisorReport, TransportConfig, WireKind,
 };
 use megatron_fault::{FaultKind, FaultPlan, FaultRates, GoodputModel, StragglerReport};
 use megatron_net::{LinkImpairment, Network};
@@ -287,6 +287,7 @@ fn report(knobs: &ChaosKnobs) -> String {
         total_fatal += sc.kills.len();
         degrade_used = degrade_used.max(sc.degrade_factor);
         let transport = TransportConfig {
+            wire: WireKind::Mailbox,
             retry: Some(RetryPolicy::default()),
             faults: Some(FaultProfile {
                 seed: sc.seed,

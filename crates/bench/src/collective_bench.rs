@@ -17,10 +17,12 @@
 //! wins on tiny buffers (2 barriers < 2(g−1) mailbox round-trips) and the
 //! ring wins on large ones, with the crossover dropping as g grows.
 
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
-use megatron_dist::Group;
+use megatron_collective::{SocketChannel, SocketNode, WireAddr};
+use megatron_dist::{Group, TransportConfig, WireKind, DEFAULT_COMM_TIMEOUT};
 
 /// The pre-refactor transport, reduced to its all-reduce: post to a shared
 /// slot, barrier, reduce all slots in rank order, barrier.
@@ -98,26 +100,103 @@ fn time_ring(g: usize, n: usize, reps: usize) -> f64 {
     start.elapsed().as_secs_f64() / reps as f64
 }
 
-/// One (g, n) timing pair of the sweep.
+/// Wall time of `reps` back-to-back ring all-reduces over **real
+/// sockets** (`wire` picks UDS or loopback TCP): one listener and one
+/// single-member socket group per rank, the same wiring a `repro launch`
+/// rank process uses, minus the fork/exec. Timing starts at a barrier
+/// after two in-thread warm-up reps (which also force every pairwise
+/// connection open), and the slowest rank's loop is the group's time.
+fn time_socket(g: usize, n: usize, reps: usize, wire: WireKind) -> f64 {
+    static RIG: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "megatron-collective-bench-{}-{}",
+        std::process::id(),
+        RIG.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let nodes: Vec<Arc<SocketNode>> = (0..g)
+        .map(|r| {
+            let addr = match wire {
+                WireKind::Tcp => WireAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+                _ => WireAddr::Uds(dir.join(format!("r{r}.sock"))),
+            };
+            Arc::new(SocketNode::bind(&addr).expect("bind bench listener"))
+        })
+        .collect();
+    let addrs: Vec<Option<WireAddr>> = nodes.iter().map(|n| Some(n.addr().clone())).collect();
+    let cfg = TransportConfig {
+        wire,
+        ..TransportConfig::default()
+    };
+    let start = Barrier::new(g);
+    let per_rank: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..g)
+            .map(|rank| {
+                let chan = SocketChannel::new(Arc::clone(&nodes[rank]), 7000, rank, addrs.clone());
+                let (start, cfg) = (&start, cfg);
+                s.spawn(move || {
+                    let m = Group::with_socket(g, DEFAULT_COMM_TIMEOUT, cfg, chan).member(rank);
+                    let mut buf = seeded(rank, n);
+                    for _ in 0..2 {
+                        m.all_reduce_sum(&mut buf);
+                    }
+                    start.wait();
+                    let t0 = Instant::now();
+                    for _ in 0..reps {
+                        m.all_reduce_sum(&mut buf);
+                    }
+                    t0.elapsed().as_secs_f64()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench rank thread panicked"))
+            .collect()
+    });
+    // Drop the listeners before unlinking their socket files: Drop wakes
+    // each acceptor by dialing its own address, which must still exist.
+    drop(nodes);
+    let _ = std::fs::remove_dir_all(&dir);
+    per_rank.into_iter().fold(0.0, f64::max) / reps as f64
+}
+
+/// Socket rows are limited to ring chunks of at most this many bytes
+/// (frame = `4·n/g` payload). Every rank of a ring round writes to its
+/// neighbor *concurrently*; a frame larger than the kernel socket buffer
+/// (~208 KiB default for UDS) can only drain if the neighbor reads while
+/// writing, which the frame-at-a-time transport doesn't do — neighbors
+/// would deadlock until the group deadline. The cap (with headroom) is
+/// stated in the report; capped cells print `-`.
+const SOCKET_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// One (g, n) timing row of the sweep. Socket columns are `None` unless
+/// `--transport socket` was asked for and the ring chunk fits
+/// [`SOCKET_MAX_FRAME_BYTES`].
 struct Measurement {
     g: usize,
     n: usize,
     blackboard_s: f64,
     ring_s: f64,
+    uds_s: Option<f64>,
+    tcp_s: Option<f64>,
 }
 
-fn measure(reps: usize) -> Vec<Measurement> {
+fn measure(reps: usize, socket: bool) -> Vec<Measurement> {
     let mut rows = Vec::new();
     for g in [2usize, 4, 8] {
         for n in [1usize << 10, 1 << 14, 1 << 18, 1 << 21] {
             // Warm-up round keeps allocator effects out of the timings.
             let _ = time_blackboard(g, n, 2);
             let _ = time_ring(g, n, 2);
+            let sock = socket && 4 * n.div_ceil(g) <= SOCKET_MAX_FRAME_BYTES;
             rows.push(Measurement {
                 g,
                 n,
                 blackboard_s: time_blackboard(g, n, reps),
                 ring_s: time_ring(g, n, reps),
+                uds_s: sock.then(|| time_socket(g, n, reps, WireKind::Uds)),
+                tcp_s: sock.then(|| time_socket(g, n, reps, WireKind::Tcp)),
             });
         }
     }
@@ -125,13 +204,16 @@ fn measure(reps: usize) -> Vec<Measurement> {
 }
 
 /// `repro collective` usage string.
-pub const USAGE: &str = "repro collective [--reps N] [--bench-json PATH]
-  E32: blackboard vs ring all-reduce sweep; --bench-json writes the
+pub const USAGE: &str = "repro collective [--reps N] [--transport socket] [--bench-json PATH]
+  E32: blackboard vs ring all-reduce sweep; --transport socket adds
+  UDS and loopback-TCP columns (n <= 2^18); --bench-json writes the
   timings as BENCH_collective.json in the shared perf-history schema";
 
-/// CLI entry: `repro collective [--reps N] [--bench-json PATH]`.
+/// CLI entry: `repro collective [--reps N] [--transport socket]
+/// [--bench-json PATH]`.
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut reps = 20usize;
+    let mut socket = false;
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -146,6 +228,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     return Err("--reps must be at least 1".into());
                 }
             }
+            "--transport" => {
+                let t = it
+                    .next()
+                    .ok_or_else(|| format!("--transport needs a value\n{USAGE}"))?;
+                match t.as_str() {
+                    "socket" => socket = true,
+                    "mailbox" => socket = false,
+                    other => {
+                        return Err(format!("unknown transport '{other}'\n{USAGE}"));
+                    }
+                }
+            }
             "--bench-json" => {
                 json_path = Some(
                     it.next()
@@ -156,13 +250,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
-    Ok(report(&measure(reps), reps, json_path.as_deref()))
+    Ok(report(&measure(reps, socket), reps, json_path.as_deref()))
 }
 
-/// E32 registry entry: the crossover table at default settings.
+/// E32 registry entry: the crossover table at default settings. Writes
+/// `BENCH_collective.json` so `repro collective` (bare) and CI both leave
+/// the perf-history record behind.
 pub fn collective() -> String {
     let reps = 20;
-    report(&measure(reps), reps, None)
+    report(&measure(reps, false), reps, Some("BENCH_collective.json"))
 }
 
 fn report(rows: &[Measurement], reps: usize, json_path: Option<&str>) -> String {
@@ -174,21 +270,45 @@ fn report(rows: &[Measurement], reps: usize, json_path: Option<&str>) -> String 
          blackboard: post full buffer + 2 barriers, every rank reduces g\n\
          buffers; ring: 2(g-1) chunk rounds over per-edge mailboxes.\n\n",
     );
-    out.push_str("  g        n   blackboard      ring   ring/blackboard\n");
+    let socket = rows.iter().any(|m| m.uds_s.is_some());
+    if socket {
+        out.push_str(
+            "  g        n   blackboard      ring        uds        tcp   ring/blackboard\n",
+        );
+    } else {
+        out.push_str("  g        n   blackboard      ring   ring/blackboard\n");
+    }
+    let fmt_opt = |s: Option<f64>| match s {
+        Some(v) => format!("{:>8.1} us", v * 1e6),
+        None => format!("{:>11}", "-"),
+    };
     let mut last_g = rows.first().map_or(0, |m| m.g);
     for m in rows {
         if m.g != last_g {
             out.push('\n');
             last_g = m.g;
         }
-        out.push_str(&format!(
-            "  {}  {:>7}   {:>8.1} us  {:>8.1} us   {:>5.2}x\n",
-            m.g,
-            m.n,
-            m.blackboard_s * 1e6,
-            m.ring_s * 1e6,
-            m.ring_s / m.blackboard_s,
-        ));
+        if socket {
+            out.push_str(&format!(
+                "  {}  {:>7}   {:>8.1} us  {:>8.1} us  {}  {}   {:>5.2}x\n",
+                m.g,
+                m.n,
+                m.blackboard_s * 1e6,
+                m.ring_s * 1e6,
+                fmt_opt(m.uds_s),
+                fmt_opt(m.tcp_s),
+                m.ring_s / m.blackboard_s,
+            ));
+        } else {
+            out.push_str(&format!(
+                "  {}  {:>7}   {:>8.1} us  {:>8.1} us   {:>5.2}x\n",
+                m.g,
+                m.n,
+                m.blackboard_s * 1e6,
+                m.ring_s * 1e6,
+                m.ring_s / m.blackboard_s,
+            ));
+        }
     }
     out.push_str(
         "\nratio < 1: ring faster. The ring pays per-round synchronization,\n\
@@ -196,6 +316,17 @@ fn report(rows: &[Measurement], reps: usize, json_path: Option<&str>) -> String 
          O(g*n)) reduce work and 2(g-1)/g*n egress win everywhere measured,\n\
          by more as g and n grow. EXPERIMENTS.md E32 records one run.\n",
     );
+    if socket {
+        out.push_str(
+            "\nuds/tcp: the same ring program over real sockets (one listener\n\
+             per rank, length-prefixed f32 frames, barriers on the wire) —\n\
+             the process-mode transport `repro launch` runs on. '-' rows\n\
+             are skipped: their ring chunk (4n/g bytes) exceeds 64 KiB,\n\
+             and ring neighbors that write frames that big concurrently\n\
+             can fill both kernel socket buffers and stall each other\n\
+             (the frame-at-a-time transport reads only between writes).\n",
+        );
+    }
     if let Some(path) = json_path {
         let mut metrics = Vec::new();
         for m in rows {
@@ -204,6 +335,12 @@ fn report(rows: &[Measurement], reps: usize, json_path: Option<&str>) -> String 
                 m.blackboard_s * 1e6,
             ));
             metrics.push((format!("g{}_n{}_ring_us", m.g, m.n), m.ring_s * 1e6));
+            if let Some(s) = m.uds_s {
+                metrics.push((format!("g{}_n{}_uds_us", m.g, m.n), s * 1e6));
+            }
+            if let Some(s) = m.tcp_s {
+                metrics.push((format!("g{}_n{}_tcp_us", m.g, m.n), s * 1e6));
+            }
         }
         let record = crate::perf::bench_json(
             "collective",

@@ -11,6 +11,7 @@ pub mod collective_bench;
 pub mod elastic_bench;
 pub mod experiments;
 pub mod harness;
+pub mod launch;
 pub mod perf;
 pub mod sentry;
 pub mod serving;

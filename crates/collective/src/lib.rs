@@ -35,6 +35,9 @@ pub use reliable::{
     RetryPolicy, RetryStats, TransientFaults, FRAME_HEADER_ELEMS,
 };
 
+pub mod socket;
+pub use socket::{SocketChannel, SocketError, SocketNode, WireAddr};
+
 /// A contiguous element range `[lo, hi)` of the collective's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkRange {

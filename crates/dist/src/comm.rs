@@ -36,7 +36,8 @@ use std::time::{Duration, Instant};
 
 use megatron_collective::{
     self as coll, mix_seed, FaultTally, FaultyTransport, PollTransport, Program, ReduceOp,
-    ReliableTransport, RetransmitStore, RetryPolicy, RetryStats, TransientFaults, Transport,
+    ReliableTransport, RetransmitStore, RetryPolicy, RetryStats, SocketChannel, SocketError,
+    TransientFaults, Transport,
 };
 
 /// Seeded transient-fault profile for a group's wire: which faults to
@@ -50,14 +51,43 @@ pub struct FaultProfile {
     pub faults: TransientFaults,
 }
 
-/// Wire configuration of a [`Group`]: whether sends pass through a seeded
-/// fault injector, and whether the reliable retry/retransmit layer is
-/// armed to absorb those faults (see `megatron_collective::reliable`).
+/// Which wire a group's step programs execute over.
 ///
-/// The default — no faults, no retry — is byte-for-byte the plain mailbox
-/// path: no framing overhead, no behavior change.
+/// `Mailbox` is the in-process default. The socket kinds declare *process
+/// mode*: ranks are separate OS processes, the group is built with
+/// [`Group::with_socket`], and every collective crosses a real kernel
+/// socket (`megatron_collective::socket`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WireKind {
+    /// In-process mailboxes between rank threads (the default).
+    #[default]
+    Mailbox,
+    /// Unix-domain sockets between rank processes.
+    Uds,
+    /// TCP sockets between rank processes (loopback or cross-host).
+    Tcp,
+}
+
+impl WireKind {
+    /// Does this wire kind run over real sockets?
+    pub fn is_socket(&self) -> bool {
+        matches!(self, WireKind::Uds | WireKind::Tcp)
+    }
+}
+
+/// Wire configuration of a [`Group`]: which wire carries the chunks,
+/// whether sends pass through a seeded fault injector, and whether the
+/// reliable retry/retransmit layer is armed to absorb those faults (see
+/// `megatron_collective::reliable`).
+///
+/// The default — mailbox wire, no faults, no retry — is byte-for-byte the
+/// plain mailbox path: no framing overhead, no behavior change.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TransportConfig {
+    /// Which wire the collectives run over. `Uds`/`Tcp` is declarative:
+    /// the launcher reads it to decide process mode, and
+    /// [`Group::with_socket`] supplies the actual channel.
+    pub wire: WireKind,
     /// Arm the reliable delivery layer with this policy.
     pub retry: Option<RetryPolicy>,
     /// Inject seeded transient faults under the reliable layer.
@@ -203,8 +233,11 @@ impl CollectiveOp {
 pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Where a timed-out collective stalled: which algorithm, which of its
-/// steps, and which peer never delivered (or accepted) a chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// steps, and which peer never delivered (or accepted) a chunk. In process
+/// mode the peer is further identified by its OS pid (from its hello
+/// frame) and listener address, so a stall is debuggable from one rank's
+/// log alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StallContext {
     /// Collective name (`Program::kind`, or `"barrier"`).
     pub collective: &'static str,
@@ -215,26 +248,59 @@ pub struct StallContext {
     /// The peer involved in the stalled step; `None` for a bare barrier,
     /// where any absent rank stalls everyone.
     pub peer: Option<usize>,
+    /// The stalled peer's OS process id (process mode only, and only if
+    /// the peer ever connected).
+    pub peer_pid: Option<u32>,
+    /// The stalled peer's socket address (process mode only).
+    pub peer_addr: Option<String>,
+}
+
+impl StallContext {
+    /// A context with no process-mode identity (thread mode, or the peer
+    /// never connected).
+    pub fn new(
+        collective: &'static str,
+        round: usize,
+        rounds: usize,
+        peer: Option<usize>,
+    ) -> StallContext {
+        StallContext {
+            collective,
+            round,
+            rounds,
+            peer,
+            peer_pid: None,
+            peer_addr: None,
+        }
+    }
 }
 
 impl fmt::Display for StallContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.peer {
-            Some(p) => write!(
-                f,
-                "{} timed out at step {}/{} waiting on rank {}",
-                self.collective,
-                self.round + 1,
-                self.rounds,
-                p
-            ),
+            Some(p) => {
+                write!(
+                    f,
+                    "{} timed out at step {}/{} waiting on rank {}",
+                    self.collective,
+                    self.round + 1,
+                    self.rounds,
+                    p
+                )?;
+                match (&self.peer_pid, &self.peer_addr) {
+                    (Some(pid), Some(addr)) => write!(f, " (pid {pid}, {addr})"),
+                    (Some(pid), None) => write!(f, " (pid {pid})"),
+                    (None, Some(addr)) => write!(f, " ({addr})"),
+                    (None, None) => Ok(()),
+                }
+            }
             None => write!(f, "{} timed out waiting for a peer", self.collective),
         }
     }
 }
 
 /// A collective failed instead of hanging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommError {
     /// A peer did not move within the group timeout; the context names the
     /// stalled step. The group is poisoned as a side effect.
@@ -260,7 +326,7 @@ impl std::error::Error for CommError {}
 /// fails. The trainer downcasts to this when classifying a worker panic,
 /// so a comm failure can never be confused with any other panic no matter
 /// how the message is worded.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CommPanic(pub CommError);
 
 impl fmt::Display for CommPanic {
@@ -276,6 +342,10 @@ fn expect_comm<T>(r: Result<T, CommError>) -> T {
         Err(e) => std::panic::panic_any(CommPanic(e)),
     }
 }
+
+/// A recorded collective's op tag plus the [`CommVolume`] field its byte
+/// tally accumulates into.
+type VolumeRecord = (CollectiveOp, fn(&mut CommVolume) -> &mut f64);
 
 /// Transport-level failure, before step context is attached.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -384,8 +454,17 @@ impl PoisonBarrier {
     }
 }
 
+/// The socket side of a process-mode group: this process's one member
+/// executes its programs over this channel instead of the mailboxes.
+struct SocketState {
+    rank: usize,
+    chan: Mutex<SocketChannel>,
+}
+
 /// Shared state of one communicator group: one mailbox per directed rank
-/// pair plus a poisonable barrier for pure synchronization.
+/// pair plus a poisonable barrier for pure synchronization — or, in
+/// process mode ([`Group::with_socket`]), a kernel-socket channel carrying
+/// the same step programs to peer *processes*.
 pub struct Group {
     size: usize,
     // mail[dst * size + src]: chunks in flight from src to dst.
@@ -395,7 +474,11 @@ pub struct Group {
     timeout: Duration,
     transport: TransportConfig,
     // Shared sender-side frame log, allocated only when retry is armed.
-    retransmit: Option<RetransmitStore>,
+    // `Arc` so thread-per-rank socket rigs can share one store across
+    // their per-rank groups (recovery reads the *sender's* log).
+    retransmit: Option<Arc<RetransmitStore>>,
+    // Process mode: the socket channel this process's member speaks over.
+    socket: Option<SocketState>,
 }
 
 impl Group {
@@ -421,14 +504,74 @@ impl Group {
             barrier: PoisonBarrier::new(size),
             poisoned: AtomicBool::new(false),
             timeout,
-            retransmit: transport.retry.map(|_| RetransmitStore::new(size)),
+            retransmit: transport
+                .retry
+                .map(|_| Arc::new(RetransmitStore::new(size))),
             transport,
+            socket: None,
+        })
+    }
+
+    /// A *process-mode* group: this `Group` instance hosts exactly one
+    /// member — `channel.rank()` — and every collective executes over the
+    /// socket channel to peer processes. Barriers ride the wire too (a
+    /// 1-element all-reduce), since no shared-memory barrier can span
+    /// processes. Peer death surfaces as [`CommError::Timeout`] once the
+    /// group timeout expires, never as `Poisoned` (poison cannot cross an
+    /// address space).
+    pub fn with_socket(
+        size: usize,
+        timeout: Duration,
+        transport: TransportConfig,
+        channel: SocketChannel,
+    ) -> Arc<Group> {
+        let store = transport
+            .retry
+            .map(|_| Arc::new(RetransmitStore::new(size)));
+        Group::with_socket_shared_store(size, timeout, transport, channel, store)
+    }
+
+    /// Like [`Group::with_socket`], with an explicit (possibly shared)
+    /// retransmit store. Thread-per-rank rigs that run *real sockets
+    /// within one process* pass one `Arc` to every rank's group so the
+    /// reliable layer can recover lost frames from the sender's log; in
+    /// true multi-process mode each process's store only ever sees its own
+    /// sends, so recovery is inert and delivery relies on the socket
+    /// layer's reconnect-and-resend.
+    pub fn with_socket_shared_store(
+        size: usize,
+        timeout: Duration,
+        transport: TransportConfig,
+        channel: SocketChannel,
+        store: Option<Arc<RetransmitStore>>,
+    ) -> Arc<Group> {
+        assert!(size > 0);
+        assert!(channel.rank() < size, "channel rank outside the group");
+        Arc::new(Group {
+            size,
+            mail: Vec::new(),
+            barrier: PoisonBarrier::new(1),
+            poisoned: AtomicBool::new(false),
+            timeout,
+            retransmit: store,
+            transport,
+            socket: Some(SocketState {
+                rank: channel.rank(),
+                chan: Mutex::new(channel),
+            }),
         })
     }
 
     /// The member handle for `rank`.
     pub fn member(self: &Arc<Group>, rank: usize) -> GroupMember {
         assert!(rank < self.size);
+        if let Some(sock) = &self.socket {
+            assert!(
+                rank == sock.rank,
+                "a process-mode group hosts exactly one member (rank {})",
+                sock.rank
+            );
+        }
         GroupMember {
             group: Arc::clone(self),
             rank,
@@ -572,6 +715,36 @@ impl PollTransport for MailTransport<'_> {
     }
 }
 
+/// The socket-backed [`Transport`] of a process-mode group: a thin error
+/// adapter over [`SocketChannel`]. Both a dead peer (deadline) and a hard
+/// I/O failure surface as [`RawComm::Timeout`] — from this rank's view the
+/// peer stopped moving, and the step context names it.
+struct SockTransport<'a> {
+    chan: &'a mut SocketChannel,
+}
+
+fn raw_from_socket(_: SocketError) -> RawComm {
+    RawComm::Timeout
+}
+
+impl Transport for SockTransport<'_> {
+    type Error = RawComm;
+
+    fn send(&mut self, to: usize, payload: &[f32]) -> Result<(), RawComm> {
+        self.chan.send(to, payload).map_err(raw_from_socket)
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Vec<f32>, RawComm> {
+        self.chan.recv(from).map_err(raw_from_socket)
+    }
+}
+
+impl PollTransport for SockTransport<'_> {
+    fn recv_within(&mut self, from: usize, wait: Duration) -> Result<Option<Vec<f32>>, RawComm> {
+        self.chan.recv_within(from, wait).map_err(raw_from_socket)
+    }
+}
+
 /// One rank's handle to a [`Group`]. Every collective must be called by all
 /// ranks of the group, in the same order.
 pub struct GroupMember {
@@ -649,16 +822,17 @@ impl GroupMember {
         op: CollectiveOp,
         slot: fn(&mut CommVolume) -> &mut f64,
     ) -> Result<(), CommError> {
-        if self.group.is_poisoned() {
-            return Err(CommError::Poisoned);
-        }
-        let op_index = self.programs_run.get();
-        self.programs_run.set(op_index + 1);
-        let tp = MailTransport {
-            group: &self.group,
-            rank: self.rank,
-            deadline: Instant::now() + self.group.timeout,
-        };
+        self.run_program_impl(prog, buf, Some((op, slot)))
+    }
+
+    /// Wrap `tp` per the group's [`TransportConfig`] and execute `prog`.
+    fn execute_wrapped<T: PollTransport<Error = RawComm>>(
+        &self,
+        prog: &Program,
+        buf: &mut [f32],
+        op_index: u64,
+        tp: T,
+    ) -> Result<coll::ExecReport, coll::StepFailure<RawComm>> {
         let per_op_seed = |p: &FaultProfile| mix_seed(p.seed, (self.rank as u64) << 32 | op_index);
         // A retry policy is only usable with its retransmit store; a group
         // rebuilt without one (e.g. after a topology change) degrades to
@@ -668,7 +842,7 @@ impl GroupMember {
             .transport
             .retry
             .and_then(|policy| self.group.retransmit.as_ref().map(|store| (policy, store)));
-        let result = match (retry, self.group.transport.faults) {
+        match (retry, self.group.transport.faults) {
             (Some((policy, store)), profile) => {
                 let seed = profile.as_ref().map_or(0, per_op_seed);
                 let faults = profile.map(|p| p.faults).unwrap_or_default();
@@ -695,24 +869,66 @@ impl GroupMember {
                 let mut tp = tp;
                 coll::execute(prog, self.rank, buf, &mut tp)
             }
+        }
+    }
+
+    /// Execute `prog` over the group's wire — mailboxes, or the socket
+    /// channel in process mode — recording volume and the op log only when
+    /// `record` is given (barriers ride unrecorded so tallies stay purely
+    /// algorithmic).
+    fn run_program_impl(
+        &self,
+        prog: &Program,
+        buf: &mut [f32],
+        record: Option<VolumeRecord>,
+    ) -> Result<(), CommError> {
+        if self.group.is_poisoned() {
+            return Err(CommError::Poisoned);
+        }
+        let op_index = self.programs_run.get();
+        self.programs_run.set(op_index + 1);
+        let result = if let Some(sock) = &self.group.socket {
+            let mut chan = sock.chan.lock().unwrap();
+            chan.set_deadline(Instant::now() + self.group.timeout);
+            self.execute_wrapped(prog, buf, op_index, SockTransport { chan: &mut chan })
+        } else {
+            let tp = MailTransport {
+                group: &self.group,
+                rank: self.rank,
+                deadline: Instant::now() + self.group.timeout,
+            };
+            self.execute_wrapped(prog, buf, op_index, tp)
         };
         match result {
             Ok(report) => {
-                let mut v = self.volume.get();
-                *slot(&mut v) += report.sent_elems as f64 * BYTES_F32;
-                v.ops += 1;
-                self.volume.set(v);
-                self.op_log.borrow_mut().push(op);
+                if let Some((op, slot)) = record {
+                    let mut v = self.volume.get();
+                    *slot(&mut v) += report.sent_elems as f64 * BYTES_F32;
+                    v.ops += 1;
+                    self.volume.set(v);
+                    self.op_log.borrow_mut().push(op);
+                }
                 Ok(())
             }
             Err(fail) => Err(match fail.error {
                 RawComm::Poisoned => CommError::Poisoned,
-                RawComm::Timeout => CommError::Timeout(StallContext {
-                    collective: fail.collective,
-                    round: fail.round,
-                    rounds: fail.rounds,
-                    peer: Some(fail.peer),
-                }),
+                RawComm::Timeout => {
+                    // The mailbox path poisons inside `fetch`; the socket
+                    // path poisons here so later calls fail fast too.
+                    self.group.poison_all();
+                    let mut ctx = StallContext::new(
+                        fail.collective,
+                        fail.round,
+                        fail.rounds,
+                        Some(fail.peer),
+                    );
+                    if let Some(sock) = &self.group.socket {
+                        let chan = sock.chan.lock().unwrap();
+                        ctx.peer_pid = chan.peer_pid(fail.peer);
+                        ctx.peer_addr = chan.peer_addr(fail.peer).map(|a| a.to_string());
+                    }
+                    CommError::Timeout(ctx)
+                }
             }),
         }
     }
@@ -855,22 +1071,29 @@ impl GroupMember {
         Ok(work[lo..lo + chunk].to_vec())
     }
 
-    /// Fallible synchronization barrier.
+    /// Fallible synchronization barrier. In process mode no shared-memory
+    /// barrier exists, so the ranks exchange a 1-element all-reduce over
+    /// the wire instead — unrecorded, so volume tallies stay purely
+    /// algorithmic.
     pub fn try_barrier(&self) -> Result<(), CommError> {
         if self.group.is_poisoned() {
             return Err(CommError::Poisoned);
+        }
+        if self.group.socket.is_some() {
+            let g = self.group.size;
+            if g == 1 {
+                return Ok(());
+            }
+            let prog = coll::ring_all_reduce(g, 1, ReduceOp::Sum);
+            let mut buf = [0.0f32];
+            return self.run_program_impl(&prog, &mut buf, None);
         }
         match self.group.barrier.wait(self.group.timeout) {
             Ok(()) => Ok(()),
             Err(RawComm::Poisoned) => Err(CommError::Poisoned),
             Err(RawComm::Timeout) => {
                 self.group.poison_all();
-                Err(CommError::Timeout(StallContext {
-                    collective: "barrier",
-                    round: 0,
-                    rounds: 1,
-                    peer: None,
-                }))
+                Err(CommError::Timeout(StallContext::new("barrier", 0, 1, None)))
             }
         }
     }
@@ -1149,7 +1372,7 @@ mod tests {
         let ctx = results
             .iter()
             .find_map(|r| match r {
-                Err(CommError::Timeout(ctx)) => Some(*ctx),
+                Err(CommError::Timeout(ctx)) => Some(ctx.clone()),
                 _ => None,
             })
             .expect("at least one rank must report the timeout");
@@ -1277,18 +1500,25 @@ mod tests {
 
     #[test]
     fn comm_error_displays() {
-        let ctx = StallContext {
-            collective: "ring-all-reduce",
-            round: 2,
-            rounds: 4,
-            peer: Some(1),
-        };
+        let ctx = StallContext::new("ring-all-reduce", 2, 4, Some(1));
         let msg = CommError::Timeout(ctx).to_string();
         assert!(msg.contains("timed out"), "{msg}");
         assert!(msg.contains("ring-all-reduce"), "{msg}");
         assert!(msg.contains("step 3/4"), "{msg}");
         assert!(msg.contains("rank 1"), "{msg}");
+        assert!(!msg.contains("pid"), "{msg}");
         assert!(CommError::Poisoned.to_string().contains("poisoned"));
+    }
+
+    #[test]
+    fn comm_error_displays_process_identity() {
+        let mut ctx = StallContext::new("ring-all-reduce", 0, 4, Some(2));
+        ctx.peer_pid = Some(4242);
+        ctx.peer_addr = Some("uds:/tmp/rv/r2.sock".to_string());
+        let msg = CommError::Timeout(ctx).to_string();
+        assert!(msg.contains("rank 2"), "{msg}");
+        assert!(msg.contains("pid 4242"), "{msg}");
+        assert!(msg.contains("uds:/tmp/rv/r2.sock"), "{msg}");
     }
 
     #[test]
@@ -1326,6 +1556,7 @@ mod tests {
 
     fn lossy_cfg(seed: u64, drop_prob: f64) -> TransportConfig {
         TransportConfig {
+            wire: WireKind::Mailbox,
             retry: Some(RetryPolicy {
                 base_backoff: Duration::from_micros(200),
                 ..RetryPolicy::default()
@@ -1343,6 +1574,7 @@ mod tests {
     #[test]
     fn retry_layer_alone_changes_nothing() {
         let cfg = TransportConfig {
+            wire: WireKind::Mailbox,
             retry: Some(RetryPolicy::default()),
             faults: None,
         };
@@ -1392,6 +1624,7 @@ mod tests {
             (buf, gathered)
         });
         let cfg = TransportConfig {
+            wire: WireKind::Mailbox,
             retry: Some(RetryPolicy {
                 base_backoff: Duration::from_micros(200),
                 ..RetryPolicy::default()
@@ -1423,6 +1656,7 @@ mod tests {
         // retry layer gives up and the hard timeout (with step context)
         // must still fire, poisoning the group — dead peers stay fatal.
         let cfg = TransportConfig {
+            wire: WireKind::Mailbox,
             retry: Some(RetryPolicy {
                 base_backoff: Duration::from_micros(100),
                 max_backoff: Duration::from_millis(2),

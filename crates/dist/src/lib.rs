@@ -27,6 +27,7 @@ pub mod block;
 pub mod checkpoint;
 pub mod comm;
 pub mod health;
+pub mod proc;
 pub mod shard;
 pub mod supervisor;
 pub mod trainer;
@@ -38,9 +39,10 @@ pub use checkpoint::{CheckpointError, CheckpointStore, Restored};
 pub use comm::{
     broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
     CollectiveKind, CollectiveOp, CommError, CommPanic, CommVolume, FaultProfile, Group,
-    GroupMember, StallContext, TransportConfig, BYTES_F32, DEFAULT_COMM_TIMEOUT,
+    GroupMember, StallContext, TransportConfig, WireKind, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
 pub use health::{HealthMonitor, HealthReport, RankCondition, DEFAULT_SLOW_THRESHOLD};
+pub use proc::{JobSpec, LaunchHandle, ProcOutcome, RankOutput};
 pub use supervisor::{
     CapacityEvent, Incident, IncidentSeverity, Reconfiguration, ReconfigureDirection, Supervisor,
     SupervisorConfig, SupervisorReport, TransientIncident,

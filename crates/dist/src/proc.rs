@@ -1,0 +1,1096 @@
+//! **Process mode**: run a `(p, t, d)` job as `p·t·d` real OS processes
+//! over the socket transport (Unix-domain by default, TCP loopback on
+//! request) instead of `p·t·d` threads over in-process mailboxes.
+//!
+//! The launcher ([`launch`]) forks/execs one worker per flat rank
+//! (re-invoking the current executable with `--proc-worker <dir> <rank>`),
+//! after writing the serialized [`JobSpec`] and its own heartbeat address
+//! into a rendezvous directory. Each worker binds its own
+//! [`SocketNode`], publishes `rank-R.addr` / `rank-R.pid` files
+//! (atomically: write-temp + rename), waits for every peer's address, and
+//! then runs the *unmodified* per-thread training loop
+//! ([`run_thread`](crate::trainer)) — its tensor and data groups are
+//! process-mode [`Group`]s over [`SocketChannel`]s, and its pipeline
+//! endpoints are fed by pump threads that bridge socket frames to the
+//! `mpsc` channels the worker already speaks.
+//!
+//! Determinism is the whole point: the collectives execute the exact same
+//! step programs with the exact same chunk routing as the mailbox
+//! transport, and the p2p pumps forward activations byte-for-byte, so an
+//! N-process run produces **bit-identical** losses, final parameters, and
+//! per-rank byte counts to the in-process run (proven in
+//! `tests/process_mode.rs`). Results cross the process boundary through
+//! `rank-R.out.json` files that encode every `f32` as its `u32` bit
+//! pattern — no decimal round-trip.
+//!
+//! ## Channel-id map
+//!
+//! Every logical communicator gets a stable channel id, so one listener
+//! per process serves all of them:
+//!
+//! | id | communicator |
+//! |----|--------------|
+//! | `1000 + pi·d + di` | tensor group of `(pi, di)`, members `ti ∈ 0..t` |
+//! | `2000 + pi·t + ti` | data group of `(pi, ti)`, members `di ∈ 0..d` |
+//! | `3000 + 2·s + dir` | pipeline boundary `s` lane (2 ranks: sender 0, receiver 1) |
+//! | `4000` | heartbeats (`world + 1` ranks; the launcher is rank `world`) |
+//!
+//! ## Failure semantics
+//!
+//! A dead peer *process* cannot be poisoned (no shared memory), so every
+//! stall surfaces as [`CommError::Timeout`](crate::comm::CommError) after
+//! the group timeout — with the peer's **pid and socket address** attached
+//! to the [`StallContext`](crate::comm::StallContext). Pipeline pumps use
+//! the same convention: a receive pump that sees no frame for the comm
+//! timeout assumes its stage neighbor died and hangs up, which the worker
+//! observes as `PipelineBroken`. Liveness is tracked out-of-band: each
+//! worker runs a beacon thread that sends a 1-element heartbeat frame to
+//! the launcher every [`JobSpec::hb_period`], and the per-iteration
+//! [`RunControl::on_beat`](crate::trainer::RunControl) hook beats too, so
+//! the launcher's [`HealthMonitor`] classifies a SIGKILLed rank as dead
+//! while stalled survivors keep beating.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use megatron_collective::{SocketChannel, SocketNode, WireAddr};
+use megatron_schedule::ScheduleKind;
+use megatron_sim::json::Json;
+use megatron_tensor::gpt::{GptModel, TinyGptConfig};
+use megatron_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::comm::{CommVolume, Group, TransportConfig, WireKind};
+use crate::health::HealthMonitor;
+use crate::trainer::{
+    classify_panic, run_thread, Endpoints, PtdpSpec, RankCommOps, RankCommVolume, RunControl,
+    SharedMap, StepSample, ThreadArgs, ThreadKey, ThreadState,
+};
+
+const TENSOR_CHAN_BASE: u64 = 1000;
+const DATA_CHAN_BASE: u64 = 2000;
+const P2P_CHAN_BASE: u64 = 3000;
+const HEARTBEAT_CHAN: u64 = 4000;
+
+/// How long a worker waits for every peer's address file to appear.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A self-contained, serializable description of one process-mode job:
+/// the parallelization plan plus everything each worker needs to rebuild
+/// identical inputs — model architecture, init/data seeds, batch size and
+/// iteration count — so no tensor ever crosses the process boundary at
+/// startup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Pipeline-parallel size `p`.
+    pub pipeline: usize,
+    /// Tensor-parallel size `t`.
+    pub tensor: usize,
+    /// Data-parallel size `d`.
+    pub data: usize,
+    /// Model chunks per device `v`.
+    pub chunks: usize,
+    /// Microbatch size `b`.
+    pub microbatch: usize,
+    /// Pipeline schedule.
+    pub schedule: ScheduleKind,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// ZeRO-1 optimizer sharding.
+    pub shard_optimizer: bool,
+    /// §3.5 activation recomputation.
+    pub recompute: bool,
+    /// Vocab-parallel embedding + LM head.
+    pub vocab_parallel: bool,
+    /// Collective (and pipeline-pump) timeout.
+    pub comm_timeout: Duration,
+    /// Model architecture; every worker rebuilds the same master.
+    pub model: TinyGptConfig,
+    /// Seed for master-weight initialization.
+    pub model_seed: u64,
+    /// Seed for the synthetic token stream.
+    pub data_seed: u64,
+    /// Global batch size (samples per iteration).
+    pub batch: usize,
+    /// Training iterations.
+    pub iters: usize,
+    /// Socket flavor: must be [`WireKind::Uds`] or [`WireKind::Tcp`].
+    pub wire: WireKind,
+    /// Arm the reliable retry layer on every group.
+    pub retry: bool,
+    /// Write a per-rank Chrome trace (`rank-R.trace.json`).
+    pub trace: bool,
+    /// Heartbeat beacon period.
+    pub hb_period: Duration,
+}
+
+impl JobSpec {
+    /// The canonical seeded tiny job (the same model, seeds, batch, and
+    /// iteration count as `tests/real_vs_sim_bytes.rs`), over UDS.
+    pub fn canonical(pipeline: usize, tensor: usize, data: usize) -> JobSpec {
+        let spec = PtdpSpec::new(pipeline, tensor, data);
+        JobSpec {
+            pipeline,
+            tensor,
+            data,
+            chunks: spec.chunks,
+            microbatch: spec.microbatch,
+            schedule: spec.schedule,
+            lr: spec.lr,
+            shard_optimizer: spec.shard_optimizer,
+            recompute: spec.recompute,
+            vocab_parallel: spec.vocab_parallel,
+            comm_timeout: spec.comm_timeout,
+            model: TinyGptConfig {
+                vocab: 13,
+                seq: 6,
+                hidden: 8,
+                heads: 4,
+                layers: 2,
+            },
+            model_seed: 7,
+            data_seed: 11,
+            batch: 8,
+            iters: 2,
+            wire: WireKind::Uds,
+            retry: false,
+            trace: false,
+            hb_period: Duration::from_millis(25),
+        }
+    }
+
+    /// The equivalent in-process parallelization plan.
+    pub fn spec(&self) -> PtdpSpec {
+        let mut s = PtdpSpec::new(self.pipeline, self.tensor, self.data);
+        s.chunks = self.chunks;
+        s.microbatch = self.microbatch;
+        s.schedule = self.schedule;
+        s.lr = self.lr;
+        s.shard_optimizer = self.shard_optimizer;
+        s.recompute = self.recompute;
+        s.vocab_parallel = self.vocab_parallel;
+        s.comm_timeout = self.comm_timeout;
+        s
+    }
+
+    /// Total worker processes.
+    pub fn world(&self) -> usize {
+        self.pipeline * self.tensor * self.data
+    }
+
+    /// Rebuild the master model every worker starts from.
+    pub fn master(&self) -> GptModel {
+        let mut rng = StdRng::seed_from_u64(self.model_seed);
+        GptModel::new(self.model, &mut rng)
+    }
+
+    /// Rebuild the synthetic dataset (identical in every process).
+    pub fn dataset(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let mut rng = StdRng::seed_from_u64(self.data_seed);
+        (0..self.iters)
+            .map(|_| {
+                let toks: Vec<usize> = (0..self.batch * self.model.seq)
+                    .map(|_| rng.gen_range(0..self.model.vocab))
+                    .collect();
+                let tgts: Vec<usize> = (0..self.batch * self.model.seq)
+                    .map(|_| rng.gen_range(0..self.model.vocab))
+                    .collect();
+                (toks, tgts)
+            })
+            .collect()
+    }
+
+    /// The transport config every worker arms its groups with.
+    pub fn transport(&self) -> TransportConfig {
+        TransportConfig {
+            wire: self.wire,
+            retry: self.retry.then(Default::default),
+            faults: None,
+        }
+    }
+
+    /// Serialize to the `job.json` wire form. `f32` fields travel as
+    /// their `u32` bit patterns so the round trip is exact.
+    pub fn to_json(&self) -> String {
+        let n = |x: usize| Json::Num(x as f64);
+        let schedule = match self.schedule {
+            ScheduleKind::GPipe => "gpipe".to_string(),
+            ScheduleKind::OneFOneB => "1f1b".to_string(),
+            ScheduleKind::Interleaved { chunks } => format!("interleaved:{chunks}"),
+        };
+        Json::obj([
+            ("p", n(self.pipeline)),
+            ("t", n(self.tensor)),
+            ("d", n(self.data)),
+            ("chunks", n(self.chunks)),
+            ("microbatch", n(self.microbatch)),
+            ("schedule", Json::Str(schedule)),
+            ("lr_bits", Json::Num(self.lr.to_bits() as f64)),
+            ("shard_optimizer", Json::Bool(self.shard_optimizer)),
+            ("recompute", Json::Bool(self.recompute)),
+            ("vocab_parallel", Json::Bool(self.vocab_parallel)),
+            (
+                "comm_timeout_ms",
+                Json::Num(self.comm_timeout.as_millis() as f64),
+            ),
+            ("vocab", n(self.model.vocab)),
+            ("seq", n(self.model.seq)),
+            ("hidden", n(self.model.hidden)),
+            ("heads", n(self.model.heads)),
+            ("layers", n(self.model.layers)),
+            ("model_seed", Json::Num(self.model_seed as f64)),
+            ("data_seed", Json::Num(self.data_seed as f64)),
+            ("batch", n(self.batch)),
+            ("iters", n(self.iters)),
+            (
+                "wire",
+                Json::Str(
+                    match self.wire {
+                        WireKind::Mailbox => "mailbox",
+                        WireKind::Uds => "uds",
+                        WireKind::Tcp => "tcp",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("retry", Json::Bool(self.retry)),
+            ("trace", Json::Bool(self.trace)),
+            ("hb_period_ms", Json::Num(self.hb_period.as_millis() as f64)),
+        ])
+        .to_string()
+    }
+
+    /// Parse the `job.json` wire form.
+    pub fn from_json(text: &str) -> Result<JobSpec, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        let us = |k: &str| -> Result<usize, String> {
+            j.get(k)
+                .as_f64()
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("job.json: missing numeric field `{k}`"))
+        };
+        let b = |k: &str| matches!(j.get(k), Json::Bool(true));
+        let schedule = match j.get("schedule").as_str().unwrap_or("1f1b") {
+            "gpipe" => ScheduleKind::GPipe,
+            s if s.starts_with("interleaved:") => ScheduleKind::Interleaved {
+                chunks: s["interleaved:".len()..]
+                    .parse()
+                    .map_err(|_| format!("job.json: bad schedule `{s}`"))?,
+            },
+            _ => ScheduleKind::OneFOneB,
+        };
+        let wire = match j.get("wire").as_str().unwrap_or("uds") {
+            "tcp" => WireKind::Tcp,
+            "mailbox" => WireKind::Mailbox,
+            _ => WireKind::Uds,
+        };
+        Ok(JobSpec {
+            pipeline: us("p")?,
+            tensor: us("t")?,
+            data: us("d")?,
+            chunks: us("chunks")?,
+            microbatch: us("microbatch")?,
+            schedule,
+            lr: f32::from_bits(us("lr_bits")? as u32),
+            shard_optimizer: b("shard_optimizer"),
+            recompute: b("recompute"),
+            vocab_parallel: b("vocab_parallel"),
+            comm_timeout: Duration::from_millis(us("comm_timeout_ms")? as u64),
+            model: TinyGptConfig {
+                vocab: us("vocab")?,
+                seq: us("seq")?,
+                hidden: us("hidden")?,
+                heads: us("heads")?,
+                layers: us("layers")?,
+            },
+            model_seed: us("model_seed")? as u64,
+            data_seed: us("data_seed")? as u64,
+            batch: us("batch")?,
+            iters: us("iters")?,
+            wire,
+            retry: b("retry"),
+            trace: b("trace"),
+            hb_period: Duration::from_millis(us("hb_period_ms")? as u64),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous files
+// ---------------------------------------------------------------------------
+
+/// Atomically publish a rendezvous file: write `name.tmp`, then rename.
+/// Readers polling the directory never observe a torn write.
+fn publish(dir: &Path, name: &str, contents: &str) {
+    let tmp = dir.join(format!("{name}.tmp"));
+    fs::write(&tmp, contents).expect("write rendezvous file");
+    fs::rename(&tmp, dir.join(name)).expect("rename rendezvous file");
+}
+
+fn read_addr(dir: &Path, name: &str) -> Option<WireAddr> {
+    let text = fs::read_to_string(dir.join(name)).ok()?;
+    WireAddr::parse(text.trim())
+}
+
+/// Poll until every worker's `rank-R.addr` exists, returning the flat-rank
+/// edge map.
+fn await_addrs(dir: &Path, world: usize, deadline: Instant) -> Result<Vec<WireAddr>, String> {
+    let mut addrs: Vec<Option<WireAddr>> = vec![None; world];
+    loop {
+        for (r, slot) in addrs.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = read_addr(dir, &format!("rank-{r}.addr"));
+            }
+        }
+        if addrs.iter().all(|a| a.is_some()) {
+            return Ok(addrs.into_iter().map(|a| a.unwrap()).collect());
+        }
+        if Instant::now() >= deadline {
+            let missing: Vec<usize> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.is_none())
+                .map(|(r, _)| r)
+                .collect();
+            return Err(format!(
+                "rendezvous timed out waiting for ranks {missing:?}"
+            ));
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline p2p pumps
+// ---------------------------------------------------------------------------
+
+/// Matrix wire frame: `[rows, cols, data…]` as f32 (dimensions are exact
+/// below 2²⁴). Serialization is lossless, so pumped activations are
+/// bit-identical to in-process channel sends.
+fn matrix_frame(m: &Matrix) -> Vec<f32> {
+    let mut frame = Vec::with_capacity(m.rows() * m.cols() + 2);
+    frame.push(m.rows() as f32);
+    frame.push(m.cols() as f32);
+    frame.extend_from_slice(m.as_slice());
+    frame
+}
+
+fn frame_matrix(frame: &[f32]) -> Option<Matrix> {
+    let (rows, cols) = (*frame.first()? as usize, *frame.get(1)? as usize);
+    if frame.len() != rows * cols + 2 {
+        return None;
+    }
+    Some(Matrix::from_vec(rows, cols, frame[2..].to_vec()))
+}
+
+/// Forward matrices from the worker's `mpsc` sender into the socket lane.
+/// Exits when the worker drops its sender (normal completion) or a send
+/// fails; the dropped receiver then surfaces to the worker as
+/// `PipelineBroken` on its next send.
+fn pump_send(mut chan: SocketChannel, rx: Receiver<Matrix>, timeout: Duration) {
+    for m in rx {
+        chan.set_deadline(Instant::now() + timeout);
+        if megatron_collective::Transport::send(&mut chan, 1, &matrix_frame(&m)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Forward socket frames into the worker's `mpsc` receiver. Hangs up —
+/// dropping the sender, which the worker observes as `PipelineBroken` —
+/// after `timeout` of silence (the same dead-peer convention as group
+/// collectives) or when `stop` is raised after the worker exits.
+fn pump_recv(
+    mut chan: SocketChannel,
+    tx: Sender<Matrix>,
+    stop: Arc<AtomicBool>,
+    timeout: Duration,
+) {
+    let mut last_frame = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        chan.set_deadline(Instant::now() + Duration::from_millis(200));
+        match megatron_collective::PollTransport::recv_within(
+            &mut chan,
+            0,
+            Duration::from_millis(50),
+        ) {
+            Ok(Some(frame)) => {
+                last_frame = Instant::now();
+                let Some(m) = frame_matrix(&frame) else {
+                    return;
+                };
+                if tx.send(m).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => {
+                if last_frame.elapsed() > timeout {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker process
+// ---------------------------------------------------------------------------
+
+/// If the process was invoked as a rank worker (`--proc-worker <dir>
+/// <rank>` anywhere in argv), run the worker to completion and exit.
+/// Call this first thing in any binary that hosts [`launch`] — the
+/// launcher re-execs the current executable with these arguments.
+pub fn maybe_worker() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--proc-worker") {
+        if args.len() > i + 2 {
+            let dir = PathBuf::from(&args[i + 1]);
+            let rank: usize = args[i + 2].parse().expect("--proc-worker rank");
+            std::process::exit(worker_main(&dir, rank));
+        }
+    }
+}
+
+/// The body of one rank process: bind, rendezvous, train, report.
+/// Returns the process exit code (0 = the rank finished its run).
+pub fn worker_main(dir: &Path, rank: usize) -> i32 {
+    let job = match fs::read_to_string(dir.join("job.json"))
+        .map_err(|e| e.to_string())
+        .and_then(|s| JobSpec::from_json(&s))
+    {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("rank {rank}: {e}");
+            return 3;
+        }
+    };
+    assert!(job.wire.is_socket(), "process mode needs a socket wire");
+    let spec = job.spec();
+    let world = spec.world();
+    let (pi, di, ti) = spec.thread_key(rank);
+    let (p, t, d, v) = (spec.pipeline, spec.tensor, spec.data, spec.chunks);
+    let stages = p * v;
+    let timeout = spec.comm_timeout;
+
+    // Bind our listener and advertise it. UDS socket files live in the
+    // rendezvous dir; TCP binds an ephemeral loopback port and publishes
+    // the actual one.
+    let bind = match job.wire {
+        WireKind::Tcp => WireAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+        _ => WireAddr::Uds(dir.join(format!("rank-{rank}.sock"))),
+    };
+    let node = Arc::new(SocketNode::bind(&bind).expect("bind rank listener"));
+    publish(dir, &format!("rank-{rank}.addr"), &node.addr().to_string());
+    publish(
+        dir,
+        &format!("rank-{rank}.pid"),
+        &std::process::id().to_string(),
+    );
+
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    let addrs = match await_addrs(dir, world, deadline) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rank {rank}: {e}");
+            return 3;
+        }
+    };
+    let launcher_addr = read_addr(dir, "launcher.addr");
+    let transport = job.transport();
+
+    // Group communicators: one socket channel per logical group, one
+    // member (this process) per group.
+    let flat = |pj: usize, dj: usize, tj: usize| spec.flat_rank((pj, dj, tj));
+    let tg = {
+        let chan_id = TENSOR_CHAN_BASE + (pi * d + di) as u64;
+        let peers = (0..t)
+            .map(|tj| Some(addrs[flat(pi, di, tj)].clone()))
+            .collect();
+        let chan = SocketChannel::new(Arc::clone(&node), chan_id, ti, peers);
+        Group::with_socket(t, timeout, transport, chan).member(ti)
+    };
+    let dg = {
+        let chan_id = DATA_CHAN_BASE + (pi * t + ti) as u64;
+        let peers = (0..d)
+            .map(|dj| Some(addrs[flat(pi, dj, ti)].clone()))
+            .collect();
+        let chan = SocketChannel::new(Arc::clone(&node), chan_id, di, peers);
+        Group::with_socket(d, timeout, transport, chan).member(di)
+    };
+
+    // Pipeline lanes: for every stage boundary this device touches, a
+    // dedicated 2-rank channel per direction (sender = lane rank 0) and a
+    // pump thread bridging it to the mpsc endpoints the worker expects.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut pumps = Vec::new();
+    let mut ep = Endpoints::default();
+    for s in 0..stages.saturating_sub(1) {
+        let from_dev = s % p;
+        let to_dev = (s + 1) % p;
+        // dir 0 = forward activations (from→to), 1 = backward gradients.
+        for (dir, tx_dev, rx_dev) in [(0u64, from_dev, to_dev), (1u64, to_dev, from_dev)] {
+            let chan_id = P2P_CHAN_BASE + (s as u64) * 2 + dir;
+            if pi == tx_dev {
+                let peers = vec![None, Some(addrs[flat(rx_dev, di, ti)].clone())];
+                let chan = SocketChannel::new(Arc::clone(&node), chan_id, 0, peers);
+                let (mtx, mrx) = unbounded::<Matrix>();
+                if dir == 0 {
+                    ep.fwd_out.insert(s, mtx);
+                } else {
+                    ep.bwd_out.insert(s + 1, mtx);
+                }
+                pumps.push(thread::spawn(move || pump_send(chan, mrx, timeout)));
+            }
+            if pi == rx_dev {
+                let chan = SocketChannel::new(Arc::clone(&node), chan_id, 1, vec![None, None]);
+                let (mtx, mrx) = unbounded::<Matrix>();
+                if dir == 0 {
+                    ep.fwd_in.insert(s + 1, mrx);
+                } else {
+                    ep.bwd_in.insert(s, mrx);
+                }
+                let stop = Arc::clone(&stop);
+                pumps.push(thread::spawn(move || pump_recv(chan, mtx, stop, timeout)));
+            }
+        }
+    }
+
+    // Heartbeats: a channel of world+1 ranks whose last rank is the
+    // launcher. A beacon thread pulses process liveness every hb_period
+    // (independent of training progress, so stalled-but-alive survivors
+    // keep beating), and the per-iteration on_beat hook pulses progress.
+    let hb = launcher_addr.map(|la| {
+        let mut peers: Vec<Option<WireAddr>> = vec![None; world + 1];
+        peers[world] = Some(la);
+        let chan = SocketChannel::new(Arc::clone(&node), HEARTBEAT_CHAN, rank, peers);
+        Arc::new(Mutex::new(chan))
+    });
+    if let Some(hb) = &hb {
+        let hb = Arc::clone(hb);
+        let stop = Arc::clone(&stop);
+        let period = job.hb_period;
+        pumps.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if send_heartbeat(&hb, world, rank).is_err() {
+                    return;
+                }
+                thread::sleep(period);
+            }
+        }));
+    }
+
+    // Telemetry: per-process sink; the trace file is merged by the
+    // launcher side (`repro analyze --merge-traces`).
+    let sink = job.trace.then(|| {
+        megatron_telemetry::TelemetrySink::new(megatron_telemetry::SinkConfig {
+            world,
+            flops_per_iteration: 0.0,
+            gpu: None,
+        })
+    });
+
+    let ctl = RunControl {
+        comm_timeout: Some(timeout),
+        telemetry: sink.clone(),
+        on_beat: hb.as_ref().map(|hb| {
+            let hb = Arc::clone(hb);
+            Arc::new(move |r: usize| {
+                let _ = send_heartbeat(&hb, world, r);
+            }) as Arc<dyn Fn(usize) + Send + Sync>
+        }),
+        ..Default::default()
+    };
+
+    // The unmodified per-thread training loop, exactly as the in-process
+    // trainer drives it — same ThreadArgs, same schedule, same seeds.
+    let master = job.master();
+    let dataset = job.dataset();
+    let m = job.batch / d / spec.microbatch;
+    let schedule = spec.schedule.build(p, m);
+    let losses = Arc::new(Mutex::new(vec![0.0f32; job.iters]));
+    let final_params: SharedMap<Vec<f32>> = Arc::new(Mutex::new(HashMap::new()));
+    let peak_stash: SharedMap<usize> = Arc::new(Mutex::new(HashMap::new()));
+    let step_times: SharedMap<Vec<StepSample>> = Arc::new(Mutex::new(HashMap::new()));
+    let comm_volumes: SharedMap<RankCommVolume> = Arc::new(Mutex::new(HashMap::new()));
+    let comm_ops: SharedMap<RankCommOps> = Arc::new(Mutex::new(HashMap::new()));
+    let ckpts: Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>> = Mutex::new(HashMap::new());
+
+    let result: Result<(), crate::trainer::TrainError> = {
+        let args = ThreadArgs {
+            pi,
+            di,
+            ti,
+            spec,
+            master: &master,
+            schedule: &schedule,
+            data: &dataset,
+            ep,
+            tg,
+            dg,
+            losses: Arc::clone(&losses),
+            final_params: Arc::clone(&final_params),
+            peak_stash: Arc::clone(&peak_stash),
+            step_times: Arc::clone(&step_times),
+            comm_volumes: Arc::clone(&comm_volumes),
+            comm_ops: Arc::clone(&comm_ops),
+            ctl: &ctl,
+            ckpts: &ckpts,
+        };
+        thread::scope(|s| {
+            s.spawn(|| run_thread(args))
+                .join()
+                .unwrap_or_else(|e| Err(classify_panic(&e)))
+        })
+    };
+    stop.store(true, Ordering::Relaxed);
+    for h in pumps {
+        let _ = h.join();
+    }
+
+    // Report: every f32 as u32 bits, so the launcher's merge is exact.
+    let key = (pi, di, ti);
+    let lock = |m: &SharedMap<Vec<f32>>| {
+        m.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key)
+            .unwrap_or_default()
+    };
+    let vol = comm_volumes
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&key)
+        .unwrap_or_default();
+    let tape_bytes = comm_ops
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&key)
+        .map(|ops| ops.total_bytes(t, ti, d, di))
+        .unwrap_or(0.0);
+    let peak = peak_stash
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&key)
+        .unwrap_or(0);
+    let steps = step_times
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&key)
+        .map(|s| s.len())
+        .unwrap_or(0);
+    let losses = Arc::try_unwrap(losses)
+        .unwrap()
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let doc = Json::obj([
+        ("rank", Json::Num(rank as f64)),
+        (
+            "key",
+            Json::Arr(vec![
+                Json::Num(pi as f64),
+                Json::Num(di as f64),
+                Json::Num(ti as f64),
+            ]),
+        ),
+        ("pid", Json::Num(std::process::id() as f64)),
+        (
+            "error",
+            match &result {
+                Ok(()) => Json::Null,
+                Err(e) => Json::Str(e.to_string()),
+            },
+        ),
+        ("losses_bits", bits_json(&losses)),
+        ("params_bits", bits_json(&lock(&final_params))),
+        ("volume", volume_json(&vol)),
+        ("tape_bytes", Json::Num(tape_bytes)),
+        ("peak_stash", Json::Num(peak as f64)),
+        ("steps", Json::Num(steps as f64)),
+    ]);
+    publish(dir, &format!("rank-{rank}.out.json"), &doc.to_string());
+    if let Some(sink) = &sink {
+        publish(
+            dir,
+            &format!("rank-{rank}.trace.json"),
+            &megatron_telemetry::chrome_trace_json(&sink.hub, stages),
+        );
+    }
+    i32::from(result.is_err())
+}
+
+fn send_heartbeat(
+    hb: &Mutex<SocketChannel>,
+    launcher_rank: usize,
+    flat: usize,
+) -> Result<(), megatron_collective::SocketError> {
+    let mut chan = hb.lock().unwrap_or_else(|e| e.into_inner());
+    chan.set_deadline(Instant::now() + Duration::from_secs(5));
+    megatron_collective::Transport::send(&mut *chan, launcher_rank, &[flat as f32])
+}
+
+fn bits_json(xs: &[f32]) -> Json {
+    Json::Arr(xs.iter().map(|v| Json::Num(v.to_bits() as f64)).collect())
+}
+
+fn bits_from(j: &Json) -> Vec<f32> {
+    j.as_array()
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_f64())
+                .map(|b| f32::from_bits(b as u32))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn volume_json(v: &RankCommVolume) -> Json {
+    let c = |cv: &CommVolume| {
+        Json::obj([
+            ("all_reduce", Json::Num(cv.all_reduce_bytes)),
+            ("all_gather", Json::Num(cv.all_gather_bytes)),
+            ("reduce_scatter", Json::Num(cv.reduce_scatter_bytes)),
+            ("broadcast", Json::Num(cv.broadcast_bytes)),
+            ("ops", Json::Num(cv.ops as f64)),
+        ])
+    };
+    Json::obj([
+        ("tensor", c(&v.tensor)),
+        ("data", c(&v.data)),
+        ("p2p_send_bytes", Json::Num(v.p2p_send_bytes)),
+    ])
+}
+
+fn volume_from(j: &Json) -> RankCommVolume {
+    let c = |j: &Json| CommVolume {
+        all_reduce_bytes: j.get("all_reduce").as_f64().unwrap_or(0.0),
+        all_gather_bytes: j.get("all_gather").as_f64().unwrap_or(0.0),
+        reduce_scatter_bytes: j.get("reduce_scatter").as_f64().unwrap_or(0.0),
+        broadcast_bytes: j.get("broadcast").as_f64().unwrap_or(0.0),
+        ops: j.get("ops").as_f64().unwrap_or(0.0) as u64,
+    };
+    RankCommVolume {
+        tensor: c(j.get("tensor")),
+        data: c(j.get("data")),
+        p2p_send_bytes: j.get("p2p_send_bytes").as_f64().unwrap_or(0.0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Launcher
+// ---------------------------------------------------------------------------
+
+/// One rank's parsed `rank-R.out.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOutput {
+    /// Thread coordinate.
+    pub key: ThreadKey,
+    /// OS pid of the rank process.
+    pub pid: u32,
+    /// Whether the process exited 0.
+    pub exit_ok: bool,
+    /// Display form of the rank's `TrainError`, if it failed.
+    pub error: Option<String>,
+    /// Per-iteration losses as this rank recorded them (only loss-owning
+    /// ranks fill these; others report zeros).
+    pub losses: Vec<f32>,
+    /// Flattened final parameters of this rank's shard (bit-exact).
+    pub params: Vec<f32>,
+    /// Transport-measured comm volume.
+    pub volume: RankCommVolume,
+    /// Bytes the rank's comm-op tape implies it sent.
+    pub tape_bytes: f64,
+    /// Peak stashed-activation floats.
+    pub peak_stash: usize,
+    /// Completed step samples.
+    pub steps: usize,
+}
+
+/// The merged result of a process-mode run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcOutcome {
+    /// Per-rank outputs, keyed by thread coordinate.
+    pub outputs: HashMap<ThreadKey, RankOutput>,
+    /// Merged per-iteration losses (from the loss-owning ranks).
+    pub losses: Vec<f32>,
+    /// Ranks that left no parsable output file (e.g. SIGKILLed).
+    pub missing: Vec<ThreadKey>,
+}
+
+impl ProcOutcome {
+    /// Did every rank finish cleanly?
+    pub fn ok(&self) -> bool {
+        self.missing.is_empty()
+            && self
+                .outputs
+                .values()
+                .all(|o| o.exit_ok && o.error.is_none())
+    }
+}
+
+/// A launched process-mode job: child processes, the heartbeat listener,
+/// and the liveness monitor.
+pub struct LaunchHandle {
+    job: JobSpec,
+    dir: PathBuf,
+    children: Mutex<Vec<Option<Child>>>,
+    monitor: Arc<HealthMonitor>,
+    stop: Arc<AtomicBool>,
+    reader: Option<thread::JoinHandle<()>>,
+    // Keeps the launcher's listener (and its acceptor thread) alive.
+    _node: Arc<SocketNode>,
+}
+
+/// Launch `job` as `world` OS processes rendezvousing in `dir`
+/// (created if absent). The workers re-exec the **current executable**
+/// with `--proc-worker <dir> <rank>`, so the hosting binary must call
+/// [`maybe_worker`] before anything else.
+pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
+    assert!(job.wire.is_socket(), "process mode needs a socket wire");
+    if !job.batch.is_multiple_of(job.data * job.microbatch) {
+        // The in-process trainer asserts this; catch it here so an invalid
+        // job errors before any worker is spawned instead of the workers
+        // silently truncating the batch (`m` below rounds down).
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "batch {} must divide by d*b = {}",
+                job.batch,
+                job.data * job.microbatch
+            ),
+        ));
+    }
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("job.json"), job.to_json())?;
+
+    let bind = match job.wire {
+        WireKind::Tcp => WireAddr::Tcp("127.0.0.1:0".parse().unwrap()),
+        _ => WireAddr::Uds(dir.join("launcher.sock")),
+    };
+    let node = Arc::new(SocketNode::bind(&bind)?);
+    publish(dir, "launcher.addr", &node.addr().to_string());
+
+    let spec = job.spec();
+    let world = spec.world();
+    let monitor = HealthMonitor::new(&spec, job.hb_period);
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let mut chan = SocketChannel::new(
+            Arc::clone(&node),
+            HEARTBEAT_CHAN,
+            world,
+            vec![None; world + 1],
+        );
+        let monitor = Arc::clone(&monitor);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut idle = true;
+                for r in 0..world {
+                    chan.set_deadline(Instant::now() + Duration::from_millis(100));
+                    while let Ok(Some(frame)) = megatron_collective::PollTransport::recv_within(
+                        &mut chan,
+                        r,
+                        Duration::from_millis(1),
+                    ) {
+                        if let Some(&f) = frame.first() {
+                            monitor.beat(f as usize);
+                            idle = false;
+                        }
+                    }
+                }
+                if idle {
+                    thread::sleep(Duration::from_millis(2));
+                }
+            }
+        })
+    };
+
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::with_capacity(world);
+    for r in 0..world {
+        children.push(Some(
+            Command::new(&exe)
+                .arg("--proc-worker")
+                .arg(dir)
+                .arg(r.to_string())
+                .spawn()?,
+        ));
+    }
+
+    Ok(LaunchHandle {
+        job: *job,
+        dir: dir.to_path_buf(),
+        children: Mutex::new(children),
+        monitor,
+        stop,
+        reader: Some(reader),
+        _node: node,
+    })
+}
+
+impl LaunchHandle {
+    /// The heartbeat-fed liveness monitor (beats arrive over the socket,
+    /// one per worker beacon pulse and one per completed iteration).
+    pub fn monitor(&self) -> Arc<HealthMonitor> {
+        Arc::clone(&self.monitor)
+    }
+
+    /// OS pid of a rank's process, if it was spawned.
+    pub fn pid(&self, rank: usize) -> Option<u32> {
+        self.children.lock().unwrap()[rank].as_ref().map(|c| c.id())
+    }
+
+    /// SIGKILL one rank's process (the "pull the power cord" experiment).
+    pub fn kill_rank(&self, rank: usize) -> bool {
+        let mut children = self.children.lock().unwrap();
+        match &mut children[rank] {
+            Some(c) => c.kill().is_ok(),
+            None => false,
+        }
+    }
+
+    /// SIGKILL every remaining rank process.
+    pub fn kill_all(&self) {
+        let mut children = self.children.lock().unwrap();
+        for c in children.iter_mut().flatten() {
+            let _ = c.kill();
+        }
+    }
+
+    /// Wait for every rank process to exit, then merge the per-rank
+    /// output files into a [`ProcOutcome`].
+    pub fn wait(mut self) -> ProcOutcome {
+        let spec = self.job.spec();
+        let world = spec.world();
+        let mut exit_ok = vec![false; world];
+        {
+            let mut children = self.children.lock().unwrap();
+            for (r, slot) in children.iter_mut().enumerate() {
+                if let Some(mut c) = slot.take() {
+                    exit_ok[r] = c.wait().map(|s| s.success()).unwrap_or(false);
+                }
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+
+        let mut outputs = HashMap::new();
+        let mut missing = Vec::new();
+        for (r, &rank_exit_ok) in exit_ok.iter().enumerate() {
+            let key = spec.thread_key(r);
+            let parsed = fs::read_to_string(self.dir.join(format!("rank-{r}.out.json")))
+                .ok()
+                .and_then(|s| Json::parse(&s).ok());
+            match parsed {
+                Some(j) => {
+                    outputs.insert(
+                        key,
+                        RankOutput {
+                            key,
+                            pid: j.get("pid").as_f64().unwrap_or(0.0) as u32,
+                            exit_ok: rank_exit_ok,
+                            error: j.get("error").as_str().map(str::to_string),
+                            losses: bits_from(j.get("losses_bits")),
+                            params: bits_from(j.get("params_bits")),
+                            volume: volume_from(j.get("volume")),
+                            tape_bytes: j.get("tape_bytes").as_f64().unwrap_or(0.0),
+                            peak_stash: j.get("peak_stash").as_f64().unwrap_or(0.0) as usize,
+                            steps: j.get("steps").as_f64().unwrap_or(0.0) as usize,
+                        },
+                    );
+                }
+                None => missing.push(key),
+            }
+        }
+
+        // Merge losses: every writer holds the same all-reduced value, so
+        // take the first nonzero per iteration in flat-rank order.
+        let mut losses = vec![0.0f32; self.job.iters];
+        for (i, slot) in losses.iter_mut().enumerate() {
+            for r in 0..world {
+                if let Some(o) = outputs.get(&spec.thread_key(r)) {
+                    if o.losses.get(i).copied().unwrap_or(0.0) != 0.0 {
+                        *slot = o.losses[i];
+                        break;
+                    }
+                }
+            }
+        }
+
+        ProcOutcome {
+            outputs,
+            losses,
+            missing,
+        }
+    }
+}
+
+impl Drop for LaunchHandle {
+    /// A dropped handle must not leak rank processes or the reader
+    /// thread (e.g. when a test assertion fails mid-run).
+    fn drop(&mut self) {
+        self.kill_all();
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let mut job = JobSpec::canonical(2, 2, 2);
+        job.wire = WireKind::Tcp;
+        job.retry = true;
+        job.lr = 0.012_345_7;
+        job.schedule = ScheduleKind::GPipe;
+        let back = JobSpec::from_json(&job.to_json()).unwrap();
+        assert_eq!(job, back);
+        let inter = JobSpec {
+            schedule: ScheduleKind::Interleaved { chunks: 2 },
+            chunks: 2,
+            ..JobSpec::canonical(2, 1, 1)
+        };
+        assert_eq!(JobSpec::from_json(&inter.to_json()).unwrap(), inter);
+    }
+
+    #[test]
+    fn matrix_frames_round_trip_bit_exactly() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 * 0.1 - 0.7);
+        let back = frame_matrix(&matrix_frame(&m)).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.cols(), 5);
+        assert_eq!(m.as_slice(), back.as_slice());
+        assert!(
+            frame_matrix(&[2.0, 2.0, 1.0]).is_none(),
+            "torn frame rejected"
+        );
+    }
+
+    #[test]
+    fn canonical_job_matches_inprocess_inputs() {
+        let job = JobSpec::canonical(2, 2, 2);
+        let spec = job.spec();
+        assert_eq!(spec.world(), 8);
+        let data = job.dataset();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].0.len(), 8 * job.model.seq);
+        // Same seeds → same master weights in every process.
+        let a = job.master();
+        let b = job.master();
+        assert_eq!(a.cfg, b.cfg);
+    }
+}

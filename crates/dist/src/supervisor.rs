@@ -589,6 +589,7 @@ impl Supervisor {
                 telemetry: self.telemetry.clone(),
                 transport: self.transport,
                 health: health.clone(),
+                on_beat: None,
             };
             let attempt_t0 = Instant::now();
             let out = trainer.train_with(&data[..stop], ctl);

@@ -17,7 +17,7 @@ use crate::health::HealthMonitor;
 use super::spec::ThreadKey;
 
 /// Shared per-thread output map.
-pub(super) type SharedMap<V> = Arc<Mutex<HashMap<ThreadKey, V>>>;
+pub(crate) type SharedMap<V> = Arc<Mutex<HashMap<ThreadKey, V>>>;
 
 /// One timed training step of one thread. Samples are indexed by
 /// (incident `epoch`, absolute `iteration`), so a run resumed after a
@@ -189,6 +189,11 @@ pub struct RunControl {
     /// Heartbeat collector: when set, every rank thread beats once per
     /// iteration, enabling dead-vs-slow classification.
     pub health: Option<Arc<HealthMonitor>>,
+    /// Extra per-iteration beat hook, invoked with the flat rank at the
+    /// same site as [`RunControl::health`]. Process mode uses it to push a
+    /// heartbeat frame over the launcher socket so a monitor in *another*
+    /// process can classify this rank.
+    pub on_beat: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 /// Why a thread of a training run stopped early.

@@ -52,8 +52,8 @@ use megatron_tensor::gpt::GptModel;
 
 use crate::comm::Group;
 
-use logs::SharedMap;
-use worker::{classify_panic, run_thread, Endpoints, ThreadArgs};
+pub(crate) use logs::SharedMap;
+pub(crate) use worker::{classify_panic, run_thread, Endpoints, ThreadArgs};
 
 /// Real PTD-P training over threads.
 pub struct PtdpTrainer {

@@ -32,9 +32,9 @@ use super::spec::{PtdpSpec, ThreadKey};
 /// [`CommPanic`] payload; anything else is a genuine bug in the worker.
 /// No string matching: a reworded panic message can never flip the
 /// classification.
-pub(super) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError {
+pub(crate) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> TrainError {
     if let Some(CommPanic(e)) = payload.downcast_ref::<CommPanic>() {
-        return TrainError::Comm(*e);
+        return TrainError::Comm(e.clone());
     }
     let msg = payload
         .downcast_ref::<&str>()
@@ -82,32 +82,32 @@ impl Drop for TransportStatsFlush<'_> {
 
 /// Channel endpoints for one thread.
 #[derive(Default)]
-pub(super) struct Endpoints {
-    pub(super) fwd_in: HashMap<usize, Receiver<Matrix>>,
-    pub(super) fwd_out: HashMap<usize, Sender<Matrix>>,
-    pub(super) bwd_in: HashMap<usize, Receiver<Matrix>>,
-    pub(super) bwd_out: HashMap<usize, Sender<Matrix>>,
+pub(crate) struct Endpoints {
+    pub(crate) fwd_in: HashMap<usize, Receiver<Matrix>>,
+    pub(crate) fwd_out: HashMap<usize, Sender<Matrix>>,
+    pub(crate) bwd_in: HashMap<usize, Receiver<Matrix>>,
+    pub(crate) bwd_out: HashMap<usize, Sender<Matrix>>,
 }
 
-pub(super) struct ThreadArgs<'a> {
-    pub(super) pi: usize,
-    pub(super) di: usize,
-    pub(super) ti: usize,
-    pub(super) spec: PtdpSpec,
-    pub(super) master: &'a GptModel,
-    pub(super) schedule: &'a megatron_schedule::PipelineSchedule,
-    pub(super) data: &'a [(Vec<usize>, Vec<usize>)],
-    pub(super) ep: Endpoints,
-    pub(super) tg: GroupMember,
-    pub(super) dg: GroupMember,
-    pub(super) losses: Arc<Mutex<Vec<f32>>>,
-    pub(super) final_params: SharedMap<Vec<f32>>,
-    pub(super) peak_stash: SharedMap<usize>,
-    pub(super) step_times: SharedMap<Vec<StepSample>>,
-    pub(super) comm_volumes: SharedMap<RankCommVolume>,
-    pub(super) comm_ops: SharedMap<RankCommOps>,
-    pub(super) ctl: &'a RunControl,
-    pub(super) ckpts: &'a Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>>,
+pub(crate) struct ThreadArgs<'a> {
+    pub(crate) pi: usize,
+    pub(crate) di: usize,
+    pub(crate) ti: usize,
+    pub(crate) spec: PtdpSpec,
+    pub(crate) master: &'a GptModel,
+    pub(crate) schedule: &'a megatron_schedule::PipelineSchedule,
+    pub(crate) data: &'a [(Vec<usize>, Vec<usize>)],
+    pub(crate) ep: Endpoints,
+    pub(crate) tg: GroupMember,
+    pub(crate) dg: GroupMember,
+    pub(crate) losses: Arc<Mutex<Vec<f32>>>,
+    pub(crate) final_params: SharedMap<Vec<f32>>,
+    pub(crate) peak_stash: SharedMap<usize>,
+    pub(crate) step_times: SharedMap<Vec<StepSample>>,
+    pub(crate) comm_volumes: SharedMap<RankCommVolume>,
+    pub(crate) comm_ops: SharedMap<RankCommOps>,
+    pub(crate) ctl: &'a RunControl,
+    pub(crate) ckpts: &'a Mutex<HashMap<usize, HashMap<ThreadKey, ThreadState>>>,
 }
 
 /// Per-iteration context every telemetry span is tagged with.
@@ -195,7 +195,7 @@ fn head_backward(head: &mut HeadShard, hc: &HeadCache, tg: &GroupMember) -> Matr
     }
 }
 
-pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
+pub(crate) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     let ThreadArgs {
         pi,
         di,
@@ -242,12 +242,12 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
     let broken = |boundary: &'static str, opi: usize, peer_pi: usize| {
         tg.poison();
         dg.poison();
-        TrainError::PipelineBroken(StallContext {
-            collective: boundary,
-            round: opi,
-            rounds: ops_total,
-            peer: Some(peer_pi * (spec.data * spec.tensor) + di * spec.tensor + ti),
-        })
+        TrainError::PipelineBroken(StallContext::new(
+            boundary,
+            opi,
+            ops_total,
+            Some(peer_pi * (spec.data * spec.tensor) + di * spec.tensor + ti),
+        ))
     };
 
     let mut model = build_thread_model(master, &spec, pi, ti);
@@ -729,6 +729,9 @@ pub(super) fn run_thread(args: ThreadArgs<'_>) -> Result<(), TrainError> {
         // heartbeat period of a training rank).
         if let Some(mon) = &ctl.health {
             mon.beat(flat_rank);
+        }
+        if let Some(beat) = &ctl.on_beat {
+            beat(flat_rank);
         }
         if owns_last && ti == 0 && di == 0 {
             if let Some(sink) = &ctl.telemetry {

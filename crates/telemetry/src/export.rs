@@ -70,6 +70,24 @@ pub fn chrome_trace_json(hub: &TraceHub, pipeline_stages: usize) -> String {
     events_json(&events)
 }
 
+/// Merge several Chrome traces (each a JSON event array, e.g. one
+/// `rank-R.trace.json` per rank process of a `repro launch` run) into one
+/// trace. Rank pids never collide — every rank's events already carry
+/// `pid = `[`rank_pid`]`(flat rank)` regardless of which process lowered
+/// them — so the merge is event-array concatenation in input order, and
+/// the merged file opens in one viewer with every rank's rows in place.
+pub fn merge_chrome_traces<'a>(parts: impl IntoIterator<Item = &'a str>) -> Result<String, String> {
+    let mut events = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        match Json::parse(part) {
+            Ok(Json::Arr(evs)) => events.extend(evs),
+            Ok(_) => return Err(format!("trace part {i}: not a JSON event array")),
+            Err(e) => return Err(format!("trace part {i}: {e:?}")),
+        }
+    }
+    Ok(Json::Arr(events).to_string())
+}
+
 /// Where a run's rank-time went, as fractions of `1.0`. Shares are over
 /// total rank-seconds (sum over ranks of wall time), so a phase that all
 /// ranks spend half their time in has share 0.5.

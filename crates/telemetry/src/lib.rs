@@ -30,7 +30,9 @@ pub use dag::{
     build_dag, dependency_closure, parse_chrome_trace, ARank, ASpan, CollInstance, Edge, EdgeKind,
     Node, Phase, TraceDag,
 };
-pub use export::{chrome_trace_json, phase_shares, rank_pid, PhaseShares, REAL_PID_BASE};
+pub use export::{
+    chrome_trace_json, merge_chrome_traces, phase_shares, rank_pid, PhaseShares, REAL_PID_BASE,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use span::{RankKey, RankTrace, RankTracer, Span, SpanArgs, SpanKind, TraceHub};
 

@@ -1,20 +1,42 @@
 //! Differential conformance suite for the shared collective core: the
-//! same `megatron-collective` step programs run twice — once through the
-//! real mailbox transport (`megatron_dist::comm`, one OS thread per rank)
-//! and once through the serial `reference_run` interpreter — and must
-//! agree **bit for bit** at awkward group sizes and non-divisible buffer
-//! lengths. Measured transport egress must simultaneously equal the
-//! program's `sent_elems` and, at divisible lengths, the closed-form
-//! volume functions the simulator side publishes.
+//! same `megatron-collective` step programs run through **every group
+//! transport** (`megatron_dist::comm`, one OS thread per rank) and once
+//! through the serial `reference_run` interpreter — and must agree **bit
+//! for bit** at awkward group sizes and non-divisible buffer lengths.
+//! Measured transport egress must simultaneously equal the program's
+//! `sent_elems` and, at divisible lengths, the closed-form volume
+//! functions the simulator side publishes.
+//!
+//! The transport axis ([`Mode`]) covers:
+//! - **Mailbox** — the in-process per-edge mailboxes;
+//! - **Reliable** — mailbox wrapped in the sequence-numbered retry layer;
+//! - **Socket** — real Unix-domain sockets, one listener per rank, the
+//!   same process-mode wiring `repro launch` uses (length-prefixed
+//!   frames, reconnects, barriers riding the wire).
 
-use megatron_repro::collective::{self as coll, reference_run, ReduceOp};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use megatron_repro::collective::{
+    self as coll, reference_run, ReduceOp, SocketChannel, SocketNode, WireAddr,
+};
 use megatron_repro::dist::{
     broadcast_bytes, ring_all_gather_bytes, ring_all_reduce_bytes, ring_reduce_scatter_bytes,
-    CommVolume, Group, GroupMember, BYTES_F32,
+    CommVolume, Group, GroupMember, TransportConfig, WireKind, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
 
 /// Odd group sizes exercised everywhere below.
 const SIZES: [usize; 3] = [3, 5, 7];
+
+/// Which wire the group under test runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Mailbox,
+    Reliable,
+    Socket,
+}
+
+const MODES: [Mode; 3] = [Mode::Mailbox, Mode::Reliable, Mode::Socket];
 
 /// Deterministic per-rank input that differs across ranks and positions.
 fn seeded(rank: usize, n: usize) -> Vec<f32> {
@@ -23,15 +45,64 @@ fn seeded(rank: usize, n: usize) -> Vec<f32> {
         .collect()
 }
 
-/// Run `f` on every member of a fresh `g`-rank group, one OS thread per
-/// rank, and return the per-rank results in rank order.
-fn with_group<R: Send>(g: usize, f: impl Fn(GroupMember) -> R + Sync) -> Vec<R> {
-    let group = Group::new(g);
+/// Run `f` on every member of a fresh `g`-rank group over `mode`'s wire,
+/// one OS thread per rank, and return the per-rank results in rank order.
+fn with_group<R: Send>(mode: Mode, g: usize, f: impl Fn(GroupMember) -> R + Sync) -> Vec<R> {
+    match mode {
+        Mode::Mailbox => {
+            let group = Group::new(g);
+            run_threads(g, &f, move |_| Arc::clone(&group))
+        }
+        Mode::Reliable => {
+            let cfg = TransportConfig {
+                retry: Some(Default::default()),
+                ..TransportConfig::default()
+            };
+            let group = Group::with_config(g, DEFAULT_COMM_TIMEOUT, cfg);
+            run_threads(g, &f, move |_| Arc::clone(&group))
+        }
+        Mode::Socket => {
+            // One listener + one single-member group per rank: exactly the
+            // wiring of a real N-process job, minus the fork/exec.
+            static WORLD: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "megatron-conformance-{}-{}",
+                std::process::id(),
+                WORLD.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            let nodes: Vec<Arc<SocketNode>> = (0..g)
+                .map(|r| {
+                    Arc::new(
+                        SocketNode::bind(&WireAddr::Uds(dir.join(format!("r{r}.sock")))).unwrap(),
+                    )
+                })
+                .collect();
+            let addrs: Vec<Option<WireAddr>> =
+                nodes.iter().map(|n| Some(n.addr().clone())).collect();
+            let cfg = TransportConfig {
+                wire: WireKind::Uds,
+                ..TransportConfig::default()
+            };
+            let out = run_threads(g, &f, move |r| {
+                let chan = SocketChannel::new(Arc::clone(&nodes[r]), 7000, r, addrs.clone());
+                Group::with_socket(g, DEFAULT_COMM_TIMEOUT, cfg, chan)
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        }
+    }
+}
+
+fn run_threads<R: Send>(
+    g: usize,
+    f: &(impl Fn(GroupMember) -> R + Sync),
+    group_for: impl Fn(usize) -> Arc<Group> + Sync,
+) -> Vec<R> {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..g)
             .map(|r| {
-                let m = group.member(r);
-                let f = &f;
+                let m = group_for(r).member(r);
                 s.spawn(move || f(m))
             })
             .collect();
@@ -44,31 +115,33 @@ fn with_group<R: Send>(g: usize, f: impl Fn(GroupMember) -> R + Sync) -> Vec<R> 
 
 #[test]
 fn all_reduce_sum_matches_reference_bitwise() {
-    for g in SIZES {
-        // Lengths that do not divide by g (and one shorter than g).
-        for n in [2usize, 10, 17, 23] {
-            if n.is_multiple_of(g) {
-                continue; // divisible lengths have their own test below
-            }
-            let prog = coll::ring_all_reduce(g, n, ReduceOp::Sum);
-            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
-            reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for g in SIZES {
+            // Lengths that do not divide by g (and one shorter than g).
+            for n in [2usize, 10, 17, 23] {
+                if n.is_multiple_of(g) {
+                    continue; // divisible lengths have their own test below
+                }
+                let prog = coll::ring_all_reduce(g, n, ReduceOp::Sum);
+                let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+                reference_run(&prog, &mut reference);
 
-            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
-                let mut buf = seeded(m.rank(), n);
-                m.try_all_reduce_sum(&mut buf).unwrap();
-                (buf, m.comm_volume())
-            });
-            for (rank, (buf, vol)) in real.iter().enumerate() {
-                assert_eq!(
-                    buf, &reference[rank],
-                    "g={g} n={n} rank {rank}: transport diverged from reference"
-                );
-                assert_eq!(
-                    vol.all_reduce_bytes,
-                    prog.sent_elems(rank) as f64 * BYTES_F32,
-                    "g={g} n={n} rank {rank}: measured bytes != program egress"
-                );
+                let real: Vec<(Vec<f32>, CommVolume)> = with_group(mode, g, |m| {
+                    let mut buf = seeded(m.rank(), n);
+                    m.try_all_reduce_sum(&mut buf).unwrap();
+                    (buf, m.comm_volume())
+                });
+                for (rank, (buf, vol)) in real.iter().enumerate() {
+                    assert_eq!(
+                        buf, &reference[rank],
+                        "{mode:?} g={g} n={n} rank {rank}: transport diverged from reference"
+                    );
+                    assert_eq!(
+                        vol.all_reduce_bytes,
+                        prog.sent_elems(rank) as f64 * BYTES_F32,
+                        "{mode:?} g={g} n={n} rank {rank}: measured bytes != program egress"
+                    );
+                }
             }
         }
     }
@@ -76,50 +149,57 @@ fn all_reduce_sum_matches_reference_bitwise() {
 
 #[test]
 fn all_reduce_max_matches_reference_bitwise() {
-    for g in SIZES {
-        let n = 4 * g + 1; // non-divisible
-        let prog = coll::ring_all_reduce(g, n, ReduceOp::Max);
-        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
-        reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for g in SIZES {
+            let n = 4 * g + 1; // non-divisible
+            let prog = coll::ring_all_reduce(g, n, ReduceOp::Max);
+            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+            reference_run(&prog, &mut reference);
 
-        let real: Vec<Vec<f32>> = with_group(g, |m| {
-            let mut buf = seeded(m.rank(), n);
-            m.try_all_reduce_max(&mut buf).unwrap();
-            buf
-        });
-        for (rank, buf) in real.iter().enumerate() {
-            assert_eq!(buf, &reference[rank], "g={g} rank {rank}");
+            let real: Vec<Vec<f32>> = with_group(mode, g, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_all_reduce_max(&mut buf).unwrap();
+                buf
+            });
+            for (rank, buf) in real.iter().enumerate() {
+                assert_eq!(buf, &reference[rank], "{mode:?} g={g} rank {rank}");
+            }
         }
     }
 }
 
 #[test]
 fn all_gather_matches_reference_bitwise() {
-    for g in SIZES {
-        for part in [1, 5, 9] {
-            let prog = coll::ring_all_gather(g, part);
-            let mut reference: Vec<Vec<f32>> = (0..g)
-                .map(|r| {
-                    let mut buf = vec![0.0f32; part * g];
-                    buf[r * part..(r + 1) * part].copy_from_slice(&seeded(r, part));
-                    buf
-                })
-                .collect();
-            reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for g in SIZES {
+            for part in [1, 5, 9] {
+                let prog = coll::ring_all_gather(g, part);
+                let mut reference: Vec<Vec<f32>> = (0..g)
+                    .map(|r| {
+                        let mut buf = vec![0.0f32; part * g];
+                        buf[r * part..(r + 1) * part].copy_from_slice(&seeded(r, part));
+                        buf
+                    })
+                    .collect();
+                reference_run(&prog, &mut reference);
 
-            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
-                let own = seeded(m.rank(), part);
-                (m.try_all_gather(&own).unwrap(), m.comm_volume())
-            });
-            for (rank, (buf, vol)) in real.iter().enumerate() {
-                assert_eq!(buf, &reference[rank], "g={g} part={part} rank {rank}");
-                // All-gather egress is exact at every length: g−1 rounds of
-                // one `part`-sized chunk each.
-                assert_eq!(vol.all_gather_bytes, ring_all_gather_bytes(g, part));
-                assert_eq!(
-                    vol.all_gather_bytes,
-                    prog.sent_elems(rank) as f64 * BYTES_F32
-                );
+                let real: Vec<(Vec<f32>, CommVolume)> = with_group(mode, g, |m| {
+                    let own = seeded(m.rank(), part);
+                    (m.try_all_gather(&own).unwrap(), m.comm_volume())
+                });
+                for (rank, (buf, vol)) in real.iter().enumerate() {
+                    assert_eq!(
+                        buf, &reference[rank],
+                        "{mode:?} g={g} part={part} rank {rank}"
+                    );
+                    // All-gather egress is exact at every length: g−1 rounds of
+                    // one `part`-sized chunk each.
+                    assert_eq!(vol.all_gather_bytes, ring_all_gather_bytes(g, part));
+                    assert_eq!(
+                        vol.all_gather_bytes,
+                        prog.sent_elems(rank) as f64 * BYTES_F32
+                    );
+                }
             }
         }
     }
@@ -130,60 +210,68 @@ fn reduce_scatter_matches_reference_bitwise() {
     // The group API requires divisible lengths (each rank owns an equal
     // shard); non-divisible chunking is exercised via all-reduce above,
     // whose program embeds the same reduce-scatter rounds.
-    for g in SIZES {
-        let n = 6 * g;
-        let prog = coll::ring_reduce_scatter(g, n, ReduceOp::Sum);
-        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
-        reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for g in SIZES {
+            let n = 6 * g;
+            let prog = coll::ring_reduce_scatter(g, n, ReduceOp::Sum);
+            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+            reference_run(&prog, &mut reference);
 
-        let chunk = n / g;
-        let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
-            let buf = seeded(m.rank(), n);
-            (m.try_reduce_scatter_sum(&buf).unwrap(), m.comm_volume())
-        });
-        for (rank, (shard, vol)) in real.iter().enumerate() {
-            assert_eq!(
-                shard,
-                &reference[rank][rank * chunk..(rank + 1) * chunk],
-                "g={g} rank {rank}: owned shard diverged"
-            );
-            assert_eq!(vol.reduce_scatter_bytes, ring_reduce_scatter_bytes(g, n));
-            assert_eq!(
-                vol.reduce_scatter_bytes,
-                prog.sent_elems(rank) as f64 * BYTES_F32
-            );
+            let chunk = n / g;
+            let real: Vec<(Vec<f32>, CommVolume)> = with_group(mode, g, |m| {
+                let buf = seeded(m.rank(), n);
+                (m.try_reduce_scatter_sum(&buf).unwrap(), m.comm_volume())
+            });
+            for (rank, (shard, vol)) in real.iter().enumerate() {
+                assert_eq!(
+                    shard,
+                    &reference[rank][rank * chunk..(rank + 1) * chunk],
+                    "{mode:?} g={g} rank {rank}: owned shard diverged"
+                );
+                assert_eq!(vol.reduce_scatter_bytes, ring_reduce_scatter_bytes(g, n));
+                assert_eq!(
+                    vol.reduce_scatter_bytes,
+                    prog.sent_elems(rank) as f64 * BYTES_F32
+                );
+            }
         }
     }
 }
 
 #[test]
 fn broadcast_matches_reference_bitwise() {
-    for g in SIZES {
-        for root in [0, g - 1] {
-            let n = 3 * g + 2; // non-divisible
-            let prog = coll::ring_broadcast(g, n, root);
-            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
-            reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for g in SIZES {
+            for root in [0, g - 1] {
+                let n = 3 * g + 2; // non-divisible
+                let prog = coll::ring_broadcast(g, n, root);
+                let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+                reference_run(&prog, &mut reference);
 
-            let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
-                let mut buf = seeded(m.rank(), n);
-                m.try_broadcast(&mut buf, root).unwrap();
-                (buf, m.comm_volume())
-            });
-            for (rank, (buf, vol)) in real.iter().enumerate() {
-                assert_eq!(buf, &seeded(root, n), "g={g} root={root} rank {rank}");
-                assert_eq!(buf, &reference[rank]);
-                assert_eq!(
-                    vol.broadcast_bytes,
-                    prog.sent_elems(rank) as f64 * BYTES_F32
-                );
+                let real: Vec<(Vec<f32>, CommVolume)> = with_group(mode, g, |m| {
+                    let mut buf = seeded(m.rank(), n);
+                    m.try_broadcast(&mut buf, root).unwrap();
+                    (buf, m.comm_volume())
+                });
+                for (rank, (buf, vol)) in real.iter().enumerate() {
+                    assert_eq!(
+                        buf,
+                        &seeded(root, n),
+                        "{mode:?} g={g} root={root} rank {rank}"
+                    );
+                    assert_eq!(buf, &reference[rank]);
+                    assert_eq!(
+                        vol.broadcast_bytes,
+                        prog.sent_elems(rank) as f64 * BYTES_F32
+                    );
+                }
+                // The pipelined ring is per-rank asymmetric: the root (and
+                // every middle position) forwards the whole buffer; the last
+                // ring position sends nothing.
+                let tail = (root + g - 1) % g;
+                assert_eq!(real[root].1.broadcast_bytes, broadcast_bytes(g, n));
+                assert_eq!(real[tail].1.broadcast_bytes, 0.0);
             }
-            // The pipelined ring is per-rank asymmetric: the root (and
-            // every middle position) forwards the whole buffer; the last
-            // ring position sends nothing.
-            let tail = (root + g - 1) % g;
-            assert_eq!(real[root].1.broadcast_bytes, broadcast_bytes(g, n));
-            assert_eq!(real[tail].1.broadcast_bytes, 0.0);
         }
     }
 }
@@ -193,23 +281,25 @@ fn hierarchical_all_reduce_matches_reference_bitwise() {
     // Composite size so `local` is a proper divisor: 6 ranks as 3 nodes of
     // 2 and 2 nodes of 3, at a non-divisible length.
     let g = 6;
-    for local in [2, 3] {
-        let n = 25;
-        let prog = coll::hierarchical_all_reduce(g, n, local, ReduceOp::Sum);
-        let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
-        reference_run(&prog, &mut reference);
+    for mode in MODES {
+        for local in [2, 3] {
+            let n = 25;
+            let prog = coll::hierarchical_all_reduce(g, n, local, ReduceOp::Sum);
+            let mut reference: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+            reference_run(&prog, &mut reference);
 
-        let real: Vec<(Vec<f32>, CommVolume)> = with_group(g, |m| {
-            let mut buf = seeded(m.rank(), n);
-            m.try_hierarchical_all_reduce_sum(&mut buf, local).unwrap();
-            (buf, m.comm_volume())
-        });
-        for (rank, (buf, vol)) in real.iter().enumerate() {
-            assert_eq!(buf, &reference[rank], "local={local} rank {rank}");
-            assert_eq!(
-                vol.all_reduce_bytes,
-                prog.sent_elems(rank) as f64 * BYTES_F32
-            );
+            let real: Vec<(Vec<f32>, CommVolume)> = with_group(mode, g, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_hierarchical_all_reduce_sum(&mut buf, local).unwrap();
+                (buf, m.comm_volume())
+            });
+            for (rank, (buf, vol)) in real.iter().enumerate() {
+                assert_eq!(buf, &reference[rank], "{mode:?} local={local} rank {rank}");
+                assert_eq!(
+                    vol.all_reduce_bytes,
+                    prog.sent_elems(rank) as f64 * BYTES_F32
+                );
+            }
         }
     }
 }
@@ -219,15 +309,21 @@ fn divisible_lengths_match_closed_form_volumes() {
     // At divisible lengths the measured egress collapses to the familiar
     // 2(g−1)/g · n closed forms — the same functions the simulator's
     // analytical model publishes.
-    for g in SIZES {
-        let n = 8 * g;
-        let vols: Vec<CommVolume> = with_group(g, |m| {
-            let mut buf = seeded(m.rank(), n);
-            m.try_all_reduce_sum(&mut buf).unwrap();
-            m.comm_volume()
-        });
-        for vol in vols {
-            assert_eq!(vol.all_reduce_bytes, ring_all_reduce_bytes(g, n));
+    for mode in MODES {
+        for g in SIZES {
+            let n = 8 * g;
+            let vols: Vec<CommVolume> = with_group(mode, g, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_all_reduce_sum(&mut buf).unwrap();
+                m.comm_volume()
+            });
+            for vol in vols {
+                assert_eq!(
+                    vol.all_reduce_bytes,
+                    ring_all_reduce_bytes(g, n),
+                    "{mode:?} g={g}"
+                );
+            }
         }
     }
 }
@@ -237,14 +333,16 @@ fn size_two_all_reduce_is_exact_at_every_length() {
     // The g=2 identity the trainer's telemetry cross-checks rely on:
     // per-rank all-reduce egress is exactly n elements for any n, even
     // when n doesn't halve evenly.
-    for n in [1, 3, 7, 97] {
-        let vols: Vec<CommVolume> = with_group(2, |m| {
-            let mut buf = seeded(m.rank(), n);
-            m.try_all_reduce_sum(&mut buf).unwrap();
-            m.comm_volume()
-        });
-        for vol in vols {
-            assert_eq!(vol.all_reduce_bytes, n as f64 * BYTES_F32);
+    for mode in MODES {
+        for n in [1, 3, 7, 97] {
+            let vols: Vec<CommVolume> = with_group(mode, 2, |m| {
+                let mut buf = seeded(m.rank(), n);
+                m.try_all_reduce_sum(&mut buf).unwrap();
+                m.comm_volume()
+            });
+            for vol in vols {
+                assert_eq!(vol.all_reduce_bytes, n as f64 * BYTES_F32, "{mode:?} n={n}");
+            }
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Process-mode acceptance tests (harness = false: this binary re-execs
+//! **itself** as the rank workers, so it must own `main`).
+//!
+//! 1. The seeded canonical (2,2,2) job launched as **8 OS processes over
+//!    Unix-domain sockets** produces bit-identical losses and final
+//!    parameters to the in-process mailbox run, with per-GPU socket byte
+//!    counts equal to the comm-tape's closed forms (the same §3 identities
+//!    `tests/real_vs_sim_bytes.rs` proves against the simulator).
+//! 2. Heartbeats flow over the socket transport: SIGKILLing one rank
+//!    process leaves it classified **dead** by the launcher-side
+//!    [`HealthMonitor`](megatron_repro::dist::HealthMonitor) while the
+//!    stalled survivors keep beating.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use megatron_repro::dist::proc::{launch, maybe_worker, JobSpec};
+use megatron_repro::dist::PtdpTrainer;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("megatron-procmode-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn eight_uds_processes_bit_identical_to_in_process() {
+    let job = JobSpec::canonical(2, 2, 2);
+    let dir = scratch("bitident");
+    let handle = launch(&job, &dir).expect("launch 8 rank processes");
+    let out = handle.wait();
+    assert!(
+        out.ok(),
+        "process run failed: missing={:?} errors={:?}",
+        out.missing,
+        out.outputs
+            .values()
+            .filter_map(|o| o.error.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // The same job, in-process (threads + mailbox transport).
+    let spec = job.spec();
+    let log = PtdpTrainer::new(job.master(), spec).train(&job.dataset());
+
+    assert_eq!(out.losses, log.losses, "losses must be bit-identical");
+    assert_eq!(out.outputs.len(), spec.world());
+    let mut total_bytes = 0.0;
+    for (key, o) in &out.outputs {
+        assert_eq!(
+            o.params, log.final_params[key],
+            "final params differ at {key:?}"
+        );
+        assert_eq!(
+            o.volume, log.comm_volumes[key],
+            "socket-measured comm volume differs at {key:?}"
+        );
+        // The §3 identity, per GPU: bytes measured on the socket wire ==
+        // bytes the rank's op tape implies via the ring closed forms.
+        assert_eq!(
+            o.tape_bytes,
+            o.volume.total_bytes(),
+            "closed-form bytes != socket bytes at {key:?}"
+        );
+        assert!(o.steps >= job.iters, "rank {key:?} finished every step");
+        total_bytes += o.volume.total_bytes();
+    }
+    assert!(total_bytes > 0.0, "run moved no bytes — vacuous identity");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok - eight_uds_processes_bit_identical_to_in_process");
+}
+
+fn sigkilled_rank_process_classified_dead() {
+    let mut job = JobSpec::canonical(2, 2, 2);
+    // Long enough to be running when the kill lands; the handle kills the
+    // survivors afterwards (and on drop), so this bound is never reached.
+    job.iters = 100_000;
+    // Survivors must still be stalled-but-alive at classification time.
+    job.comm_timeout = Duration::from_secs(30);
+    job.hb_period = Duration::from_millis(20);
+    let spec = job.spec();
+    let world = spec.world();
+    let dir = scratch("sigkill");
+    let handle = launch(&job, &dir).expect("launch 8 rank processes");
+    let monitor = handle.monitor();
+
+    // Wait until every rank's beacon has pulsed a few times.
+    let t0 = Instant::now();
+    while (0..world).any(|r| monitor.beats(r) < 3) {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "workers never started beating: {:?}",
+            (0..world).map(|r| monitor.beats(r)).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let victim = 3; // thread (0, 1, 1)
+    assert!(handle.kill_rank(victim), "SIGKILL rank {victim}");
+    // dead-after is 4 heartbeat periods (80 ms); give it 5×.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let report = monitor.classify(25.0);
+    let victim_key = spec.thread_key(victim);
+    assert!(
+        report.dead().contains(&victim_key),
+        "SIGKILLed rank {victim_key:?} not classified dead: {:?}",
+        report.ranks
+    );
+    for r in 0..world {
+        if r != victim {
+            let key = spec.thread_key(r);
+            assert!(
+                !report.dead().contains(&key),
+                "survivor {key:?} (still beating via its beacon) classified dead: {:?}",
+                report.ranks
+            );
+        }
+    }
+
+    handle.kill_all();
+    let out = handle.wait();
+    assert!(
+        out.missing.contains(&victim_key),
+        "a SIGKILLed rank leaves no output file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok - sigkilled_rank_process_classified_dead");
+}
+
+fn main() {
+    // Rank-worker re-entry: `--proc-worker <dir> <rank>` runs the worker
+    // and exits, everything else falls through to the tests.
+    maybe_worker();
+
+    eight_uds_processes_bit_identical_to_in_process();
+    sigkilled_rank_process_classified_dead();
+    println!("process_mode: all tests passed");
+}
