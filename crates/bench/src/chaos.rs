@@ -78,7 +78,10 @@ impl Default for ChaosKnobs {
 pub const USAGE: &str = "repro chaos [--seeds N] [--seed-base N] [--drop P] [--duplicate P]
             [--delay P] [--straggler-threshold X] [--heartbeat-ms N]
   seeded chaos sweep: transient+fatal fault plans through real (2,2,2)
-  training, asserting bit-identical recovery and restarts == fatal faults";
+  training, asserting bit-identical recovery and restarts == fatal faults
+repro chaos --process [...]   E38: the same idea with real OS processes —
+  seeded SIGKILLs + socket faults healed by the launcher supervisor
+  (see `repro chaos --process --help` flags in proc_chaos)";
 
 /// Parse CLI flags into [`ChaosKnobs`].
 pub fn parse_knobs(args: &[String]) -> Result<ChaosKnobs, String> {
@@ -126,8 +129,13 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
         .map_err(|_| format!("could not parse '{s}'\n{USAGE}"))
 }
 
-/// CLI entry: parse flags, run the sweep.
+/// CLI entry: parse flags, run the sweep. `--process` switches to E38,
+/// the process-mode chaos run (real SIGKILLs through the launcher-side
+/// supervisor — see [`crate::proc_chaos`]).
 pub fn run(args: &[String]) -> Result<String, String> {
+    if args.iter().any(|a| a == "--process") {
+        return crate::proc_chaos::run(args);
+    }
     parse_knobs(args).map(|knobs| report(&knobs))
 }
 

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod harness;
 pub mod launch;
 pub mod perf;
+pub mod proc_chaos;
 pub mod sentry;
 pub mod serving;
 pub mod simulate_cli;

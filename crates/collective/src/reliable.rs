@@ -29,6 +29,17 @@
 //! Because recovery is lossless and does not alter the per-rank combine
 //! order, results under transient faults are bit-identical to a fault-free
 //! run — only timing changes.
+//!
+//! **Cross-process scope.** The [`RetransmitStore`] is in-memory and
+//! therefore only heals faults *within* one address space. When ranks are
+//! separate OS processes, a mid-frame sever leaves the loss on the kernel
+//! socket, where this layer cannot see it; recovery there is the socket
+//! channel's own sender-side replay log (`SocketChannel::enable_replay`,
+//! armed by `dist`'s socket transport whenever retry is on), which resends
+//! its recent frame window after a reconnect. The two layers compose
+//! because this module's sequence numbers make the replayed duplicates
+//! harmless: `next_expected` discards them exactly like wire-duplicated
+//! frames.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;

@@ -384,6 +384,11 @@ struct SeverPlan {
     done: bool,
 }
 
+/// Frames the sender-side replay log keeps per peer (matches the reliable
+/// layer's retransmit window: round-synchronous collectives keep at most a
+/// handful of frames in flight per edge).
+const REPLAY_WINDOW: usize = 64;
+
 /// A group's socket endpoint: [`Transport`] + [`PollTransport`] over one
 /// logical channel of a [`SocketNode`].
 ///
@@ -402,6 +407,20 @@ pub struct SocketChannel {
     deadline: Instant,
     io_timeout: Duration,
     sever: Option<SeverPlan>,
+    /// Per-peer log of recently sent frames, armed by
+    /// [`SocketChannel::enable_replay`]. When a connection tears, the next
+    /// reconnect resends the whole log — covering frames that were only
+    /// partially written (or never written at all) when the wire broke.
+    /// Replaying necessarily re-delivers frames the peer already consumed,
+    /// so this is only sound under `ReliableTransport`, whose sequence
+    /// numbers absorb the duplicates.
+    replay: Option<Vec<VecDeque<Vec<u8>>>>,
+    /// Peers whose outbound connection was lost after bytes were sent
+    /// (next reconnect must replay the log when one is armed).
+    torn: Vec<bool>,
+    /// Injected per-frame send delay (models a slow link from a fault
+    /// plan; applied before every write).
+    send_delay: Option<Duration>,
 }
 
 impl SocketChannel {
@@ -424,6 +443,9 @@ impl SocketChannel {
             deadline: Instant::now() + Duration::from_secs(30),
             io_timeout: Duration::from_millis(10),
             sever: None,
+            replay: None,
+            torn: vec![false; n],
+            send_delay: None,
         }
     }
 
@@ -479,6 +501,30 @@ impl SocketChannel {
         });
     }
 
+    /// Arm the sender-side replay log: every outbound frame is logged (last
+    /// [`REPLAY_WINDOW`] per peer) *before* the write attempt, and the
+    /// first write after a torn connection resends the whole log on the
+    /// fresh stream. This makes recovery from a mid-frame sever correct
+    /// even when sender and receiver are in different OS processes, where
+    /// the shared [`RetransmitStore`](crate::RetransmitStore) is inert —
+    /// the cost is duplicate delivery of already-consumed frames, so only
+    /// arm this under a `ReliableTransport` whose sequence numbers discard
+    /// them. Replay fires on the *next* send to the torn peer; a frame
+    /// severed after the final send on an edge stays lost, which
+    /// round-synchronous training traffic (every edge carries frames every
+    /// iteration) never hits mid-stream.
+    pub fn enable_replay(&mut self) {
+        if self.replay.is_none() {
+            self.replay = Some((0..self.peers.len()).map(|_| VecDeque::new()).collect());
+        }
+    }
+
+    /// Inject a per-frame send delay (a fault plan's slow-link model);
+    /// `None` restores full speed.
+    pub fn set_send_delay(&mut self, delay: Option<Duration>) {
+        self.send_delay = delay;
+    }
+
     fn dial(&self, to: usize) -> Result<Stream, SocketError> {
         let addr = self.peers[to]
             .as_ref()
@@ -519,8 +565,23 @@ impl SocketChannel {
     /// Write `frame` to `to`, honoring the sever plan and reconnecting
     /// once on a write failure (the whole frame is resent — at-least-once;
     /// in plain mode a delivered-then-resent frame would duplicate, which
-    /// the reliable layer's sequence numbers absorb).
+    /// the reliable layer's sequence numbers absorb). With the replay log
+    /// armed, the first write after a torn connection resends the entire
+    /// log, so frames lost or half-written when the wire broke reach the
+    /// peer bit-exactly even across process boundaries.
     fn write_frame(&mut self, to: usize, frame: &[u8]) -> Result<(), SocketError> {
+        if let Some(d) = self.send_delay {
+            std::thread::sleep(d);
+        }
+        // Log before any write attempt so a torn, lost, or half-written
+        // frame is covered by the replay on the next reconnect.
+        if let Some(log) = self.replay.as_mut() {
+            let q = &mut log[to];
+            q.push_back(frame.to_vec());
+            while q.len() > REPLAY_WINDOW {
+                q.pop_front();
+            }
+        }
         self.ensure_out(to)?;
 
         // Injected failure: cut the connection mid-frame.
@@ -541,25 +602,46 @@ impl SocketChannel {
             let _ = out.stream.write_all(&frame[..partial]);
             out.stream.shutdown();
             self.out[to] = None;
-            if !resend {
+            self.torn[to] = true;
+            if !resend && self.replay.is_none() {
                 return Ok(()); // frame genuinely lost mid-wire
             }
+            // With replay armed even a "lossy" sever heals: the frame is
+            // in the log, so fall through and let the reconnect resend it.
             self.ensure_out(to)?;
         }
 
         let remaining = self.deadline.saturating_duration_since(Instant::now());
         let wt = remaining.max(Duration::from_millis(1));
         for attempt in 0..2 {
+            // After a torn connection with the log armed, resend the whole
+            // window (duplicates are the reliable layer's problem);
+            // otherwise just this frame.
+            let burst: Vec<&[u8]> = match (&self.replay, self.torn[to]) {
+                (Some(log), true) => log[to].iter().map(|f| f.as_slice()).collect(),
+                _ => vec![frame],
+            };
             let out = self.out[to].as_mut().unwrap();
             let _ = out.stream.set_write_timeout(Some(wt));
-            match out.stream.write_all(frame) {
-                Ok(()) => {
-                    out.sent_bytes += frame.len() as u64;
+            let mut failed = None;
+            for f in &burst {
+                match out.stream.write_all(f) {
+                    Ok(()) => out.sent_bytes += f.len() as u64,
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                None => {
+                    self.torn[to] = false;
                     return Ok(());
                 }
-                Err(e) => {
+                Some(e) => {
                     out.stream.shutdown();
                     self.out[to] = None;
+                    self.torn[to] = true;
                     if attempt == 1 {
                         return Err(SocketError::Io(e.kind()));
                     }
@@ -897,6 +979,49 @@ mod tests {
             recovered >= 1,
             "the severed frame must be recovered from the store (got {recovered})"
         );
+    }
+
+    #[test]
+    fn replay_log_heals_lossy_sever_without_a_shared_store() {
+        // Same lossy mid-frame sever as above, but every rank owns a
+        // PRIVATE RetransmitStore — the true multi-process topology, where
+        // the receiver's store never saw the sender's frames and
+        // store-based recovery is inert. The sender-side replay log must
+        // resend the lost frame on reconnect, bit-exactly.
+        let g = 3;
+        let n = 32;
+        let prog = ring_all_reduce(g, n, ReduceOp::Sum);
+        let (nodes, addrs) = uds_world("replay", g);
+        let mut bufs: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, buf)| {
+                    let node = Arc::clone(&nodes[rank]);
+                    let peers = peers_for(rank, &addrs);
+                    let prog = &prog;
+                    s.spawn(move || {
+                        let store = RetransmitStore::new(g); // private per "process"
+                        let mut ch = SocketChannel::new(node, 13, rank, peers);
+                        ch.set_deadline(Instant::now() + Duration::from_secs(20));
+                        ch.enable_replay();
+                        if rank == 1 {
+                            ch.sever_outbound_after_lossy(2, 60 + 20);
+                        }
+                        let mut rel =
+                            ReliableTransport::new(ch, &store, rank, RetryPolicy::default());
+                        execute(prog, rank, buf, &mut rel).unwrap();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let mut want: Vec<Vec<f32>> = (0..g).map(|r| seeded(r, n)).collect();
+        reference_run(&prog, &mut want);
+        assert_eq!(bufs, want, "replayed sever must not corrupt the reduction");
     }
 
     #[test]

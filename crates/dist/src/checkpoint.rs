@@ -258,6 +258,62 @@ impl CheckpointStore {
         Ok(())
     }
 
+    /// Launcher-side committer for process mode: scan *uncommitted*
+    /// generation directories and commit every one whose full world of
+    /// shard files is present and valid. In process mode each worker
+    /// writes only its own shard — no single worker ever holds the whole
+    /// world's thread states in memory, so the in-trainer commit path
+    /// can never fire; the launcher, the one process that sees every
+    /// shard on disk, performs the commit instead. Generations with
+    /// missing or invalid shards (a worker died mid-generation) are left
+    /// uncommitted for retention pruning to sweep. Returns the
+    /// generations committed by this call, oldest first.
+    pub fn commit_complete_generations(
+        &self,
+        spec: &PtdpSpec,
+        cfg: TinyGptConfig,
+    ) -> Result<Vec<usize>, CheckpointError> {
+        let mut dirs = self.gen_dirs();
+        dirs.sort_unstable_by_key(|d| d.0);
+        let mut committed = Vec::new();
+        for (generation, dir) in dirs {
+            if dir.join(MANIFEST_NAME).is_file() {
+                continue; // already committed
+            }
+            let mut threads = HashMap::new();
+            let mut complete = true;
+            'load: for pi in 0..spec.pipeline {
+                for di in 0..spec.data {
+                    for ti in 0..spec.tensor {
+                        let key = (pi, di, ti);
+                        if !dir.join(shard_name(key)).is_file() {
+                            complete = false;
+                            break 'load;
+                        }
+                        // Shard writes are atomic (temp + rename), so a
+                        // present-but-invalid shard is corrupt, not
+                        // in-flight — skip the generation either way.
+                        match self.load_shard(&dir, spec, key, generation) {
+                            Ok(st) => {
+                                threads.insert(key, st);
+                            }
+                            Err(_) => {
+                                complete = false;
+                                break 'load;
+                            }
+                        }
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            self.commit_generation(spec, cfg, generation, &threads)?;
+            committed.push(generation);
+        }
+        Ok(committed)
+    }
+
     /// Restore the newest generation that survives full validation into a
     /// snapshot for `spec`, falling back to older generations on any
     /// corruption or topology obstacle. Never panics on bad files.
@@ -283,6 +339,33 @@ impl CheckpointStore {
             }
         }
         Err(CheckpointError::NoneAvailable)
+    }
+
+    /// Restore exactly `generation`, ignoring any newer (or older)
+    /// generations in the store.
+    ///
+    /// This is the launcher-pinned restore path: a supervisor that
+    /// respawns workers records which generation it healed from, and the
+    /// workers must restore *that* state even if the shared store has
+    /// since advanced (e.g. replaying a segment for a determinism audit
+    /// after later segments already checkpointed past it).
+    pub fn load_pinned(
+        &self,
+        spec: &PtdpSpec,
+        cfg: TinyGptConfig,
+        generation: usize,
+    ) -> Result<Restored, CheckpointError> {
+        let dir = self.gen_dir(generation);
+        if !dir.is_dir() {
+            return Err(CheckpointError::NoneAvailable);
+        }
+        let (snapshot, cross_topology) = self.load_generation(&dir, generation, spec, cfg)?;
+        Ok(Restored {
+            snapshot,
+            generation,
+            cross_topology,
+            notes: Vec::new(),
+        })
     }
 
     fn load_generation(
@@ -803,6 +886,40 @@ mod tests {
                 entry.file_name()
             );
         }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn launcher_committer_commits_only_complete_generations() {
+        let (root, store) = tmp_store("committer");
+        let spec = PtdpSpec::new(2, 2, 2);
+        let threads = synthetic_states(cfg(), &spec, 31);
+        // Generation 2: every shard present but no manifest (the process-
+        // mode worker situation). Generation 4: one shard missing (its
+        // writer died mid-generation).
+        for (key, st) in &threads {
+            store.write_shard(&spec, *key, 2, st).unwrap();
+        }
+        for (key, st) in &threads {
+            if *key != (1, 1, 1) {
+                store.write_shard(&spec, *key, 4, st).unwrap();
+            }
+        }
+        assert!(store.generations().is_empty(), "nothing committed yet");
+
+        let committed = store.commit_complete_generations(&spec, cfg()).unwrap();
+        assert_eq!(committed, vec![2]);
+        assert_eq!(store.generations(), vec![2]);
+
+        let r = store.load_latest(&spec, cfg()).unwrap();
+        assert_eq!(r.generation, 2);
+        assert!(!r.cross_topology);
+        for (key, want) in &threads {
+            assert_eq!(r.snapshot.threads[key].params, want.params, "{key:?}");
+        }
+        // Idempotent: gen 2 already committed, gen 4 still incomplete.
+        let again = store.commit_complete_generations(&spec, cfg()).unwrap();
+        assert!(again.is_empty(), "{again:?}");
         let _ = fs::remove_dir_all(root);
     }
 

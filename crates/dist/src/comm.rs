@@ -534,10 +534,15 @@ impl Group {
     /// Like [`Group::with_socket`], with an explicit (possibly shared)
     /// retransmit store. Thread-per-rank rigs that run *real sockets
     /// within one process* pass one `Arc` to every rank's group so the
-    /// reliable layer can recover lost frames from the sender's log; in
+    /// reliable layer can recover lost frames from the sender's log. In
     /// true multi-process mode each process's store only ever sees its own
-    /// sends, so recovery is inert and delivery relies on the socket
-    /// layer's reconnect-and-resend.
+    /// sends, so store-based recovery is inert — instead, whenever retry is
+    /// armed the socket channel's sender-side *replay log* is enabled:
+    /// after a torn connection the reconnect resends the whole recent
+    /// frame window (covering frames lost or only partially written when
+    /// the wire broke), and the reliable layer's sequence numbers discard
+    /// the duplicates. Cross-process delivery is therefore bit-exact under
+    /// mid-frame severs too.
     pub fn with_socket_shared_store(
         size: usize,
         timeout: Duration,
@@ -547,6 +552,12 @@ impl Group {
     ) -> Arc<Group> {
         assert!(size > 0);
         assert!(channel.rank() < size, "channel rank outside the group");
+        let mut channel = channel;
+        if transport.retry.is_some() {
+            // Sound only under the reliable layer (replay duplicates
+            // already-delivered frames; seq numbers absorb them).
+            channel.enable_replay();
+        }
         Arc::new(Group {
             size,
             mail: Vec::new(),

@@ -169,6 +169,20 @@ impl HealthMonitor {
         self.beacons[flat_rank].beats.load(Ordering::Relaxed)
     }
 
+    /// How long `flat_rank` has been silent — time since its last beat,
+    /// or `None` if it never beat at all. The process-mode supervisor
+    /// stamps this into incident records (detection latency evidence)
+    /// and uses `None` to grant a startup grace period, since
+    /// [`HealthMonitor::classify`] counts a never-beaten rank as dead.
+    pub fn silence(&self, flat_rank: usize) -> Option<Duration> {
+        let last = self.beacons[flat_rank].last_ns.load(Ordering::Acquire);
+        if last == 0 {
+            return None;
+        }
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        Some(Duration::from_nanos(now_ns.saturating_sub(last)))
+    }
+
     /// Classify every rank as healthy / slow / dead. `slow_threshold` is
     /// the multiple of the median mean-beat-interval beyond which a living
     /// rank counts as slow (same convention as `StragglerReport::analyze`;

@@ -42,7 +42,10 @@ pub use comm::{
     GroupMember, StallContext, TransportConfig, WireKind, BYTES_F32, DEFAULT_COMM_TIMEOUT,
 };
 pub use health::{HealthMonitor, HealthReport, RankCondition, DEFAULT_SLOW_THRESHOLD};
-pub use proc::{JobSpec, LaunchHandle, ProcOutcome, RankOutput};
+pub use proc::{
+    ElasticProcReport, JobSpec, LaunchHandle, ProcIncident, ProcKill, ProcOutcome, ProcReport,
+    ProcSupervisor, RankOutput, SocketFault, SocketFaultPlan, WorkerExit,
+};
 pub use supervisor::{
     CapacityEvent, Incident, IncidentSeverity, Reconfiguration, ReconfigureDirection, Supervisor,
     SupervisorConfig, SupervisorReport, TransientIncident,

@@ -68,8 +68,10 @@ use megatron_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::CheckpointStore;
 use crate::comm::{CommVolume, Group, TransportConfig, WireKind};
 use crate::health::HealthMonitor;
+use crate::supervisor::{CapacityEvent, Reconfiguration, ReconfigureDirection};
 use crate::trainer::{
     classify_panic, run_thread, Endpoints, PtdpSpec, RankCommOps, RankCommVolume, RunControl,
     SharedMap, StepSample, ThreadArgs, ThreadKey, ThreadState,
@@ -130,6 +132,19 @@ pub struct JobSpec {
     pub trace: bool,
     /// Heartbeat beacon period.
     pub hb_period: Duration,
+    /// Durable checkpoint cadence in iterations (0 = no checkpointing).
+    /// Workers write their own shards; the launcher commits complete
+    /// generations (see [`CheckpointStore::commit_complete_generations`]).
+    pub checkpoint_every: usize,
+    /// Restore from this durable generation before training (0 = fresh
+    /// start). The launcher pins the generation — rather than letting each
+    /// worker pick "latest" independently — so every rank of a respawned
+    /// attempt restores the *same* state even if a newer generation
+    /// commits concurrently.
+    pub resume_from: usize,
+    /// Incident epoch stamped into step samples and telemetry (attempt
+    /// number − 1 under the supervisor; 0 for a plain launch).
+    pub epoch: usize,
 }
 
 impl JobSpec {
@@ -164,6 +179,9 @@ impl JobSpec {
             retry: false,
             trace: false,
             hb_period: Duration::from_millis(25),
+            checkpoint_every: 0,
+            resume_from: 0,
+            epoch: 0,
         }
     }
 
@@ -264,6 +282,9 @@ impl JobSpec {
             ("retry", Json::Bool(self.retry)),
             ("trace", Json::Bool(self.trace)),
             ("hb_period_ms", Json::Num(self.hb_period.as_millis() as f64)),
+            ("checkpoint_every", n(self.checkpoint_every)),
+            ("resume_from", n(self.resume_from)),
+            ("epoch", n(self.epoch)),
         ])
         .to_string()
     }
@@ -277,6 +298,9 @@ impl JobSpec {
                 .map(|v| v as usize)
                 .ok_or_else(|| format!("job.json: missing numeric field `{k}`"))
         };
+        // Fields added after PR 9 default to zero so older job.json files
+        // (and hand-written ones) still parse.
+        let us0 = |k: &str| j.get(k).as_f64().map(|v| v as usize).unwrap_or(0);
         let b = |k: &str| matches!(j.get(k), Json::Bool(true));
         let schedule = match j.get("schedule").as_str().unwrap_or("1f1b") {
             "gpipe" => ScheduleKind::GPipe,
@@ -319,7 +343,217 @@ impl JobSpec {
             retry: b("retry"),
             trace: b("trace"),
             hb_period: Duration::from_millis(us("hb_period_ms")? as u64),
+            checkpoint_every: us0("checkpoint_every"),
+            resume_from: us0("resume_from"),
+            epoch: us0("epoch"),
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket fault plan
+// ---------------------------------------------------------------------------
+
+/// Which of a rank's group channels a socket fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultChan {
+    /// The rank's tensor-parallel group channel.
+    Tensor,
+    /// The rank's data-parallel group channel.
+    Data,
+}
+
+/// One launcher-injected socket-level fault, executed by the worker it
+/// names before training starts. Severs and slowdowns act on the rank's
+/// outbound connection toward its next ring neighbor in the chosen group
+/// (the edge every ring collective uses each iteration), so the fault is
+/// guaranteed to sit on a live traffic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Cut the connection mid-frame once `after_bytes` cumulative payload
+    /// bytes have been written. `lossy` drops the severed frame cold —
+    /// recovery is then entirely the reliable layer + replay log's job —
+    /// while `!lossy` has the socket layer resend it whole.
+    Sever {
+        /// Flat rank whose outbound connection is cut.
+        rank: usize,
+        /// Group channel carrying the fault.
+        chan: FaultChan,
+        /// Payload bytes before the cut.
+        after_bytes: u64,
+        /// Genuinely lose the severed frame?
+        lossy: bool,
+    },
+    /// Delay the rank's listener bind (and address publish) by `delay_ms`:
+    /// every peer that dials early is refused and must retry, exercising
+    /// the connect-retry path from the other side of the pipe.
+    Refuse {
+        /// Flat rank whose listener comes up late.
+        rank: usize,
+        /// Milliseconds of bind delay.
+        delay_ms: u64,
+    },
+    /// Slow every frame the rank sends on `chan` by `delay_us` — a
+    /// degraded link the health monitor should classify as Slow, not
+    /// Dead.
+    Slow {
+        /// Flat rank with the degraded link.
+        rank: usize,
+        /// Group channel carrying the fault.
+        chan: FaultChan,
+        /// Per-frame send delay in microseconds.
+        delay_us: u64,
+    },
+}
+
+/// A seeded schedule of socket faults for one process-mode job, written
+/// by the launcher as `faults.json` and read by every worker at startup
+/// (each applies only the entries naming its own rank). The process-mode
+/// analog of `TransientFaults`: these are *wire* faults — broken pipes,
+/// refused connections, slow links — across real address spaces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SocketFaultPlan {
+    /// The faults, in no particular order.
+    pub faults: Vec<SocketFault>,
+}
+
+impl SocketFaultPlan {
+    /// A deterministic plan for a world of `world` ranks: one lossy
+    /// mid-frame sever, one refused-connection startup delay, and one
+    /// slow link, on ranks drawn from `seed`. The sever's byte offset is
+    /// drawn so it lands inside the first few iterations' traffic.
+    pub fn seeded(seed: u64, world: usize) -> SocketFaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50c4_e7fa);
+        let mut pick = |exclude: &[usize]| loop {
+            let r = rng.gen_range(0..world);
+            if !exclude.contains(&r) {
+                return r;
+            }
+        };
+        let a = pick(&[]);
+        let b = pick(&[a]);
+        let c = pick(&[a, b]);
+        let after_bytes = rng.gen_range(100..600);
+        let faults = vec![
+            SocketFault::Sever {
+                rank: a,
+                chan: FaultChan::Tensor,
+                after_bytes,
+                lossy: true,
+            },
+            SocketFault::Refuse {
+                rank: b,
+                delay_ms: rng.gen_range(20..120),
+            },
+            SocketFault::Slow {
+                rank: c,
+                chan: FaultChan::Data,
+                delay_us: rng.gen_range(100..800),
+            },
+        ];
+        SocketFaultPlan { faults }
+    }
+
+    /// The entries that name `rank`.
+    pub fn for_rank(&self, rank: usize) -> Vec<SocketFault> {
+        self.faults
+            .iter()
+            .copied()
+            .filter(|f| match f {
+                SocketFault::Sever { rank: r, .. }
+                | SocketFault::Refuse { rank: r, .. }
+                | SocketFault::Slow { rank: r, .. } => *r == rank,
+            })
+            .collect()
+    }
+
+    /// Serialize to the `faults.json` wire form.
+    pub fn to_json(&self) -> String {
+        let chan = |c: FaultChan| {
+            Json::Str(
+                match c {
+                    FaultChan::Tensor => "tensor",
+                    FaultChan::Data => "data",
+                }
+                .to_string(),
+            )
+        };
+        let n = |x: u64| Json::Num(x as f64);
+        Json::obj([(
+            "faults",
+            Json::Arr(
+                self.faults
+                    .iter()
+                    .map(|f| match *f {
+                        SocketFault::Sever {
+                            rank,
+                            chan: c,
+                            after_bytes,
+                            lossy,
+                        } => Json::obj([
+                            ("kind", Json::Str("sever".into())),
+                            ("rank", n(rank as u64)),
+                            ("chan", chan(c)),
+                            ("after_bytes", n(after_bytes)),
+                            ("lossy", Json::Bool(lossy)),
+                        ]),
+                        SocketFault::Refuse { rank, delay_ms } => Json::obj([
+                            ("kind", Json::Str("refuse".into())),
+                            ("rank", n(rank as u64)),
+                            ("delay_ms", n(delay_ms)),
+                        ]),
+                        SocketFault::Slow {
+                            rank,
+                            chan: c,
+                            delay_us,
+                        } => Json::obj([
+                            ("kind", Json::Str("slow".into())),
+                            ("rank", n(rank as u64)),
+                            ("chan", chan(c)),
+                            ("delay_us", n(delay_us)),
+                        ]),
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_string()
+    }
+
+    /// Parse the `faults.json` wire form.
+    pub fn from_json(text: &str) -> Result<SocketFaultPlan, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        let arr = j
+            .get("faults")
+            .as_array()
+            .ok_or("faults.json: missing `faults` array")?;
+        let mut faults = Vec::with_capacity(arr.len());
+        for f in arr {
+            let rank = f.get("rank").as_f64().ok_or("fault: missing rank")? as usize;
+            let chan = || match f.get("chan").as_str() {
+                Some("data") => FaultChan::Data,
+                _ => FaultChan::Tensor,
+            };
+            let u = |k: &str| f.get(k).as_f64().unwrap_or(0.0) as u64;
+            faults.push(match f.get("kind").as_str() {
+                Some("sever") => SocketFault::Sever {
+                    rank,
+                    chan: chan(),
+                    after_bytes: u("after_bytes"),
+                    lossy: matches!(f.get("lossy"), Json::Bool(true)),
+                },
+                Some("refuse") => SocketFault::Refuse {
+                    rank,
+                    delay_ms: u("delay_ms"),
+                },
+                Some("slow") => SocketFault::Slow {
+                    rank,
+                    chan: chan(),
+                    delay_us: u("delay_us"),
+                },
+                k => return Err(format!("fault: unknown kind {k:?}")),
+            });
+        }
+        Ok(SocketFaultPlan { faults })
     }
 }
 
@@ -480,6 +714,48 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
     let stages = p * v;
     let timeout = spec.comm_timeout;
 
+    // Launcher-injected socket faults for this rank, if a plan was
+    // published. A Refuse fault delays the bind below, so early-dialing
+    // peers get genuine connection refusals and have to retry.
+    let my_faults = fs::read_to_string(dir.join("faults.json"))
+        .ok()
+        .and_then(|s| SocketFaultPlan::from_json(&s).ok())
+        .map(|p| p.for_rank(rank))
+        .unwrap_or_default();
+    for f in &my_faults {
+        if let SocketFault::Refuse { delay_ms, .. } = f {
+            thread::sleep(Duration::from_millis(*delay_ms));
+        }
+    }
+    let arm = |chan: &mut SocketChannel, which: FaultChan| {
+        for f in &my_faults {
+            match *f {
+                SocketFault::Sever {
+                    chan: c,
+                    after_bytes,
+                    lossy,
+                    ..
+                } if c == which => {
+                    let size = if which == FaultChan::Tensor { t } else { d };
+                    if size > 1 {
+                        let to = (chan.rank() + 1) % size;
+                        if lossy {
+                            chan.sever_outbound_after_lossy(to, after_bytes);
+                        } else {
+                            chan.sever_outbound_after(to, after_bytes);
+                        }
+                    }
+                }
+                SocketFault::Slow {
+                    chan: c, delay_us, ..
+                } if c == which => {
+                    chan.set_send_delay(Some(Duration::from_micros(delay_us)));
+                }
+                _ => {}
+            }
+        }
+    };
+
     // Bind our listener and advertise it. UDS socket files live in the
     // rendezvous dir; TCP binds an ephemeral loopback port and publishes
     // the actual one.
@@ -514,7 +790,8 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
         let peers = (0..t)
             .map(|tj| Some(addrs[flat(pi, di, tj)].clone()))
             .collect();
-        let chan = SocketChannel::new(Arc::clone(&node), chan_id, ti, peers);
+        let mut chan = SocketChannel::new(Arc::clone(&node), chan_id, ti, peers);
+        arm(&mut chan, FaultChan::Tensor);
         Group::with_socket(t, timeout, transport, chan).member(ti)
     };
     let dg = {
@@ -522,7 +799,8 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
         let peers = (0..d)
             .map(|dj| Some(addrs[flat(pi, dj, ti)].clone()))
             .collect();
-        let chan = SocketChannel::new(Arc::clone(&node), chan_id, di, peers);
+        let mut chan = SocketChannel::new(Arc::clone(&node), chan_id, di, peers);
+        arm(&mut chan, FaultChan::Data);
         Group::with_socket(d, timeout, transport, chan).member(di)
     };
 
@@ -579,7 +857,7 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
         let period = job.hb_period;
         pumps.push(thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                if send_heartbeat(&hb, world, rank).is_err() {
+                if send_heartbeat(&hb, world, &[rank as f32]).is_err() {
                     return;
                 }
                 thread::sleep(period);
@@ -597,13 +875,56 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
         })
     });
 
+    // Durable checkpointing: each worker writes only its own shard — the
+    // launcher, which sees every rank's shards on disk, commits complete
+    // generations. The store root crosses the attempt boundary (the
+    // supervisor reuses one store over many rendezvous dirs) via the
+    // `ckpt.path` rendezvous file.
+    let store = (job.checkpoint_every > 0).then(|| {
+        let root = fs::read_to_string(dir.join("ckpt.path"))
+            .map(|s| PathBuf::from(s.trim()))
+            .unwrap_or_else(|_| dir.join("ckpt"));
+        crate::checkpoint::CheckpointStore::open(root).expect("open checkpoint store")
+    });
+    let restore = if job.resume_from > 0 {
+        let Some(store) = &store else {
+            eprintln!("rank {rank}: resume_from set without checkpointing");
+            return 3;
+        };
+        // Restore the launcher-pinned generation *specifically*: restoring
+        // whatever happens to be latest would silently diverge across the
+        // ranks (and forbid replaying an older generation for audits).
+        match store.load_pinned(&spec, job.model, job.resume_from) {
+            Ok(r) => Some(r.snapshot),
+            Err(e) => {
+                eprintln!(
+                    "rank {rank}: restore of pinned generation {} failed: {e}",
+                    job.resume_from
+                );
+                return 3;
+            }
+        }
+    } else {
+        None
+    };
+
     let ctl = RunControl {
         comm_timeout: Some(timeout),
         telemetry: sink.clone(),
+        checkpoint_every: (job.checkpoint_every > 0).then_some(job.checkpoint_every),
+        durable: store,
+        restore,
+        epoch: job.epoch,
         on_beat: hb.as_ref().map(|hb| {
             let hb = Arc::clone(hb);
+            // Progress beats carry the rank's absolute completed-iteration
+            // count in a second frame element; the launcher's kill
+            // scheduler and the supervisor's grow boundary both key off
+            // it. The plain beacon stays 1-element.
+            let done = std::sync::atomic::AtomicUsize::new(job.resume_from);
             Arc::new(move |r: usize| {
-                let _ = send_heartbeat(&hb, world, r);
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let _ = send_heartbeat(&hb, world, &[r as f32, completed as f32]);
             }) as Arc<dyn Fn(usize) + Send + Sync>
         }),
         ..Default::default()
@@ -725,14 +1046,16 @@ pub fn worker_main(dir: &Path, rank: usize) -> i32 {
     i32::from(result.is_err())
 }
 
+/// Send one heartbeat frame to the launcher: `[flat]` for a bare liveness
+/// beacon, `[flat, completed_iters]` for a progress beat.
 fn send_heartbeat(
     hb: &Mutex<SocketChannel>,
     launcher_rank: usize,
-    flat: usize,
+    frame: &[f32],
 ) -> Result<(), megatron_collective::SocketError> {
     let mut chan = hb.lock().unwrap_or_else(|e| e.into_inner());
     chan.set_deadline(Instant::now() + Duration::from_secs(5));
-    megatron_collective::Transport::send(&mut *chan, launcher_rank, &[flat as f32])
+    megatron_collective::Transport::send(&mut *chan, launcher_rank, frame)
 }
 
 fn bits_json(xs: &[f32]) -> Json {
@@ -812,6 +1135,39 @@ pub struct RankOutput {
     pub steps: usize,
 }
 
+/// How one rank process ended, as the launcher observed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Exited with status 0.
+    Ok,
+    /// Exited with a nonzero status code.
+    Failed(i32),
+    /// Terminated by a signal (SIGKILL, a panic-abort, ...).
+    Killed,
+    /// Still running when the wait deadline expired; reaped by SIGKILL.
+    Timeout,
+}
+
+impl WorkerExit {
+    fn of(status: std::process::ExitStatus) -> WorkerExit {
+        use std::os::unix::process::ExitStatusExt;
+        if status.signal().is_some() {
+            WorkerExit::Killed
+        } else {
+            match status.code() {
+                Some(0) | None => {
+                    if status.success() {
+                        WorkerExit::Ok
+                    } else {
+                        WorkerExit::Failed(-1)
+                    }
+                }
+                Some(c) => WorkerExit::Failed(c),
+            }
+        }
+    }
+}
+
 /// The merged result of a process-mode run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProcOutcome {
@@ -821,12 +1177,15 @@ pub struct ProcOutcome {
     pub losses: Vec<f32>,
     /// Ranks that left no parsable output file (e.g. SIGKILLed).
     pub missing: Vec<ThreadKey>,
+    /// Per-flat-rank exit status.
+    pub exits: Vec<WorkerExit>,
 }
 
 impl ProcOutcome {
     /// Did every rank finish cleanly?
     pub fn ok(&self) -> bool {
         self.missing.is_empty()
+            && self.exits.iter().all(|e| *e == WorkerExit::Ok)
             && self
                 .outputs
                 .values()
@@ -843,8 +1202,73 @@ pub struct LaunchHandle {
     monitor: Arc<HealthMonitor>,
     stop: Arc<AtomicBool>,
     reader: Option<thread::JoinHandle<()>>,
+    /// Per-flat-rank completed-iteration counters, fed by the heartbeat
+    /// reader from `[flat, completed]` progress beats.
+    progress: Arc<Vec<std::sync::atomic::AtomicUsize>>,
+    /// Per-flat-rank exit status, filled lazily by [`LaunchHandle::poll_exits`].
+    exits: Mutex<Vec<Option<WorkerExit>>>,
     // Keeps the launcher's listener (and its acceptor thread) alive.
     _node: Arc<SocketNode>,
+}
+
+/// Harden a rendezvous directory against stale state from a previous
+/// run. Leftover `job.json` / `rank-R.addr` files would make fresh
+/// workers dial dead (or worse, recycled) addresses and hang until the
+/// comm deadline. Policy: read every advertised `rank-R.pid`; if any
+/// pid is still alive (`/proc/<pid>` exists) the directory belongs to a
+/// running job, so refuse loudly. Otherwise sweep the rendezvous files
+/// (each unlink is atomic; checkpoint data under the dir is untouched)
+/// and let the new job proceed.
+fn clear_stale_rendezvous(dir: &Path) -> std::io::Result<()> {
+    if !dir.join("job.json").is_file() {
+        return Ok(());
+    }
+    let mut stale = Vec::new();
+    let mut live = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_rendezvous = name == "job.json"
+            || name == "faults.json"
+            || name == "ckpt.path"
+            || name.starts_with("launcher.")
+            || (name.starts_with("rank-")
+                && (name.ends_with(".addr")
+                    || name.ends_with(".pid")
+                    || name.ends_with(".sock")
+                    || name.ends_with(".out.json")
+                    || name.ends_with(".trace.json")));
+        if !is_rendezvous {
+            continue;
+        }
+        if name.starts_with("rank-") && name.ends_with(".pid") {
+            if let Ok(s) = fs::read_to_string(entry.path()) {
+                if let Ok(pid) = s.trim().parse::<u32>() {
+                    if fs::metadata(format!("/proc/{pid}")).is_ok() {
+                        live.push((name.clone(), pid));
+                    }
+                }
+            }
+        }
+        stale.push(entry.path());
+    }
+    if !live.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            format!(
+                "rendezvous dir {} is in use: advertised worker pid(s) still alive: {}",
+                dir.display(),
+                live.iter()
+                    .map(|(n, p)| format!("{n}={p}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+    }
+    for p in stale {
+        let _ = fs::remove_file(p);
+    }
+    Ok(())
 }
 
 /// Launch `job` as `world` OS processes rendezvousing in `dir`
@@ -852,6 +1276,19 @@ pub struct LaunchHandle {
 /// with `--proc-worker <dir> <rank>`, so the hosting binary must call
 /// [`maybe_worker`] before anything else.
 pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
+    launch_configured(job, dir, None, None)
+}
+
+/// [`launch`] with the supervisor-side extras: an explicit durable
+/// checkpoint root (published to workers as `ckpt.path`, so respawn
+/// attempts in fresh rendezvous dirs share one store) and a socket
+/// fault plan (written as `faults.json` for workers to arm).
+pub fn launch_configured(
+    job: &JobSpec,
+    dir: &Path,
+    ckpt_root: Option<&Path>,
+    faults: Option<&SocketFaultPlan>,
+) -> std::io::Result<LaunchHandle> {
     assert!(job.wire.is_socket(), "process mode needs a socket wire");
     if !job.batch.is_multiple_of(job.data * job.microbatch) {
         // The in-process trainer asserts this; catch it here so an invalid
@@ -867,7 +1304,14 @@ pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
         ));
     }
     fs::create_dir_all(dir)?;
+    clear_stale_rendezvous(dir)?;
     fs::write(dir.join("job.json"), job.to_json())?;
+    if let Some(root) = ckpt_root {
+        publish(dir, "ckpt.path", &root.display().to_string());
+    }
+    if let Some(plan) = faults {
+        publish(dir, "faults.json", &plan.to_json());
+    }
 
     let bind = match job.wire {
         WireKind::Tcp => WireAddr::Tcp("127.0.0.1:0".parse().unwrap()),
@@ -880,6 +1324,11 @@ pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
     let world = spec.world();
     let monitor = HealthMonitor::new(&spec, job.hb_period);
     let stop = Arc::new(AtomicBool::new(false));
+    let progress: Arc<Vec<std::sync::atomic::AtomicUsize>> = Arc::new(
+        (0..world)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect(),
+    );
     let reader = {
         let mut chan = SocketChannel::new(
             Arc::clone(&node),
@@ -889,6 +1338,7 @@ pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
         );
         let monitor = Arc::clone(&monitor);
         let stop = Arc::clone(&stop);
+        let progress = Arc::clone(&progress);
         thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 let mut idle = true;
@@ -900,7 +1350,17 @@ pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
                         Duration::from_millis(1),
                     ) {
                         if let Some(&f) = frame.first() {
-                            monitor.beat(f as usize);
+                            let fr = f as usize;
+                            monitor.beat(fr);
+                            // Two-element frames are progress beats:
+                            // `[flat, completed_iters]`. `fetch_max`
+                            // because a late bare beacon must not be
+                            // confused with regressing progress.
+                            if let Some(&done) = frame.get(1) {
+                                if fr < world {
+                                    progress[fr].fetch_max(done as usize, Ordering::Relaxed);
+                                }
+                            }
                             idle = false;
                         }
                     }
@@ -931,6 +1391,8 @@ pub fn launch(job: &JobSpec, dir: &Path) -> std::io::Result<LaunchHandle> {
         monitor,
         stop,
         reader: Some(reader),
+        progress,
+        exits: Mutex::new(vec![None; world]),
         _node: node,
     })
 }
@@ -964,20 +1426,88 @@ impl LaunchHandle {
         }
     }
 
-    /// Wait for every rank process to exit, then merge the per-rank
-    /// output files into a [`ProcOutcome`].
-    pub fn wait(mut self) -> ProcOutcome {
-        let spec = self.job.spec();
-        let world = spec.world();
-        let mut exit_ok = vec![false; world];
-        {
-            let mut children = self.children.lock().unwrap();
-            for (r, slot) in children.iter_mut().enumerate() {
-                if let Some(mut c) = slot.take() {
-                    exit_ok[r] = c.wait().map(|s| s.success()).unwrap_or(false);
+    /// Completed iterations reported by `rank`'s progress beats so far.
+    pub fn progress(&self, rank: usize) -> usize {
+        self.progress[rank].load(Ordering::Relaxed)
+    }
+
+    /// Minimum completed-iteration count across the world — the last
+    /// iteration *every* rank has finished.
+    pub fn min_progress(&self) -> usize {
+        self.progress
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Non-blocking exit sweep: `try_wait` every still-running child,
+    /// reap any that ended, and return the per-rank picture so far
+    /// (`None` = still running). This is how the supervisor notices a
+    /// SIGKILL or panic *before* heartbeat silence does.
+    pub fn poll_exits(&self) -> Vec<Option<WorkerExit>> {
+        let mut children = self.children.lock().unwrap();
+        let mut exits = self.exits.lock().unwrap();
+        for (r, slot) in children.iter_mut().enumerate() {
+            if exits[r].is_some() {
+                continue;
+            }
+            if let Some(c) = slot.as_mut() {
+                if let Ok(Some(status)) = c.try_wait() {
+                    exits[r] = Some(WorkerExit::of(status));
+                    *slot = None; // reaped
                 }
             }
         }
+        exits.clone()
+    }
+
+    /// Wait for every rank process to exit, then merge the per-rank
+    /// output files into a [`ProcOutcome`]. Bounded: a worker that dies
+    /// before rendezvous (or wedges past the comm deadline) no longer
+    /// hangs the launcher forever — the default deadline covers
+    /// rendezvous plus the workers' own communication timeout, after
+    /// which stragglers are SIGKILLed and reported as
+    /// [`WorkerExit::Timeout`].
+    pub fn wait(self) -> ProcOutcome {
+        let limit = RENDEZVOUS_TIMEOUT + self.job.comm_timeout * 4 + Duration::from_secs(60);
+        self.wait_within(limit)
+    }
+
+    /// [`LaunchHandle::wait`] with an explicit deadline.
+    pub fn wait_within(mut self, limit: Duration) -> ProcOutcome {
+        let spec = self.job.spec();
+        let world = spec.world();
+        let deadline = Instant::now() + limit;
+        loop {
+            let exits = self.poll_exits();
+            if exits.iter().all(|e| e.is_some()) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                let mut children = self.children.lock().unwrap();
+                let mut exits = self.exits.lock().unwrap();
+                for (r, slot) in children.iter_mut().enumerate() {
+                    if exits[r].is_none() {
+                        if let Some(mut c) = slot.take() {
+                            let _ = c.kill();
+                            let _ = c.wait();
+                        }
+                        exits[r] = Some(WorkerExit::Timeout);
+                    }
+                }
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        let exits: Vec<WorkerExit> = self
+            .exits
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|e| e.expect("all ranks resolved above"))
+            .collect();
+        let exit_ok: Vec<bool> = exits.iter().map(|e| *e == WorkerExit::Ok).collect();
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.reader.take() {
             let _ = h.join();
@@ -1030,6 +1560,7 @@ impl LaunchHandle {
             outputs,
             losses,
             missing,
+            exits,
         }
     }
 }
@@ -1043,6 +1574,535 @@ impl Drop for LaunchHandle {
         if let Some(h) = self.reader.take() {
             let _ = h.join();
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Launcher-side supervision: detect → restore → respawn
+// ---------------------------------------------------------------------
+
+/// One scheduled real kill in a supervised chaos run: SIGKILL `rank`'s
+/// process once its progress beats report `after_iter` completed
+/// iterations — i.e. while it is genuinely inside iteration
+/// `after_iter + 1`, after any checkpoint shard written at the
+/// `after_iter` boundary is already on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcKill {
+    /// Flat rank of the victim process.
+    pub rank: usize,
+    /// Completed iterations the victim must report before the SIGKILL.
+    pub after_iter: usize,
+}
+
+/// Why the supervisor tore an attempt down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentCause {
+    /// Worker processes ended abnormally (signal, nonzero exit).
+    Exit(Vec<(usize, WorkerExit)>),
+    /// Ranks still running but heartbeat-silent past the dead window.
+    Silence(Vec<usize>),
+    /// No rank died, but the attempt overran its wall-clock limit.
+    Wedged,
+}
+
+/// One detect → restore → respawn cycle a [`ProcSupervisor`] performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcIncident {
+    /// Attempt index (0-based) that died.
+    pub attempt: usize,
+    /// What the detector saw.
+    pub cause: IncidentCause,
+    /// Flat ranks implicated.
+    pub dead_ranks: Vec<usize>,
+    /// Minimum completed-iteration count across the world at detection.
+    pub at_progress: usize,
+    /// Seconds from the attempt's launch to detection.
+    pub detect_s: f64,
+    /// Durable generation the next attempt resumed from (0 = scratch).
+    pub restored_generation: usize,
+    /// Seconds spent committing shard sets and pinning the generation.
+    pub restore_s: f64,
+    /// Seconds slept in exponential backoff before the respawn.
+    pub backoff_s: f64,
+}
+
+/// The merged result of a supervised run.
+///
+/// `outcome.losses` holds the cross-attempt merge (first nonzero per
+/// absolute iteration). SIGKILLed attempts write no `rank-R.out.json`,
+/// so iterations re-run from a restored generation are the ones
+/// guaranteed present; the bit-identity proof therefore gates on the
+/// merged **final parameters**, which the last (clean) attempt always
+/// reports in full.
+#[derive(Debug)]
+pub struct ProcReport {
+    /// Output of the final, clean attempt (losses merged across all).
+    pub outcome: ProcOutcome,
+    /// Every incident, in order.
+    pub incidents: Vec<ProcIncident>,
+    /// Attempts launched (1 = no incident).
+    pub attempts: usize,
+    /// Generations the launcher-side committer sealed, in commit order.
+    pub committed: Vec<usize>,
+    /// Total supervised wall seconds, backoffs included.
+    pub wall_s: f64,
+}
+
+/// One topology segment of an elastic process-mode run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcSegment {
+    /// `(p, t, d)` the segment ran at.
+    pub spec: (usize, usize, usize),
+    /// First iteration (absolute) the segment executed.
+    pub from_iter: usize,
+    /// One past the last iteration the segment executed.
+    pub to_iter: usize,
+    /// Wall seconds for the segment, launch to merged exit.
+    pub wall_s: f64,
+}
+
+/// The merged result of an elastic supervised run.
+#[derive(Debug)]
+pub struct ElasticProcReport {
+    /// Output of the final segment (losses merged across segments).
+    pub outcome: ProcOutcome,
+    /// Shrink/grow records, reusing the in-process supervisor's type.
+    pub reconfigurations: Vec<Reconfiguration>,
+    /// Generations sealed by the launcher-side committer.
+    pub committed: Vec<usize>,
+    /// Per-segment timings, in execution order.
+    pub segments: Vec<ProcSegment>,
+}
+
+/// Launcher-side supervision loop for process-mode jobs: fuses the
+/// heartbeat [`HealthMonitor`] and [`LaunchHandle::poll_exits`] into a
+/// detector, and heals by **restore + respawn** — commit whatever
+/// complete shard generations the dead world left on disk, pin the
+/// newest as the resume point, and re-exec the whole world in a fresh
+/// rendezvous directory sharing the same durable store.
+///
+/// Workers cannot seal generations themselves (each process sees only
+/// its own shard, and the in-trainer commit quorum never fills across
+/// address spaces), so the supervisor doubles as the **committer**: its
+/// watch loop sweeps the store for complete, CRC-valid shard sets and
+/// writes their manifests.
+///
+/// Restart policy: at most `max_restarts` respawns, exponential backoff
+/// `backoff_base · 2^n` capped at `backoff_cap`, and a per-attempt
+/// wall-clock limit after which a silent-but-undead world counts as
+/// wedged. Every incident is recorded as a [`ProcIncident`].
+pub struct ProcSupervisor {
+    job: JobSpec,
+    root: PathBuf,
+    /// Maximum respawns before giving up (budget).
+    pub max_restarts: usize,
+    /// First backoff; doubles per incident.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// How long after launch heartbeat silence is forgiven (spawn +
+    /// rendezvous take seconds; `classify` counts never-beaten as dead).
+    pub startup_grace: Duration,
+    /// Per-attempt wall-clock limit; past it the attempt is wedged.
+    pub attempt_limit: Duration,
+    /// Watch-loop period.
+    pub poll: Duration,
+    /// Straggler threshold handed to [`HealthMonitor::classify`].
+    pub slow_threshold: f64,
+}
+
+impl ProcSupervisor {
+    /// A supervisor for `job`, scratch + durable state under `root`
+    /// (`root/attempt-<k>/` rendezvous dirs, `root/ckpt` store). The job
+    /// must checkpoint (`checkpoint_every > 0`) — without durable
+    /// generations there is nothing to heal from.
+    pub fn new(job: &JobSpec, root: &Path) -> ProcSupervisor {
+        assert!(
+            job.checkpoint_every > 0,
+            "self-healing needs durable checkpoints (JobSpec::checkpoint_every > 0)"
+        );
+        ProcSupervisor {
+            job: *job,
+            root: root.to_path_buf(),
+            max_restarts: 8,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            startup_grace: Duration::from_secs(20),
+            attempt_limit: RENDEZVOUS_TIMEOUT + job.comm_timeout * 4 + Duration::from_secs(120),
+            poll: Duration::from_millis(5),
+            slow_threshold: crate::health::DEFAULT_SLOW_THRESHOLD,
+        }
+    }
+
+    fn ckpt_root(&self) -> PathBuf {
+        self.root.join("ckpt")
+    }
+
+    fn store(&self) -> std::io::Result<Arc<CheckpointStore>> {
+        CheckpointStore::open(self.ckpt_root()).map_err(|e| std::io::Error::other(e.to_string()))
+    }
+
+    /// Supervised run: launch, watch, and on any fatal incident restore
+    /// the latest durable generation and respawn the world under the
+    /// restart budget. `kills` is the chaos schedule of real SIGKILLs
+    /// the supervisor itself fires (each at most once, on whichever
+    /// attempt first reaches its progress trigger); `faults` is written
+    /// as `faults.json` for attempt 0's workers to arm at the socket
+    /// layer. If the durable store already holds generations from an
+    /// earlier supervised run, attempt 0 resumes from them — that is the
+    /// durable-restart path.
+    pub fn run(
+        &self,
+        kills: &[ProcKill],
+        faults: Option<&SocketFaultPlan>,
+    ) -> std::io::Result<ProcReport> {
+        let t0 = Instant::now();
+        let store = self.store()?;
+        let spec = self.job.spec();
+        let world = spec.world();
+        let io_err = |e: crate::checkpoint::CheckpointError| std::io::Error::other(e.to_string());
+        let mut pending: Vec<Option<ProcKill>> = kills.iter().copied().map(Some).collect();
+        let mut incidents: Vec<ProcIncident> = Vec::new();
+        let mut committed: Vec<usize> = Vec::new();
+        let mut merged_losses = vec![0.0f32; self.job.iters];
+        let merge = |merged: &mut Vec<f32>, losses: &[f32]| {
+            for (slot, v) in merged.iter_mut().zip(losses) {
+                if *v != 0.0 {
+                    *slot = *v;
+                }
+            }
+        };
+
+        committed.extend(
+            store
+                .commit_complete_generations(&spec, self.job.model)
+                .map_err(io_err)?,
+        );
+        let mut resume = store
+            .load_latest(&spec, self.job.model)
+            .map(|r| r.generation)
+            .unwrap_or(0);
+        let mut attempt = 0usize;
+        loop {
+            let mut job = self.job;
+            job.resume_from = resume;
+            job.epoch = attempt;
+            let dir = self.root.join(format!("attempt-{attempt}"));
+            let handle = launch_configured(
+                &job,
+                &dir,
+                Some(&self.ckpt_root()),
+                if attempt == 0 { faults } else { None },
+            )?;
+
+            let attempt_t0 = Instant::now();
+            let grace_until = attempt_t0 + self.startup_grace;
+            let deadline = attempt_t0 + self.attempt_limit;
+            let cause: Option<IncidentCause> = loop {
+                thread::sleep(self.poll);
+                // Fire any due chaos kills: the victim reported
+                // `after_iter` completed, so it is mid-next-iteration.
+                for slot in pending.iter_mut() {
+                    if let Some(k) = *slot {
+                        if k.rank < world && handle.progress(k.rank) >= k.after_iter.max(1) {
+                            handle.kill_rank(k.rank);
+                            *slot = None;
+                        }
+                    }
+                }
+                // Committer sweep: seal complete shard generations.
+                if let Ok(newly) = store.commit_complete_generations(&spec, self.job.model) {
+                    committed.extend(newly);
+                }
+                let exits = handle.poll_exits();
+                if exits.iter().all(|e| matches!(e, Some(WorkerExit::Ok))) {
+                    break None;
+                }
+                let abnormal: Vec<(usize, WorkerExit)> = exits
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, e)| match e {
+                        Some(x) if *x != WorkerExit::Ok => Some((r, *x)),
+                        _ => None,
+                    })
+                    .collect();
+                if !abnormal.is_empty() {
+                    break Some(IncidentCause::Exit(abnormal));
+                }
+                let now = Instant::now();
+                if now >= grace_until {
+                    let report = handle.monitor().classify(self.slow_threshold);
+                    let silent: Vec<usize> = (0..world)
+                        .filter(|&r| exits[r].is_none() && report.ranks[r].1.is_dead())
+                        .collect();
+                    if !silent.is_empty() {
+                        break Some(IncidentCause::Silence(silent));
+                    }
+                }
+                if now >= deadline {
+                    break Some(IncidentCause::Wedged);
+                }
+            };
+
+            match cause {
+                None => {
+                    let outcome = handle.wait();
+                    merge(&mut merged_losses, &outcome.losses);
+                    // One last committer sweep so the final boundary
+                    // generation is sealed for whoever resumes later.
+                    if let Ok(newly) = store.commit_complete_generations(&spec, self.job.model) {
+                        committed.extend(newly);
+                    }
+                    let mut outcome = outcome;
+                    outcome.losses = merged_losses;
+                    return Ok(ProcReport {
+                        outcome,
+                        incidents,
+                        attempts: attempt + 1,
+                        committed,
+                        wall_s: t0.elapsed().as_secs_f64(),
+                    });
+                }
+                Some(cause) => {
+                    let detect_s = attempt_t0.elapsed().as_secs_f64();
+                    let at_progress = handle.min_progress();
+                    let dead_ranks: Vec<usize> = match &cause {
+                        IncidentCause::Exit(v) => v.iter().map(|(r, _)| *r).collect(),
+                        IncidentCause::Silence(v) => v.clone(),
+                        IncidentCause::Wedged => (0..world).collect(),
+                    };
+                    // Fail-stop teardown: the socket world cannot run
+                    // degraded, so kill the survivors and reap everyone.
+                    handle.kill_all();
+                    let torn = handle.wait_within(Duration::from_secs(10));
+                    merge(&mut merged_losses, &torn.losses);
+
+                    attempt += 1;
+                    if attempt > self.max_restarts {
+                        return Err(std::io::Error::other(format!(
+                            "restart budget exhausted: {} incidents over {} attempts \
+                             (last cause: {cause:?})",
+                            incidents.len() + 1,
+                            attempt,
+                        )));
+                    }
+                    let backoff = std::cmp::min(
+                        self.backoff_cap,
+                        self.backoff_base * 2u32.pow((attempt as u32 - 1).min(16)),
+                    );
+                    thread::sleep(backoff);
+
+                    let restore_t0 = Instant::now();
+                    committed.extend(
+                        store
+                            .commit_complete_generations(&spec, self.job.model)
+                            .map_err(io_err)?,
+                    );
+                    resume = store
+                        .load_latest(&spec, self.job.model)
+                        .map(|r| r.generation)
+                        .unwrap_or(0);
+                    incidents.push(ProcIncident {
+                        attempt: attempt - 1,
+                        cause,
+                        dead_ranks,
+                        at_progress,
+                        detect_s,
+                        restored_generation: resume,
+                        restore_s: restore_t0.elapsed().as_secs_f64(),
+                        backoff_s: backoff.as_secs_f64(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Best degraded `(p, t, d)` for `capacity` survivors: the elastic
+    /// layout picker (shared with the in-process supervisor) plus the
+    /// process-mode constraint that the global batch stays divisible by
+    /// `d · microbatch`.
+    pub fn pick_degraded_spec(&self, capacity: usize) -> Option<PtdpSpec> {
+        let spec = self.job.spec();
+        let cost = crate::supervisor::job_cost_model(&spec, self.job.model, self.job.batch);
+        cost.enumerate(capacity)
+            .into_iter()
+            .filter(|&(_, t, _)| !spec.vocab_parallel || self.job.model.vocab.is_multiple_of(t))
+            .filter(|&(_, _, d)| self.job.batch.is_multiple_of(d * self.job.microbatch))
+            .min_by(|&a, &b| {
+                let (ca, cb) = (
+                    cost.iteration_s(a.0, a.1, a.2),
+                    cost.iteration_s(b.0, b.1, b.2),
+                );
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            })
+            .map(|(p, t, d)| PtdpSpec {
+                pipeline: p,
+                tensor: t,
+                data: d,
+                ..spec
+            })
+    }
+
+    /// Run one segment (a truncated or resumed job at some topology) to
+    /// clean completion, then seal its boundary generations.
+    fn run_segment(
+        &self,
+        job: &JobSpec,
+        tag: &str,
+        committed: &mut Vec<usize>,
+    ) -> std::io::Result<(ProcOutcome, f64)> {
+        let store = self.store()?;
+        let t0 = Instant::now();
+        let handle = launch_configured(job, &self.root.join(tag), Some(&self.ckpt_root()), None)?;
+        let out = handle.wait();
+        if !out.ok() {
+            return Err(std::io::Error::other(format!(
+                "elastic segment {tag} failed: exits {:?}, missing {:?}",
+                out.exits, out.missing
+            )));
+        }
+        committed.extend(
+            store
+                .commit_complete_generations(&job.spec(), job.model)
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+        );
+        Ok((out, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Elastic supervised run for one capacity dip: on
+    /// [`CapacityEvent::Lost`] the world shrinks to the best degraded
+    /// `(p, t, d)` the survivors support (through the cross-topology
+    /// canonical checkpoint path), and on [`CapacityEvent::Returned`] it
+    /// grows back at the next checkpoint boundary. Each topology change
+    /// happens at a sealed generation, so every segment restores
+    /// bit-identical state and the merged run matches a fault-free one.
+    ///
+    /// Requires the canonical layout, i.e. `shard_optimizer == false`.
+    pub fn run_elastic(&self, events: &[CapacityEvent]) -> std::io::Result<ElasticProcReport> {
+        assert!(
+            !self.job.shard_optimizer,
+            "elastic reconfiguration needs the canonical checkpoint layout \
+             (ZeRO-1 shards are topology-bound)"
+        );
+        let spec = self.job.spec();
+        let world = spec.world();
+        let k = self.job.checkpoint_every;
+        let iters = self.job.iters;
+        let boundary = |it: usize| it.div_ceil(k) * k;
+        let lost = events.iter().find_map(|e| match e {
+            CapacityEvent::Lost { iteration, ranks } => Some((*iteration, *ranks)),
+            _ => None,
+        });
+        let returned = events.iter().find_map(|e| match e {
+            CapacityEvent::Returned { iteration, .. } => Some(*iteration),
+            _ => None,
+        });
+
+        let mut committed = Vec::new();
+        let mut segments = Vec::new();
+        let mut reconfigurations = Vec::new();
+        let mut merged_losses = vec![0.0f32; iters];
+        let merge = |merged: &mut Vec<f32>, losses: &[f32]| {
+            for (slot, v) in merged.iter_mut().zip(losses) {
+                if *v != 0.0 {
+                    *slot = *v;
+                }
+            }
+        };
+
+        // Segment plan: full spec to the shrink boundary, degraded spec
+        // to the grow boundary, full spec to the end.
+        let (cut, lost_ranks) = lost.unwrap_or((iters, 0));
+        let cut = boundary(cut).min(iters);
+        let grow = boundary(returned.unwrap_or(iters)).clamp(cut, iters);
+
+        let mut job_a = self.job;
+        job_a.iters = cut;
+        job_a.epoch = 0;
+        let (mut outcome, wall_a) = self.run_segment(&job_a, "seg-0-full", &mut committed)?;
+        merge(&mut merged_losses, &outcome.losses);
+        segments.push(ProcSegment {
+            spec: (spec.pipeline, spec.tensor, spec.data),
+            from_iter: 0,
+            to_iter: cut,
+            wall_s: wall_a,
+        });
+
+        if cut < iters && lost_ranks > 0 {
+            let capacity = world.saturating_sub(lost_ranks).max(1);
+            let degraded = self.pick_degraded_spec(capacity).ok_or_else(|| {
+                std::io::Error::other(format!("no viable degraded layout for capacity {capacity}"))
+            })?;
+            let store = self.store()?;
+            if grow > cut {
+                let restore_t0 = Instant::now();
+                let gen = store
+                    .load_latest(&degraded, self.job.model)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
+                    .generation;
+                let mut job_b = self.job;
+                job_b.pipeline = degraded.pipeline;
+                job_b.tensor = degraded.tensor;
+                job_b.data = degraded.data;
+                job_b.resume_from = gen;
+                job_b.iters = grow;
+                job_b.epoch = 1;
+                reconfigurations.push(Reconfiguration {
+                    at_iter: cut,
+                    generation: gen,
+                    from: (spec.pipeline, spec.tensor, spec.data),
+                    to: (degraded.pipeline, degraded.tensor, degraded.data),
+                    direction: ReconfigureDirection::Shrink,
+                    capacity,
+                    restore_s: restore_t0.elapsed().as_secs_f64(),
+                });
+                let (out_b, wall_b) = self.run_segment(&job_b, "seg-1-degraded", &mut committed)?;
+                merge(&mut merged_losses, &out_b.losses);
+                segments.push(ProcSegment {
+                    spec: (degraded.pipeline, degraded.tensor, degraded.data),
+                    from_iter: cut,
+                    to_iter: grow,
+                    wall_s: wall_b,
+                });
+                outcome = out_b;
+            }
+            if grow < iters {
+                let restore_t0 = Instant::now();
+                let gen = store
+                    .load_latest(&spec, self.job.model)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?
+                    .generation;
+                let mut job_c = self.job;
+                job_c.resume_from = gen;
+                job_c.epoch = 2;
+                reconfigurations.push(Reconfiguration {
+                    at_iter: grow,
+                    generation: gen,
+                    from: (degraded.pipeline, degraded.tensor, degraded.data),
+                    to: (spec.pipeline, spec.tensor, spec.data),
+                    direction: ReconfigureDirection::Grow,
+                    capacity: world,
+                    restore_s: restore_t0.elapsed().as_secs_f64(),
+                });
+                let (out_c, wall_c) = self.run_segment(&job_c, "seg-2-full", &mut committed)?;
+                merge(&mut merged_losses, &out_c.losses);
+                segments.push(ProcSegment {
+                    spec: (spec.pipeline, spec.tensor, spec.data),
+                    from_iter: grow,
+                    to_iter: iters,
+                    wall_s: wall_c,
+                });
+                outcome = out_c;
+            }
+        }
+
+        outcome.losses = merged_losses;
+        Ok(ElasticProcReport {
+            outcome,
+            reconfigurations,
+            committed,
+            segments,
+        })
     }
 }
 
@@ -1092,5 +2152,98 @@ mod tests {
         let a = job.master();
         let b = job.master();
         assert_eq!(a.cfg, b.cfg);
+    }
+
+    #[test]
+    fn resume_fields_default_to_zero_for_old_job_json() {
+        // A job.json written before the self-healing fields existed must
+        // still parse (fresh run, no checkpointing).
+        let job = JobSpec::canonical(2, 1, 1);
+        let mut j = Json::parse(&job.to_json()).unwrap();
+        if let Json::Obj(m) = &mut j {
+            for k in ["checkpoint_every", "resume_from", "epoch"] {
+                m.remove(k);
+            }
+        }
+        let back = JobSpec::from_json(&j.to_string()).unwrap();
+        assert_eq!(back.checkpoint_every, 0);
+        assert_eq!(back.resume_from, 0);
+        assert_eq!(back.epoch, 0);
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_json() {
+        let plan = SocketFaultPlan::seeded(0xfa117, 8);
+        assert!(!plan.faults.is_empty());
+        let back = SocketFaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic_and_in_range() {
+        let a = SocketFaultPlan::seeded(7, 8);
+        let b = SocketFaultPlan::seeded(7, 8);
+        assert_eq!(a, b);
+        for f in &a.faults {
+            let rank = match f {
+                SocketFault::Sever { rank, .. }
+                | SocketFault::Refuse { rank, .. }
+                | SocketFault::Slow { rank, .. } => *rank,
+            };
+            assert!(rank < 8);
+        }
+        // Per-rank filtering covers exactly the planned faults.
+        let total: usize = (0..8).map(|r| a.for_rank(r).len()).sum();
+        assert_eq!(total, a.faults.len());
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mproc-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stale_rendezvous_with_dead_pids_is_swept() {
+        let dir = scratch("stale-dead");
+        fs::write(dir.join("job.json"), "{}").unwrap();
+        fs::write(dir.join("rank-0.addr"), "uds:/tmp/gone.sock").unwrap();
+        // A pid that is certainly not running (pid_max is far below this).
+        fs::write(dir.join("rank-0.pid"), "999999999").unwrap();
+        fs::write(dir.join("launcher.addr"), "uds:/tmp/gone2.sock").unwrap();
+        clear_stale_rendezvous(&dir).unwrap();
+        assert!(!dir.join("job.json").exists());
+        assert!(!dir.join("rank-0.addr").exists());
+        assert!(!dir.join("rank-0.pid").exists());
+        assert!(!dir.join("launcher.addr").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_rendezvous_with_live_pid_is_refused() {
+        let dir = scratch("stale-live");
+        fs::write(dir.join("job.json"), "{}").unwrap();
+        // Our own pid is definitely alive.
+        fs::write(dir.join("rank-0.pid"), std::process::id().to_string()).unwrap();
+        let err = clear_stale_rendezvous(&dir).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        assert!(err.to_string().contains("still alive"), "{err}");
+        // Nothing was deleted.
+        assert!(dir.join("job.json").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_spec_respects_batch_divisibility() {
+        let mut job = JobSpec::canonical(2, 2, 2);
+        job.checkpoint_every = 2;
+        let dir = scratch("degrade");
+        let sup = ProcSupervisor::new(&job, &dir);
+        // 6 survivors: best layout must keep batch % (d·b) == 0.
+        let picked = sup.pick_degraded_spec(6).expect("some layout fits");
+        assert!(picked.world() <= 6);
+        assert!(job.batch.is_multiple_of(picked.data * job.microbatch));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -275,6 +275,53 @@ impl SupervisorReport {
     }
 }
 
+/// The ranking cost model for a job (the simulator's elastic module),
+/// parameterized by the global batch the data carries. Shared by the
+/// thread-mode [`Supervisor`] and the process-mode
+/// [`ProcSupervisor`](crate::proc::ProcSupervisor).
+pub(crate) fn job_cost_model(
+    spec: &PtdpSpec,
+    model_cfg: TinyGptConfig,
+    global_batch: usize,
+) -> CostModel {
+    let mut cm = CostModel::for_job(
+        model_cfg.layers,
+        model_cfg.heads,
+        global_batch.max(1),
+        spec.microbatch,
+    );
+    cm.chunks = spec.chunks;
+    cm
+}
+
+/// The best valid (p, t, d) fitting `capacity` ranks, as a full spec
+/// inheriting every non-topology knob from `base`. Respects the one
+/// constraint the cost model cannot see: vocab-parallel runs need
+/// `t | vocab`.
+pub(crate) fn pick_best_spec(
+    cost: &CostModel,
+    base: &PtdpSpec,
+    model_cfg: TinyGptConfig,
+    capacity: usize,
+) -> Option<PtdpSpec> {
+    cost.enumerate(capacity)
+        .into_iter()
+        .filter(|&(_, t, _)| !base.vocab_parallel || model_cfg.vocab.is_multiple_of(t))
+        .min_by(|&a, &b| {
+            let (ca, cb) = (
+                cost.iteration_s(a.0, a.1, a.2),
+                cost.iteration_s(b.0, b.1, b.2),
+            );
+            ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+        })
+        .map(|(p, t, d)| PtdpSpec {
+            pipeline: p,
+            tensor: t,
+            data: d,
+            ..*base
+        })
+}
+
 /// Auto-recovery wrapper around [`PtdpTrainer`]: train, and on failure
 /// restore from the durable store and retry until the job completes or
 /// the restart budget runs out. [`Supervisor::run_elastic`] additionally
@@ -381,39 +428,13 @@ impl Supervisor {
     /// The ranking cost model for this job (the simulator's elastic
     /// module), parameterized by the global batch the data carries.
     fn cost_model(&self, global_batch: usize) -> CostModel {
-        let mut cm = CostModel::for_job(
-            self.model_cfg.layers,
-            self.model_cfg.heads,
-            global_batch.max(1),
-            self.spec.microbatch,
-        );
-        cm.chunks = self.spec.chunks;
-        cm
+        job_cost_model(&self.spec, self.model_cfg, global_batch)
     }
 
     /// The best valid (p, t, d) fitting `capacity` ranks, as a full spec
-    /// inheriting every non-topology knob from the launch spec. Respects
-    /// the one constraint the cost model cannot see: vocab-parallel runs
-    /// need `t | vocab`.
+    /// inheriting every non-topology knob from the launch spec.
     fn best_spec(&self, cost: &CostModel, capacity: usize) -> Option<PtdpSpec> {
-        cost.enumerate(capacity)
-            .into_iter()
-            .filter(|&(_, t, _)| {
-                !self.spec.vocab_parallel || self.model_cfg.vocab.is_multiple_of(t)
-            })
-            .min_by(|&a, &b| {
-                let (ca, cb) = (
-                    cost.iteration_s(a.0, a.1, a.2),
-                    cost.iteration_s(b.0, b.1, b.2),
-                );
-                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
-            })
-            .map(|(p, t, d)| PtdpSpec {
-                pipeline: p,
-                tensor: t,
-                data: d,
-                ..self.spec
-            })
+        pick_best_spec(cost, &self.spec, self.model_cfg, capacity)
     }
 
     /// Carry fault-injection points across a topology change: a kill aimed

@@ -128,6 +128,29 @@ pub struct ElasticGoodputModel {
 }
 
 impl ElasticGoodputModel {
+    /// Build the model from quantities a real elastic run measures: mean
+    /// clean (full-topology) and degraded seconds per iteration, and the
+    /// grow-side cross-topology restore cost. `ρ` becomes
+    /// `clean_iter_s / degraded_iter_s`, clamped to (0, 1] so timer noise
+    /// on a degraded segment that happens to run *faster* (tiny jobs)
+    /// cannot produce an out-of-domain model.
+    pub fn from_measured(
+        base: GoodputModel,
+        clean_iter_s: f64,
+        degraded_iter_s: f64,
+        reconfigure_s: f64,
+    ) -> ElasticGoodputModel {
+        assert!(
+            clean_iter_s > 0.0 && degraded_iter_s > 0.0,
+            "iteration times must be positive"
+        );
+        ElasticGoodputModel {
+            base,
+            relative_throughput: (clean_iter_s / degraded_iter_s).clamp(f64::MIN_POSITIVE, 1.0),
+            reconfigure_s: reconfigure_s.max(0.0),
+        }
+    }
+
     /// Goodput of shrink-and-continue for a job of `useful_s` seconds of
     /// full-topology work, checkpointing every `interval_s`, through an
     /// outage of `outage_s` wall seconds. During the outage the job runs
@@ -467,6 +490,20 @@ mod tests {
             (m.elastic_goodput(tau, job, 5_000.0) - m.base.goodput(tau)).abs() < 1e-12,
             "rho = 1 and free reconfiguration: the outage costs nothing"
         );
+    }
+
+    #[test]
+    fn measured_elastic_model_clamps_rho_into_domain() {
+        let base = elastic_model().base;
+        let m = ElasticGoodputModel::from_measured(base, 1.0, 2.0, 30.0);
+        assert!((m.relative_throughput - 0.5).abs() < 1e-12);
+        assert!((m.break_even_outage_s() - 60.0).abs() < 1e-12);
+        // A degraded segment that timed *faster* than clean (noise on a
+        // tiny job) still yields a legal model.
+        let noisy = ElasticGoodputModel::from_measured(base, 2.0, 1.0, -5.0);
+        assert_eq!(noisy.relative_throughput, 1.0);
+        assert_eq!(noisy.reconfigure_s, 0.0);
+        noisy.elastic_goodput(600.0, 10_000.0, 100.0); // in-domain: no panic
     }
 
     #[test]

@@ -10,11 +10,15 @@
 //!    process leaves it classified **dead** by the launcher-side
 //!    [`HealthMonitor`](megatron_repro::dist::HealthMonitor) while the
 //!    stalled survivors keep beating.
+//! 3. Self-healing: a SIGKILL mid-run is detected by the
+//!    [`ProcSupervisor`](megatron_repro::dist::ProcSupervisor), which
+//!    restores the latest durable generation and respawns; the healed
+//!    run's final parameters are bit-identical to a fault-free run.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use megatron_repro::dist::proc::{launch, maybe_worker, JobSpec};
+use megatron_repro::dist::proc::{launch, maybe_worker, JobSpec, ProcKill, ProcSupervisor};
 use megatron_repro::dist::PtdpTrainer;
 
 fn scratch(tag: &str) -> PathBuf {
@@ -128,6 +132,70 @@ fn sigkilled_rank_process_classified_dead() {
     println!("ok - sigkilled_rank_process_classified_dead");
 }
 
+/// 3. Self-healing round-trip: SIGKILL a rank mid-run, the supervisor
+///    restores the latest durable generation, respawns the job pinned at
+///    it, and the healed run's final parameters are bit-identical to a
+///    fault-free process run of the same job.
+fn supervisor_respawn_round_trip_bit_identical() {
+    let mut job = JobSpec::canonical(2, 2, 2);
+    job.iters = 6;
+    job.checkpoint_every = 2;
+    job.retry = true;
+
+    // Fault-free reference, as real processes.
+    let clean_dir = scratch("respawn-clean");
+    let clean = launch(&job, &clean_dir)
+        .expect("launch fault-free run")
+        .wait();
+    assert!(clean.ok(), "fault-free process run failed");
+
+    // Same job under supervision, rank 3 SIGKILLed after 2 iterations.
+    let root = scratch("respawn-chaos");
+    let sup = ProcSupervisor::new(&job, &root);
+    let report = sup
+        .run(
+            &[ProcKill {
+                rank: 3,
+                after_iter: 2,
+            }],
+            None,
+        )
+        .expect("supervised run must heal within its restart budget");
+
+    assert!(report.attempts >= 2, "the SIGKILL must force a respawn");
+    assert!(
+        !report.incidents.is_empty(),
+        "the SIGKILL must be recorded as an incident"
+    );
+    assert!(
+        report.incidents[0].dead_ranks.contains(&3),
+        "incident must name the SIGKILLed rank: {:?}",
+        report.incidents[0]
+    );
+    assert!(
+        report.outcome.ok(),
+        "healed run's final attempt was not clean"
+    );
+    assert_eq!(
+        report.outcome.losses.len(),
+        job.iters,
+        "healed run must report every iteration's loss"
+    );
+
+    let spec = job.spec();
+    assert_eq!(report.outcome.outputs.len(), spec.world());
+    for (key, o) in &report.outcome.outputs {
+        assert_eq!(
+            o.params, clean.outputs[key].params,
+            "healed params differ from fault-free at {key:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&root);
+    println!("ok - supervisor_respawn_round_trip_bit_identical");
+}
+
 fn main() {
     // Rank-worker re-entry: `--proc-worker <dir> <rank>` runs the worker
     // and exits, everything else falls through to the tests.
@@ -135,5 +203,6 @@ fn main() {
 
     eight_uds_processes_bit_identical_to_in_process();
     sigkilled_rank_process_classified_dead();
+    supervisor_respawn_round_trip_bit_identical();
     println!("process_mode: all tests passed");
 }

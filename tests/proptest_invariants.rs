@@ -481,3 +481,95 @@ fn histogram_quantiles_monotone() {
         assert!(h.quantile(1.0).unwrap() <= 2.0 * max + 1e-9);
     });
 }
+
+/// Process-mode `job.json` round-trip: a `JobSpec` survives
+/// serialize→parse for every field, including extreme f32 learning
+/// rates — NaNs with arbitrary payloads, subnormals, infinities, and
+/// signed zeros. The wire form carries `lr` as raw bits (`lr_bits`)
+/// precisely so these survive; the property compares bit patterns
+/// (NaN != NaN would make a value comparison vacuous).
+#[test]
+fn job_spec_json_round_trips_extreme_floats() {
+    use megatron_repro::dist::proc::JobSpec;
+    use megatron_repro::dist::WireKind;
+    use std::time::Duration;
+
+    for_cases("job_spec_json_round_trips_extreme_floats", |rng| {
+        let mut job = JobSpec::canonical(2, 2, 2);
+        job.pipeline = rng.gen_range(1usize..=4);
+        job.tensor = rng.gen_range(1usize..=4);
+        job.data = rng.gen_range(1usize..=4);
+        job.chunks = rng.gen_range(1usize..=3);
+        job.microbatch = rng.gen_range(1usize..=4);
+        job.schedule = match rng.gen_range(0u32..3) {
+            0 => ScheduleKind::GPipe,
+            1 => ScheduleKind::OneFOneB,
+            _ => ScheduleKind::Interleaved {
+                chunks: rng.gen_range(2usize..=4),
+            },
+        };
+        let coin = |rng: &mut StdRng| rng.gen_range(0u32..2) == 1;
+        job.shard_optimizer = coin(rng);
+        job.recompute = coin(rng);
+        job.vocab_parallel = coin(rng);
+        job.retry = coin(rng);
+        job.trace = coin(rng);
+        job.comm_timeout = Duration::from_millis(rng.gen_range(1u64..120_000));
+        job.hb_period = Duration::from_millis(rng.gen_range(1u64..1_000));
+        // Seeds ride the JSON number as f64: exact for < 2^53; draw well
+        // inside that.
+        job.model_seed = rng.gen_range(0u64..(1 << 48));
+        job.data_seed = rng.gen_range(0u64..(1 << 48));
+        job.batch = rng.gen_range(1usize..=64);
+        job.iters = rng.gen_range(1usize..=100);
+        job.wire = match rng.gen_range(0u32..3) {
+            0 => WireKind::Mailbox,
+            1 => WireKind::Uds,
+            _ => WireKind::Tcp,
+        };
+        job.checkpoint_every = rng.gen_range(0usize..=8);
+        job.resume_from = rng.gen_range(0usize..=32);
+        job.epoch = rng.gen_range(0usize..=8);
+
+        // Adversarial f32 bit patterns: NaNs with random payloads (quiet
+        // and signaling), subnormals, infinities, signed zeros, and
+        // random normals.
+        let lr_bits: u32 = match rng.gen_range(0u32..6) {
+            // NaN: exponent all-ones, non-zero mantissa, random sign.
+            0 => {
+                let sign = (coin(rng) as u32) << 31;
+                let payload = rng.gen_range(1u32..(1 << 23));
+                sign | 0x7f80_0000 | payload
+            }
+            // Subnormal: exponent zero, non-zero mantissa.
+            1 => {
+                let sign = (coin(rng) as u32) << 31;
+                sign | rng.gen_range(1u32..(1 << 23))
+            }
+            2 => f32::INFINITY.to_bits(),
+            3 => f32::NEG_INFINITY.to_bits(),
+            4 => (coin(rng) as u32) << 31, // ±0.0
+            _ => rng.gen::<f32>().to_bits(),
+        };
+        job.lr = f32::from_bits(lr_bits);
+
+        let text = job.to_json();
+        let back = JobSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+
+        assert_eq!(
+            back.lr.to_bits(),
+            lr_bits,
+            "lr bit pattern mangled: {:#010x} -> {:#010x}",
+            lr_bits,
+            back.lr.to_bits()
+        );
+        // Bitwise lr equality established above; the full struct compare
+        // would fail on NaN != NaN, so null out lr and compare the rest.
+        let mut a = job;
+        let mut b = back;
+        a.lr = 0.0;
+        b.lr = 0.0;
+        assert_eq!(a, b, "non-lr field mangled by the JSON round-trip");
+    });
+}
